@@ -1,0 +1,77 @@
+// Benchmarks regenerating the paper's evaluation (§8) through the Go
+// testing harness: one benchmark per figure plus one per ablation study.
+// Each iteration runs the figure's full sweep at the tiny scale so
+// `go test -bench=.` finishes quickly; run `cmd/umzi-bench` for the
+// paper-shaped tables at small or paper scale.
+package umzi_test
+
+import (
+	"testing"
+
+	"umzi/internal/bench"
+)
+
+func benchFigure(b *testing.B, f func(bench.Scale) (*bench.Result, error)) {
+	b.Helper()
+	s := bench.TinyScale()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig08IndexBuild regenerates Figure 8 (index build time vs run
+// size for the I1/I2/I3 definitions).
+func BenchmarkFig08IndexBuild(b *testing.B) { benchFigure(b, bench.Fig08IndexBuild) }
+
+// BenchmarkFig09SingleRun regenerates Figure 9 (single-run batched
+// lookups, sequential and random query batches).
+func BenchmarkFig09SingleRun(b *testing.B) { benchFigure(b, bench.Fig09SingleRun) }
+
+// BenchmarkFig10MultiRunSeq regenerates Figure 10 (multi-run queries over
+// sequentially ingested keys: batch-size, run-count and scan-range
+// sweeps).
+func BenchmarkFig10MultiRunSeq(b *testing.B) { benchFigure(b, bench.Fig10MultiRunSeq) }
+
+// BenchmarkFig11MultiRunRand regenerates Figure 11 (the Figure 10 sweeps
+// with randomly ingested keys).
+func BenchmarkFig11MultiRunRand(b *testing.B) { benchFigure(b, bench.Fig11MultiRunRand) }
+
+// BenchmarkFig12ConcurrentReaders regenerates Figure 12 (end-to-end
+// lookup latency under a growing number of concurrent readers).
+func BenchmarkFig12ConcurrentReaders(b *testing.B) { benchFigure(b, bench.Fig12ConcurrentReaders) }
+
+// BenchmarkFig13UpdateRates regenerates Figure 13 (end-to-end lookup
+// latency across IoT update rates p = 0..100%).
+func BenchmarkFig13UpdateRates(b *testing.B) { benchFigure(b, bench.Fig13UpdateRates) }
+
+// BenchmarkFig14PurgeLevels regenerates Figure 14 (lookup latency with
+// none/half/all runs purged from the SSD cache).
+func BenchmarkFig14PurgeLevels(b *testing.B) { benchFigure(b, bench.Fig14PurgeLevels) }
+
+// BenchmarkFig15Evolve regenerates Figure 15 (post-groomer and index
+// evolve enabled vs disabled).
+func BenchmarkFig15Evolve(b *testing.B) { benchFigure(b, bench.Fig15Evolve) }
+
+// BenchmarkAblationOffsetArray measures the offset-array ablation (A1).
+func BenchmarkAblationOffsetArray(b *testing.B) { benchFigure(b, bench.AblationOffsetArray) }
+
+// BenchmarkAblationReconcile measures set vs priority-queue
+// reconciliation (A2).
+func BenchmarkAblationReconcile(b *testing.B) { benchFigure(b, bench.AblationReconcile) }
+
+// BenchmarkAblationSynopsis measures synopsis pruning on/off (A3).
+func BenchmarkAblationSynopsis(b *testing.B) { benchFigure(b, bench.AblationSynopsis) }
+
+// BenchmarkAblationBatchSort measures batched vs individual lookups (A4).
+func BenchmarkAblationBatchSort(b *testing.B) { benchFigure(b, bench.AblationBatchSort) }
+
+// BenchmarkAblationMergePolicy sweeps the merge knobs K and T (A5).
+func BenchmarkAblationMergePolicy(b *testing.B) { benchFigure(b, bench.AblationMergePolicy) }
+
+// BenchmarkAblationNonPersisted measures write traffic with non-persisted
+// levels (A6).
+func BenchmarkAblationNonPersisted(b *testing.B) { benchFigure(b, bench.AblationNonPersisted) }

@@ -1,0 +1,148 @@
+// Quickstart: the Umzi index API in isolation — define an index, build
+// runs (as the groomer would), run point lookups and range scans at
+// different snapshot timestamps, merge runs, and evolve entries into the
+// post-groomed zone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"umzi"
+)
+
+func main() {
+	// An index over (customer; order) with the order total carried as an
+	// included column for index-only reads (§4.1 of the paper).
+	ix, err := umzi.New(umzi.Config{
+		Name: "orders",
+		Def: umzi.IndexDef{
+			Equality: []umzi.Column{{Name: "customer", Kind: umzi.KindInt64}},
+			Sort:     []umzi.Column{{Name: "order", Kind: umzi.KindInt64}},
+			Included: []umzi.Column{{Name: "total", Kind: umzi.KindFloat64}},
+		},
+		Store: umzi.NewMemStore(umzi.LatencyModel{}),
+		Cache: umzi.NewSSDCache(0, umzi.LatencyModel{}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Three groom cycles, each producing one level-0 run. Cycle 2
+	// re-ingests order 100 of customer 7: an update, i.e. a new version.
+	cycles := []struct {
+		cycle  uint64
+		orders []struct {
+			customer, order int64
+			total           float64
+		}
+	}{
+		{1, []struct {
+			customer, order int64
+			total           float64
+		}{{7, 100, 19.99}, {7, 101, 5.00}, {9, 200, 120.00}}},
+		{2, []struct {
+			customer, order int64
+			total           float64
+		}{{7, 100, 24.99}, {9, 201, 60.00}}},
+		{3, []struct {
+			customer, order int64
+			total           float64
+		}{{7, 102, 9.50}}},
+	}
+	for _, c := range cycles {
+		var entries []umzi.Entry
+		for i, o := range c.orders {
+			e, err := ix.MakeEntry(
+				[]umzi.Value{umzi.I64(o.customer)},
+				[]umzi.Value{umzi.I64(o.order)},
+				[]umzi.Value{umzi.F64(o.total)},
+				umzi.MakeTS(c.cycle, uint32(i)),
+				umzi.RID{Zone: umzi.ZoneGroomed, Block: c.cycle, Offset: uint32(i)},
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			entries = append(entries, e)
+		}
+		if err := ix.BuildRun(entries, umzi.BlockRange{Min: c.cycle, Max: c.cycle}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g, p := ix.RunCounts()
+	fmt.Printf("after 3 grooms: %d groomed runs, %d post-groomed runs\n", g, p)
+
+	// Point lookup: newest version wins.
+	e, found, err := ix.PointLookup([]umzi.Value{umzi.I64(7)}, []umzi.Value{umzi.I64(100)}, umzi.MaxTS)
+	if err != nil || !found {
+		log.Fatal(err, found)
+	}
+	_, _, incl, _ := ix.DecodeEntry(e)
+	fmt.Printf("customer 7 order 100 (newest): total=%.2f beginTS=%v\n", incl[0].Float(), e.BeginTS)
+
+	// Time travel: the same key as of groom cycle 1.
+	e, found, _ = ix.PointLookup([]umzi.Value{umzi.I64(7)}, []umzi.Value{umzi.I64(100)}, umzi.MakeTS(1, 1<<20))
+	if found {
+		_, _, incl, _ = ix.DecodeEntry(e)
+		fmt.Printf("customer 7 order 100 (cycle 1):  total=%.2f\n", incl[0].Float())
+	}
+
+	// Range scan over one customer's orders.
+	matches, err := ix.RangeScan(umzi.ScanOptions{
+		Equality: []umzi.Value{umzi.I64(7)},
+		SortLo:   []umzi.Value{umzi.I64(100)},
+		SortHi:   []umzi.Value{umzi.I64(102)},
+		TS:       umzi.MaxTS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customer 7 orders 100..102: %d matches\n", len(matches))
+	for _, m := range matches {
+		_, sortv, incl, _ := ix.DecodeEntry(m)
+		fmt.Printf("  order %d: total=%.2f rid=%v\n", sortv[0].Int(), incl[0].Float(), m.RID)
+	}
+
+	// Merge maintenance (§5.3).
+	if err := ix.Quiesce(); err != nil {
+		log.Fatal(err)
+	}
+	g, p = ix.RunCounts()
+	fmt.Printf("after maintenance: %d groomed runs, %d post-groomed runs\n", g, p)
+
+	// Evolve cycles 1-2 into the post-groomed zone (§5.4) — in Wildfire
+	// the post-groomer triggers this with new post-groomed RIDs.
+	var evolved []umzi.Entry
+	for _, c := range cycles[:2] {
+		for i, o := range c.orders {
+			e, err := ix.MakeEntry(
+				[]umzi.Value{umzi.I64(o.customer)},
+				[]umzi.Value{umzi.I64(o.order)},
+				[]umzi.Value{umzi.F64(o.total)},
+				umzi.MakeTS(c.cycle, uint32(i)),
+				umzi.RID{Zone: umzi.ZonePostGroomed, Block: 1, Offset: uint32(i)},
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			evolved = append(evolved, e)
+		}
+	}
+	if err := ix.Evolve(1, evolved, umzi.BlockRange{Min: 1, Max: 2}); err != nil {
+		log.Fatal(err)
+	}
+	g, p = ix.RunCounts()
+	fmt.Printf("after evolve(PSN 1): %d groomed runs, %d post-groomed runs, covered=%d\n",
+		g, p, ix.MaxCoveredGroomedID())
+
+	// Queries keep working across the zone boundary, de-duplicated.
+	matches, _ = ix.RangeScan(umzi.ScanOptions{
+		Equality: []umzi.Value{umzi.I64(7)},
+		TS:       umzi.MaxTS,
+	})
+	fmt.Printf("customer 7 all orders after evolve: %d matches\n", len(matches))
+	st := ix.Stats()
+	fmt.Printf("stats: queries=%d runsSearched=%d runsPruned=%d merges=%d evolves=%d\n",
+		st.Queries, st.RunsSearched, st.RunsPruned, st.Merges, st.Evolves)
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+
+	"umzi/internal/core"
+	"umzi/internal/keyenc"
+	"umzi/internal/run"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+// The three index definitions of §8.1, every column an 8-byte long:
+//
+//	I1: one equality column, one sort column, one include column
+//	I2: two equality columns, one include column
+//	I3: one equality column, one include column
+type IndexVariant int
+
+const (
+	I1 IndexVariant = iota
+	I2
+	I3
+)
+
+// String implements fmt.Stringer.
+func (v IndexVariant) String() string {
+	return [...]string{"I1", "I2", "I3"}[v]
+}
+
+// Variants lists all three definitions.
+func Variants() []IndexVariant { return []IndexVariant{I1, I2, I3} }
+
+// Def returns the core index definition of the variant. groupBits sets
+// how keys split into (equality, sort) parts — see splitKey.
+func (v IndexVariant) Def() core.IndexDef {
+	long := func(n string) core.Column { return core.Column{Name: n, Kind: keyenc.KindInt64} }
+	switch v {
+	case I1:
+		return core.IndexDef{
+			Equality: []core.Column{long("a")},
+			Sort:     []core.Column{long("b")},
+			Included: []core.Column{long("c")},
+			HashBits: 10,
+		}
+	case I2:
+		return core.IndexDef{
+			Equality: []core.Column{long("a"), long("b")},
+			Included: []core.Column{long("c")},
+			HashBits: 10,
+		}
+	default:
+		return core.IndexDef{
+			Equality: []core.Column{long("a")},
+			Included: []core.Column{long("c")},
+			HashBits: 10,
+		}
+	}
+}
+
+// dataset maps scalar keys to index column values. A key k splits into a
+// group part and an in-group part at groupBits: the group part feeds the
+// (leading) equality column, the in-group part the sort column. I3 (no
+// sort column) uses the whole key as the equality value.
+type dataset struct {
+	variant   IndexVariant
+	groupBits uint
+}
+
+// eqVals returns the equality-column values of key k.
+func (d dataset) eqVals(k int64) []keyenc.Value {
+	switch d.variant {
+	case I1:
+		return []keyenc.Value{keyenc.I64(k >> d.groupBits)}
+	case I2:
+		// Both columns carry the key: I2's keys are longer than I1's and
+		// its hash input doubles, the mechanical costs of a second
+		// equality column.
+		return []keyenc.Value{keyenc.I64(k), keyenc.I64(k)}
+	default:
+		return []keyenc.Value{keyenc.I64(k)}
+	}
+}
+
+// sortVals returns the sort-column values of key k.
+func (d dataset) sortVals(k int64) []keyenc.Value {
+	if d.variant == I1 {
+		return []keyenc.Value{keyenc.I64(k & (1<<d.groupBits - 1))}
+	}
+	return nil
+}
+
+// entry builds the index entry of key k.
+func (d dataset) entry(ix *core.Index, k int64, ts types.TS, rid types.RID) (run.Entry, error) {
+	return ix.MakeEntry(d.eqVals(k), d.sortVals(k), []keyenc.Value{keyenc.I64(k)}, ts, rid)
+}
+
+// lookupKey builds the batched-lookup key of k.
+func (d dataset) lookupKey(k int64) core.LookupKey {
+	return core.LookupKey{Equality: d.eqVals(k), Sort: d.sortVals(k)}
+}
+
+// newIndex builds a fresh in-memory index for the variant.
+func newIndex(name string, v IndexVariant, mutate func(*core.Config)) (*core.Index, error) {
+	cfg := core.Config{
+		Name:  name,
+		Def:   v.Def(),
+		Store: storage.NewMemStore(storage.LatencyModel{}),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.New(cfg)
+}
+
+// buildRuns ingests keys into the index as nRuns equal groom cycles.
+// Entry i carries beginTS MakeTS(cycle, i%cycleSize).
+func buildRuns(ix *core.Index, d dataset, keys KeyGen, nRuns int) error {
+	n := keys.N()
+	per := n / nRuns
+	if per == 0 {
+		return fmt.Errorf("bench: %d keys cannot fill %d runs", n, nRuns)
+	}
+	idx := 0
+	for r := 0; r < nRuns; r++ {
+		count := per
+		if r == nRuns-1 {
+			count = n - idx // last run takes the remainder
+		}
+		cycle := uint64(r + 1)
+		entries := make([]run.Entry, 0, count)
+		for i := 0; i < count; i++ {
+			k := keys.Key(idx)
+			e, err := d.entry(ix, k, types.MakeTS(cycle, uint32(i)), types.RID{Zone: types.ZoneGroomed, Block: cycle, Offset: uint32(i)})
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+			idx++
+		}
+		if err := ix.BuildRun(entries, types.BlockRange{Min: cycle, Max: cycle}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookupBatch runs one batched lookup and returns the number found.
+func lookupBatch(ix *core.Index, d dataset, keys []int64) (int, error) {
+	lk := make([]core.LookupKey, len(keys))
+	for i, k := range keys {
+		lk[i] = d.lookupKey(k)
+	}
+	_, found, err := ix.LookupBatch(lk, types.MaxTS)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, f := range found {
+		if f {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// Key generation mirrors §8.1: a synthetic generator produces 8-byte
+// integer keys, either sequential — simulating time-correlated keys — or
+// random (uniform, no temporal correlation). Queries likewise use
+// sequential or random key batches (§8.3).
+
+// KeyGen produces the n keys of a dataset in ingestion order.
+type KeyGen interface {
+	// Key returns the i-th ingested key.
+	Key(i int) int64
+	// N returns the dataset size.
+	N() int
+}
+
+// SeqKeys generates keys 0,1,2,...: ingestion order equals key order, so
+// per-run synopses cover disjoint ranges and prune well.
+type SeqKeys int
+
+// Key implements KeyGen.
+func (s SeqKeys) Key(i int) int64 { return int64(i) }
+
+// N implements KeyGen.
+func (s SeqKeys) N() int { return int(s) }
+
+// RandKeys generates a random permutation of [0,n): every key exists
+// exactly once but ingestion order is uncorrelated with key order, which
+// defeats synopsis pruning (§8.3.3).
+type RandKeys struct {
+	perm []int64
+}
+
+// NewRandKeys builds a permutation with the given seed.
+func NewRandKeys(n int, seed int64) *RandKeys {
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return &RandKeys{perm: perm}
+}
+
+// Key implements KeyGen.
+func (r *RandKeys) Key(i int) int64 { return r.perm[i] }
+
+// N implements KeyGen.
+func (r *RandKeys) N() int { return len(r.perm) }
+
+// QueryBatch produces one batch of query keys over the key domain [0,n).
+type QueryBatch struct {
+	rng *rand.Rand
+	n   int64
+	seq int64
+}
+
+// NewQueryBatch returns a batch generator over the domain [0,n).
+func NewQueryBatch(n int, seed int64) *QueryBatch {
+	return &QueryBatch{rng: rand.New(rand.NewSource(seed)), n: int64(n)}
+}
+
+// Sequential returns size consecutive keys starting at a random position
+// (wrapping), modeling time-correlated query batches.
+func (q *QueryBatch) Sequential(size int) []int64 {
+	start := q.rng.Int63n(q.n)
+	out := make([]int64, size)
+	for i := range out {
+		out[i] = (start + int64(i)) % q.n
+	}
+	return out
+}
+
+// SequentialFrom returns size consecutive keys from a rolling cursor, so
+// successive batches walk the domain like a time-correlated reader.
+func (q *QueryBatch) SequentialFrom(size int) []int64 {
+	out := make([]int64, size)
+	for i := range out {
+		out[i] = q.seq % q.n
+		q.seq++
+	}
+	return out
+}
+
+// Random returns size uniform random keys.
+func (q *QueryBatch) Random(size int) []int64 {
+	out := make([]int64, size)
+	for i := range out {
+		out[i] = q.rng.Int63n(q.n)
+	}
+	return out
+}
+
+// UpdateSkew generates per-cycle key sets with the IoT update pattern of
+// §8.4: each groom cycle's ingest updates p% of the previous cycle's
+// data, 0.1·p% of the last 50 cycles' data and 0.01·p% of the last 100
+// cycles' data; the rest are new keys. Recent data is thus updated far
+// more often than old data.
+type UpdateSkew struct {
+	P        float64 // update percentage p (0..100)
+	PerCycle int
+	rng      *rand.Rand
+	history  [][]int64 // keys ingested per past cycle, newest last
+	// nextKey is atomic: concurrent readers poll Domain while the
+	// ingest loop generates cycles.
+	nextKey atomic.Int64
+}
+
+// NewUpdateSkew returns a generator emitting PerCycle keys per cycle.
+func NewUpdateSkew(p float64, perCycle int, seed int64) *UpdateSkew {
+	return &UpdateSkew{P: p, PerCycle: perCycle, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Cycle returns the key set of the next groom cycle.
+func (u *UpdateSkew) Cycle() []int64 {
+	n := u.PerCycle
+	frac := u.P / 100
+
+	want1 := int(frac * float64(n))
+	want50 := int(0.1 * frac * float64(min(len(u.history), 50)*n))
+	want100 := int(0.01 * frac * float64(min(len(u.history), 100)*n))
+	// The paper's p=100% case means "all ingested records are updates
+	// after the first groom cycle": cap the combined update count at n,
+	// preferring the most recent tiers.
+	if want1 > n {
+		want1 = n
+	}
+	if want1+want50 > n {
+		want50 = n - want1
+	}
+	if want1+want50+want100 > n {
+		want100 = n - want1 - want50
+	}
+
+	out := make([]int64, 0, n)
+	pick := func(cyclesBack, count int) {
+		if len(u.history) == 0 || count <= 0 {
+			return
+		}
+		lo := len(u.history) - cyclesBack
+		if lo < 0 {
+			lo = 0
+		}
+		span := u.history[lo:]
+		for i := 0; i < count; i++ {
+			c := span[u.rng.Intn(len(span))]
+			out = append(out, c[u.rng.Intn(len(c))])
+		}
+	}
+	pick(1, want1)
+	pick(50, want50)
+	pick(100, want100)
+	for len(out) < n {
+		out = append(out, u.nextKey.Add(1)-1)
+	}
+
+	u.history = append(u.history, out)
+	if len(u.history) > 100 {
+		u.history = u.history[1:]
+	}
+	return out
+}
+
+// Domain returns the number of distinct keys generated so far. It is
+// safe to call concurrently with Cycle.
+func (u *UpdateSkew) Domain() int64 { return u.nextKey.Load() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

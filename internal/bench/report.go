@@ -1,0 +1,143 @@
+// Package bench regenerates the experimental evaluation of the paper
+// (§8): one driver per figure (8–15) plus ablation studies for the design
+// decisions called out in DESIGN.md. Each driver builds its workload,
+// runs the sweep the paper describes, and reports normalized numbers the
+// same way the paper does — against a named baseline cell — so the
+// shapes are directly comparable even though the absolute hardware
+// differs.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Series is one line of a figure: a label plus y values aligned with the
+// x labels of the owning Result.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Result is one reproduced figure.
+type Result struct {
+	Figure   string   // e.g. "Figure 8"
+	Title    string   // e.g. "Index Building Performance"
+	XLabel   string   // e.g. "# tuples in an index run"
+	YLabel   string   // e.g. "normalized time"
+	X        []string // x-axis tick labels
+	Series   []Series
+	Baseline string   // what the numbers are normalized against
+	Notes    []string // observations to compare against the paper's claims
+}
+
+// Print renders the result as an aligned table.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", r.Figure, r.Title)
+	if r.Baseline != "" {
+		fmt.Fprintf(w, "  normalized to: %s\n", r.Baseline)
+	}
+	fmt.Fprintf(w, "  y: %s\n\n", r.YLabel)
+
+	head := append([]string{r.XLabel}, r.X...)
+	rows := [][]string{head}
+	for _, s := range r.Series {
+		row := []string{s.Name}
+		for _, y := range s.Y {
+			row = append(row, formatY(y))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(head))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", b.String())
+		if ri == 0 {
+			fmt.Fprintf(w, "  %s\n", strings.Repeat("-", len(b.String())))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatY(y float64) string {
+	switch {
+	case y == 0:
+		return "0"
+	case y >= 1000:
+		return fmt.Sprintf("%.0f", y)
+	case y >= 10:
+		return fmt.Sprintf("%.1f", y)
+	default:
+		return fmt.Sprintf("%.3f", y)
+	}
+}
+
+// normalize divides every y value of every series by base.
+func normalize(series []Series, base float64) []Series {
+	if base == 0 {
+		return series
+	}
+	out := make([]Series, len(series))
+	for i, s := range series {
+		ys := make([]float64, len(s.Y))
+		for j, y := range s.Y {
+			ys[j] = y / base
+		}
+		out[i] = Series{Name: s.Name, Y: ys}
+	}
+	return out
+}
+
+// timeIt runs f once and returns the elapsed wall time in seconds.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// timeAvg runs f reps times and returns the average elapsed seconds. The
+// paper reports every experiment as an average over three runs (§8.1).
+func timeAvg(reps int, f func()) float64 {
+	if reps <= 0 {
+		reps = 3
+	}
+	total := 0.0
+	for i := 0; i < reps; i++ {
+		total += timeIt(f)
+	}
+	return total / float64(reps)
+}
+
+// humanCount renders 1000 as "1K", 1500000 as "1.5M".
+func humanCount(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dK", n/1000)
+	case n >= 1000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

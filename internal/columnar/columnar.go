@@ -1,0 +1,253 @@
+// Package columnar implements the column-major data block format that
+// stands in for Parquet in this reproduction.
+//
+// Wildfire persists live-zone segments, groomed blocks and post-groomed
+// blocks in a columnar open format (§2.1). Umzi itself never interprets
+// record payloads through the format's API — it only needs (a) columnar
+// blocks addressable by (block ID, record offset) so RIDs resolve to
+// records, (b) per-column min/max statistics, and (c) immutable whole-block
+// writes compatible with append-only shared storage. This package provides
+// exactly those properties with a compact self-describing encoding.
+package columnar
+
+import (
+	"fmt"
+	"math"
+
+	"umzi/internal/keyenc"
+)
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Kind keyenc.Kind
+}
+
+// Schema is an ordered set of uniquely named columns.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicate or empty names and
+// invalid kinds.
+func NewSchema(cols ...Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("columnar: empty schema")
+	}
+	s := &Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("columnar: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("columnar: duplicate column %q", c.Name)
+		}
+		switch c.Kind {
+		case keyenc.KindInt64, keyenc.KindUint64, keyenc.KindFloat64,
+			keyenc.KindBytes, keyenc.KindString, keyenc.KindBool:
+		default:
+			return nil, fmt.Errorf("columnar: column %q has invalid kind %v", c.Name, c.Kind)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.cols) }
+
+// Col returns the i-th column descriptor.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// ColIndex returns the index of the named column.
+func (s *Schema) ColIndex(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// Equal reports whether two schemas have identical columns in order.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// column is the in-memory column-major representation: fixed kinds pack
+// into nums, variable kinds into offsets+payload.
+type column struct {
+	nums    []uint64 // int64 bits / uint64 / float64 bits / bool 0|1
+	offsets []uint32 // len rows+1, for bytes/string
+	payload []byte
+}
+
+// Block is an immutable columnar data block.
+type Block struct {
+	schema *Schema
+	rows   int
+	cols   []column
+	mins   []keyenc.Value // per column; invalid Value when rows == 0
+	maxs   []keyenc.Value
+}
+
+// Builder accumulates rows and produces an immutable Block.
+type Builder struct {
+	schema *Schema
+	rows   int
+	cols   []column
+	mins   []keyenc.Value
+	maxs   []keyenc.Value
+}
+
+// NewBuilder returns a builder for the schema.
+func NewBuilder(schema *Schema) *Builder {
+	b := &Builder{
+		schema: schema,
+		cols:   make([]column, schema.NumCols()),
+		mins:   make([]keyenc.Value, schema.NumCols()),
+		maxs:   make([]keyenc.Value, schema.NumCols()),
+	}
+	for i := range b.cols {
+		if !schema.Col(i).Kind.Fixed() {
+			b.cols[i].offsets = []uint32{0}
+		}
+	}
+	return b
+}
+
+// Append adds one row. The row must have exactly one value per column with
+// matching kinds (Str/Raw are interchangeable for bytes/string columns).
+func (b *Builder) Append(row []keyenc.Value) error {
+	if len(row) != b.schema.NumCols() {
+		return fmt.Errorf("columnar: row has %d values, schema has %d columns", len(row), b.schema.NumCols())
+	}
+	for i, v := range row {
+		want := b.schema.Col(i).Kind
+		got := v.Kind()
+		compatible := got == want ||
+			(want == keyenc.KindBytes && got == keyenc.KindString) ||
+			(want == keyenc.KindString && got == keyenc.KindBytes)
+		if !compatible {
+			return fmt.Errorf("columnar: column %q: value kind %v, want %v", b.schema.Col(i).Name, got, want)
+		}
+	}
+	for i, v := range row {
+		col := &b.cols[i]
+		switch b.schema.Col(i).Kind {
+		case keyenc.KindInt64:
+			col.nums = append(col.nums, uint64(v.Int()))
+		case keyenc.KindUint64:
+			col.nums = append(col.nums, v.Uint())
+		case keyenc.KindFloat64:
+			col.nums = append(col.nums, math.Float64bits(v.Float()))
+		case keyenc.KindBool:
+			if v.Bool() {
+				col.nums = append(col.nums, 1)
+			} else {
+				col.nums = append(col.nums, 0)
+			}
+		case keyenc.KindBytes, keyenc.KindString:
+			col.payload = append(col.payload, v.Bytes()...)
+			col.offsets = append(col.offsets, uint32(len(col.payload)))
+		}
+		// Min/max must not alias caller-owned buffers: Raw retains its
+		// slice, and callers commonly reuse row buffers across Appends.
+		if b.rows == 0 || keyenc.Compare(v, b.mins[i]) < 0 {
+			b.mins[i] = cloneValue(v)
+		}
+		if b.rows == 0 || keyenc.Compare(v, b.maxs[i]) > 0 {
+			b.maxs[i] = cloneValue(v)
+		}
+	}
+	b.rows++
+	return nil
+}
+
+func cloneValue(v keyenc.Value) keyenc.Value {
+	switch v.Kind() {
+	case keyenc.KindBytes:
+		return keyenc.Raw(append([]byte(nil), v.Bytes()...))
+	case keyenc.KindString:
+		return keyenc.Str(string(v.Bytes()))
+	default:
+		return v
+	}
+}
+
+// NumRows returns the number of rows appended so far.
+func (b *Builder) NumRows() int { return b.rows }
+
+// Build freezes the builder into a Block. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Block {
+	return &Block{schema: b.schema, rows: b.rows, cols: b.cols, mins: b.mins, maxs: b.maxs}
+}
+
+// Schema returns the block's schema.
+func (blk *Block) Schema() *Schema { return blk.schema }
+
+// NumRows returns the number of rows in the block.
+func (blk *Block) NumRows() int { return blk.rows }
+
+// Value returns the value at (row, col). It panics on out-of-range
+// indices, mirroring slice semantics.
+func (blk *Block) Value(row, col int) keyenc.Value {
+	c := &blk.cols[col]
+	switch blk.schema.Col(col).Kind {
+	case keyenc.KindInt64:
+		return keyenc.I64(int64(c.nums[row]))
+	case keyenc.KindUint64:
+		return keyenc.U64(c.nums[row])
+	case keyenc.KindFloat64:
+		return keyenc.F64(math.Float64frombits(c.nums[row]))
+	case keyenc.KindBool:
+		return keyenc.B(c.nums[row] != 0)
+	case keyenc.KindBytes:
+		return keyenc.Raw(c.payload[c.offsets[row]:c.offsets[row+1]])
+	case keyenc.KindString:
+		return keyenc.Str(string(c.payload[c.offsets[row]:c.offsets[row+1]]))
+	default:
+		panic("columnar: invalid column kind")
+	}
+}
+
+// Row appends the values of one row to dst and returns it.
+func (blk *Block) Row(row int, dst []keyenc.Value) []keyenc.Value {
+	for c := 0; c < blk.schema.NumCols(); c++ {
+		dst = append(dst, blk.Value(row, c))
+	}
+	return dst
+}
+
+// ColumnMin returns the minimum value of the column; ok is false for an
+// empty block.
+func (blk *Block) ColumnMin(col int) (keyenc.Value, bool) {
+	if blk.rows == 0 {
+		return keyenc.Value{}, false
+	}
+	return blk.mins[col], true
+}
+
+// ColumnMax returns the maximum value of the column; ok is false for an
+// empty block.
+func (blk *Block) ColumnMax(col int) (keyenc.Value, bool) {
+	if blk.rows == 0 {
+		return keyenc.Value{}, false
+	}
+	return blk.maxs[col], true
+}

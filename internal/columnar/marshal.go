@@ -1,0 +1,236 @@
+package columnar
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"umzi/internal/keyenc"
+)
+
+// Wire format of a Block (all integers big-endian):
+//
+//	magic   [8]byte  "UMZICOL1"
+//	rows    u32
+//	ncols   u16
+//	per column:
+//	    kind     u8
+//	    nameLen  u16, name
+//	    has      u8 (1 if min/max present, i.e. rows > 0)
+//	    minLen   u32, min encoding (keyenc ascending)
+//	    maxLen   u32, max encoding
+//	    if fixed kind:
+//	        nums  rows × u64
+//	    else:
+//	        offsets  (rows+1) × u32
+//	        payload  offsets[rows] bytes
+//
+// The format is self-describing: Unmarshal rebuilds the schema from the
+// header, so readers need no side-channel schema registry.
+
+const blockMagic = "UMZICOL1"
+
+// Marshal encodes the block for storage as one immutable object.
+func (blk *Block) Marshal() []byte {
+	size := 8 + 4 + 2
+	for i := 0; i < blk.schema.NumCols(); i++ {
+		size += 1 + 2 + len(blk.schema.Col(i).Name) + 1 + 4 + 4
+		c := &blk.cols[i]
+		if blk.schema.Col(i).Kind.Fixed() {
+			size += 8 * blk.rows
+		} else {
+			size += 4*(blk.rows+1) + len(c.payload)
+		}
+		if blk.rows > 0 {
+			size += keyenc.EncodedLen(blk.mins[i]) + keyenc.EncodedLen(blk.maxs[i])
+		}
+	}
+	out := make([]byte, 0, size)
+	out = append(out, blockMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(blk.rows))
+	out = binary.BigEndian.AppendUint16(out, uint16(blk.schema.NumCols()))
+	for i := 0; i < blk.schema.NumCols(); i++ {
+		col := blk.schema.Col(i)
+		out = append(out, byte(col.Kind))
+		out = binary.BigEndian.AppendUint16(out, uint16(len(col.Name)))
+		out = append(out, col.Name...)
+		if blk.rows > 0 {
+			out = append(out, 1)
+			minEnc := keyenc.Append(nil, blk.mins[i])
+			maxEnc := keyenc.Append(nil, blk.maxs[i])
+			out = binary.BigEndian.AppendUint32(out, uint32(len(minEnc)))
+			out = append(out, minEnc...)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(maxEnc)))
+			out = append(out, maxEnc...)
+		} else {
+			out = append(out, 0)
+			out = binary.BigEndian.AppendUint32(out, 0)
+			out = binary.BigEndian.AppendUint32(out, 0)
+		}
+		c := &blk.cols[i]
+		if col.Kind.Fixed() {
+			for _, n := range c.nums {
+				out = binary.BigEndian.AppendUint64(out, n)
+			}
+		} else {
+			for _, o := range c.offsets {
+				out = binary.BigEndian.AppendUint32(out, o)
+			}
+			out = append(out, c.payload...)
+		}
+	}
+	return out
+}
+
+// Unmarshal decodes a block previously produced by Marshal.
+func Unmarshal(data []byte) (*Block, error) {
+	r := reader{b: data}
+	magic, err := r.take(8)
+	if err != nil || string(magic) != blockMagic {
+		return nil, fmt.Errorf("columnar: bad magic")
+	}
+	rows64, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	rows := int(rows64)
+	ncols64, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	ncols := int(ncols64)
+	if ncols == 0 {
+		return nil, fmt.Errorf("columnar: zero columns")
+	}
+
+	cols := make([]Column, ncols)
+	data2 := make([]column, ncols)
+	mins := make([]keyenc.Value, ncols)
+	maxs := make([]keyenc.Value, ncols)
+	for i := 0; i < ncols; i++ {
+		kindB, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		kind := keyenc.Kind(kindB)
+		nameLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.take(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = Column{Name: string(name), Kind: kind}
+
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		minLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		minEnc, err := r.take(int(minLen))
+		if err != nil {
+			return nil, err
+		}
+		maxLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		maxEnc, err := r.take(int(maxLen))
+		if err != nil {
+			return nil, err
+		}
+		if has == 1 {
+			v, _, err := keyenc.Decode(minEnc, kind)
+			if err != nil {
+				return nil, fmt.Errorf("columnar: column %d min: %w", i, err)
+			}
+			mins[i] = v
+			v, _, err = keyenc.Decode(maxEnc, kind)
+			if err != nil {
+				return nil, fmt.Errorf("columnar: column %d max: %w", i, err)
+			}
+			maxs[i] = v
+		}
+
+		if kind.Fixed() {
+			raw, err := r.take(8 * rows)
+			if err != nil {
+				return nil, err
+			}
+			nums := make([]uint64, rows)
+			for j := 0; j < rows; j++ {
+				nums[j] = binary.BigEndian.Uint64(raw[8*j:])
+			}
+			data2[i].nums = nums
+		} else {
+			raw, err := r.take(4 * (rows + 1))
+			if err != nil {
+				return nil, err
+			}
+			offsets := make([]uint32, rows+1)
+			for j := range offsets {
+				offsets[j] = binary.BigEndian.Uint32(raw[4*j:])
+			}
+			payload, err := r.take(int(offsets[rows]))
+			if err != nil {
+				return nil, err
+			}
+			// Validate monotonic offsets so Value never panics on
+			// corrupted input.
+			for j := 0; j < rows; j++ {
+				if offsets[j] > offsets[j+1] {
+					return nil, fmt.Errorf("columnar: column %d offsets not monotonic", i)
+				}
+			}
+			data2[i].offsets = offsets
+			data2[i].payload = append([]byte(nil), payload...)
+		}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{schema: schema, rows: rows, cols: data2, mins: mins, maxs: maxs}, nil
+}
+
+// reader is a tiny bounds-checked cursor.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("columnar: truncated block (%d bytes at %d of %d)", n, r.off, len(r.b))
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"umzi/internal/run"
+	"umzi/internal/storage"
+)
+
+// tieredSource fetches a persisted run's data blocks through the storage
+// hierarchy: SSD cache first, shared storage on a miss. Blocks fetched on
+// behalf of a query because the run was purged enter the cache pinned and
+// are released (and thus evictable) when the query finishes — the
+// block-basis transfer policy of §7.
+type tieredSource struct {
+	ix   *Index
+	ref  *runRef
+	pins []uint32 // blocks this source pinned (released on Release/Close)
+}
+
+// source returns the block source for a run: memory for non-persisted
+// runs, the tiered hierarchy for persisted ones.
+func (ix *Index) source(ref *runRef) run.BlockSource {
+	if ref.mem != nil {
+		return run.NewMemSource(ref.mem, ref.header)
+	}
+	return &tieredSource{ix: ix, ref: ref}
+}
+
+// FetchBlock implements run.BlockSource.
+func (s *tieredSource) FetchBlock(i uint32) ([]byte, error) {
+	h := s.ref.header
+	if int(i) >= len(h.BlockIndex) {
+		return nil, fmt.Errorf("core: block %d out of range for %s", i, s.ref.name)
+	}
+	key := storage.BlockKey{Object: s.ref.name, Block: i}
+	if s.ix.cache != nil {
+		if data, ok := s.ix.cache.Get(key, false); ok {
+			return data, nil
+		}
+	}
+	bi := h.BlockIndex[i]
+	data, err := s.ix.store.GetRange(s.ref.name, int64(bi.Off), int64(bi.Len))
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching block %d of %s: %w", i, s.ref.name, err)
+	}
+	if s.ix.cache != nil {
+		// Query-driven fetch of a purged block: cache it pinned so the
+		// rest of the query batch reuses it, release at query end.
+		s.ix.cache.Put(key, data, true)
+		s.pins = append(s.pins, i)
+	}
+	return data, nil
+}
+
+// Release implements run.BlockSource: unpins a block this source pinned.
+func (s *tieredSource) Release(i uint32) {
+	if s.ix.cache == nil {
+		return
+	}
+	for j, b := range s.pins {
+		if b == i {
+			s.ix.cache.Release(storage.BlockKey{Object: s.ref.name, Block: i})
+			s.pins = append(s.pins[:j], s.pins[j+1:]...)
+			return
+		}
+	}
+}
+
+// Close releases every block the source still pins.
+func (s *tieredSource) Close() {
+	if s.ix.cache == nil {
+		return
+	}
+	for _, b := range s.pins {
+		s.ix.cache.Release(storage.BlockKey{Object: s.ref.name, Block: b})
+	}
+	s.pins = nil
+}
+
+// SetCachedLevel moves the current cached level (§6.2, Figure 7): runs at
+// global levels strictly greater than level are purged — their data blocks
+// leave the SSD cache while headers stay resident — and runs at levels
+// less than or equal are loaded back from shared storage.
+//
+// The benchmarks for Figure 14 drive this directly (purge none/half/all);
+// AdjustCache moves it automatically based on cache pressure.
+func (ix *Index) SetCachedLevel(level int) {
+	if level < -1 {
+		level = -1
+	}
+	if max := ix.MaxLevel(); level > max {
+		level = max
+	}
+	ix.cachedLevel.Store(int32(level))
+	if ix.cache == nil {
+		return
+	}
+	for _, z := range []*zoneList{ix.groomed, ix.post} {
+		refs, release := z.snapshot()
+		for _, ref := range refs {
+			if !ref.persisted() {
+				continue
+			}
+			if ref.level() > level {
+				ix.purgeRun(ref)
+			} else {
+				ix.loadRun(ref)
+			}
+		}
+		release()
+	}
+}
+
+// CachedLevel returns the current cached level.
+func (ix *Index) CachedLevel() int { return int(ix.cachedLevel.Load()) }
+
+// purgeRun drops a run's data blocks from the SSD cache, keeping only the
+// in-memory header for queries to locate blocks later (§6.2). Dropping is
+// unconditional: queries re-insert blocks of purged runs while they read
+// them, and a repeated purge must evict those again.
+func (ix *Index) purgeRun(ref *runRef) {
+	ix.cache.DropObject(ref.name)
+	if ref.purged.Swap(true) {
+		return
+	}
+	ix.stats.RunsPurged.Add(1)
+}
+
+// loadRun fetches a purged run's data blocks from shared storage back into
+// the SSD cache.
+func (ix *Index) loadRun(ref *runRef) {
+	if !ref.purged.Swap(false) {
+		return
+	}
+	for i, bi := range ref.header.BlockIndex {
+		key := storage.BlockKey{Object: ref.name, Block: uint32(i)}
+		if _, ok := ix.cache.Get(key, false); ok {
+			continue
+		}
+		data, err := ix.store.GetRange(ref.name, int64(bi.Off), int64(bi.Len))
+		if err != nil {
+			ref.purged.Store(true)
+			return
+		}
+		ix.cache.Put(key, data, false)
+	}
+	ix.stats.RunsLoaded.Add(1)
+}
+
+// AdjustCache implements the dynamic purge/load policy of §6.2: when the
+// SSD cache is nearly full the oldest (highest-level) cached runs are
+// purged and the cached level decremented once a whole level is purged;
+// when the cache has room, recent purged runs are loaded back in the
+// reverse direction.
+func (ix *Index) AdjustCache() {
+	if ix.cache == nil || ix.cache.Capacity() <= 0 {
+		return
+	}
+	used, cap := ix.cache.Used(), ix.cache.Capacity()
+	switch {
+	case used*10 > cap*9: // over 90%: purge the current cached level
+		lvl := int(ix.cachedLevel.Load())
+		if lvl >= 0 {
+			ix.SetCachedLevel(lvl - 1)
+		}
+	case used*10 < cap*6: // under 60%: pull one level back in
+		lvl := int(ix.cachedLevel.Load())
+		if lvl < ix.MaxLevel() {
+			ix.SetCachedLevel(lvl + 1)
+		}
+	}
+}

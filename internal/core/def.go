@@ -1,0 +1,153 @@
+// Package core implements Umzi itself: the unified multi-version,
+// multi-zone LSM-like index of §3–§7 of the paper.
+//
+// An Index maintains one run list per zone (groomed and post-groomed),
+// chained through atomic pointers so that queries are lock-free and
+// non-blocking while maintenance operations — index build (§5.2), merge
+// under the hybrid K/T policy (§5.3), and the three-step evolve operation
+// that migrates entries between zones (§5.4) — splice the lists under
+// short-duration per-zone locks. Runs persist in append-only shared
+// storage, are cached block-by-block in a local SSD cache, and may live in
+// non-persisted low levels to cut shared-storage write amplification
+// (§6.1). Recovery rebuilds the run lists from shared storage alone
+// (§5.5).
+package core
+
+import (
+	"fmt"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/run"
+	"umzi/internal/storage"
+)
+
+// Column names one indexed column and its type.
+type Column struct {
+	Name string
+	Kind keyenc.Kind
+}
+
+// IndexDef declares an Umzi index (§4.1): equality columns answer equality
+// predicates through the hash column and offset array, sort columns answer
+// range predicates, and included columns ride along to enable index-only
+// plans. Leaving Equality empty yields a pure range index; leaving Sort
+// empty yields a pure hash index.
+type IndexDef struct {
+	Equality []Column
+	Sort     []Column
+	Included []Column
+	// HashBits sizes the per-run offset array at 2^HashBits buckets.
+	// Zero selects DefaultHashBits when equality columns exist.
+	HashBits uint8
+}
+
+// DefaultHashBits is the offset-array width used when HashBits is zero.
+const DefaultHashBits = 10
+
+// RunDef lowers the definition to the run package's representation.
+func (d IndexDef) RunDef() run.Def {
+	rd := run.Def{HashBits: d.HashBits}
+	for _, c := range d.Equality {
+		rd.EqualityKinds = append(rd.EqualityKinds, c.Kind)
+	}
+	for _, c := range d.Sort {
+		rd.SortKinds = append(rd.SortKinds, c.Kind)
+	}
+	for _, c := range d.Included {
+		rd.IncludedKinds = append(rd.IncludedKinds, c.Kind)
+	}
+	if rd.HashBits == 0 && len(rd.EqualityKinds) > 0 {
+		rd.HashBits = DefaultHashBits
+	}
+	return rd
+}
+
+// Validate checks the definition.
+func (d IndexDef) Validate() error {
+	seen := map[string]bool{}
+	for _, group := range [][]Column{d.Equality, d.Sort, d.Included} {
+		for _, c := range group {
+			if c.Name == "" {
+				return fmt.Errorf("core: empty column name")
+			}
+			if seen[c.Name] {
+				return fmt.Errorf("core: duplicate column %q", c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+	return d.RunDef().Validate()
+}
+
+// Config configures an Index. Zero values select the documented defaults.
+type Config struct {
+	// Name prefixes every storage object of this index instance; one name
+	// per table shard (§3: one Umzi instance per table shard).
+	Name string
+	// Def is the index definition.
+	Def IndexDef
+	// Store is the shared storage backend (required).
+	Store storage.ObjectStore
+	// Cache is the local SSD block cache; nil disables SSD caching so
+	// every purged read goes to shared storage.
+	Cache *storage.SSDCache
+	// BlockSize is the target data-block size (default run.DefaultBlockSize).
+	BlockSize int
+	// K is the maximum number of inactive runs a level holds before they
+	// merge into the next level (§5.3). Default 4.
+	K int
+	// T is the size ratio that seals an active run (§5.3). Default 4.
+	T int
+	// GroomedLevels and PostGroomedLevels assign levels to zones (§4.3).
+	// Defaults: 6 and 4 (the paper's example: levels 0–5 groomed, 6–9
+	// post-groomed).
+	GroomedLevels     int
+	PostGroomedLevels int
+	// NonPersistedGroomedLevels makes groomed levels 1..N non-persisted
+	// (§6.1). Level 0 is always persisted so recovery never rebuilds runs
+	// from data blocks. Default 0 (everything persisted).
+	NonPersistedGroomedLevels int
+	// DisableSynopsis turns off run pruning (ablation benches only).
+	DisableSynopsis bool
+	// PerKeyBatchPruning additionally checks every key of a batched
+	// lookup against each run's synopsis before seeking. The paper prunes
+	// candidates per batch only (§7.2, §8.3.2); per-key pruning is an
+	// extension that collapses random batches over sequentially ingested
+	// data to ~one run per key. Off by default for paper fidelity.
+	PerKeyBatchPruning bool
+	// DisableOffsetArray builds runs without offset arrays (ablation).
+	DisableOffsetArray bool
+}
+
+// withDefaults returns a copy with defaults applied, or an error on an
+// unusable configuration.
+func (c Config) withDefaults() (Config, error) {
+	if c.Name == "" {
+		return c, fmt.Errorf("core: Config.Name is required")
+	}
+	if c.Store == nil {
+		return c, fmt.Errorf("core: Config.Store is required")
+	}
+	if err := c.Def.Validate(); err != nil {
+		return c, err
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = run.DefaultBlockSize
+	}
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.T <= 0 {
+		c.T = 4
+	}
+	if c.GroomedLevels <= 0 {
+		c.GroomedLevels = 6
+	}
+	if c.PostGroomedLevels <= 0 {
+		c.PostGroomedLevels = 4
+	}
+	if c.NonPersistedGroomedLevels < 0 || c.NonPersistedGroomedLevels >= c.GroomedLevels {
+		return c, fmt.Errorf("core: NonPersistedGroomedLevels %d out of range [0,%d)", c.NonPersistedGroomedLevels, c.GroomedLevels)
+	}
+	return c, nil
+}

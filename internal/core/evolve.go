@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"umzi/internal/run"
+	"umzi/internal/types"
+)
+
+// Evolve applies the index evolve operation of §5.4 for one post-groom
+// operation. entries are the index entries of the newly post-groomed
+// blocks (same keys and beginTS as their groomed counterparts, new RIDs in
+// the post-groomed zone); blocks is the groomed-block-ID range the
+// post-groom consumed.
+//
+// The operation decomposes into three atomic sub-steps, each leaving the
+// index in a valid state for concurrent lock-free queries:
+//
+//  1. build a run for the post-groomed data and atomically prepend it to
+//     the post-groomed run list (it keeps its groomed block range);
+//  2. atomically raise the maximum covered groomed block ID — from that
+//     instant queries ignore groomed runs whose end ID is covered;
+//  3. garbage-collect those fully covered groomed runs.
+//
+// Between steps the index may contain duplicates (the same key version in
+// both zones); queries de-duplicate during reconciliation, so duplicates
+// are benign (§5.4).
+//
+// Evolve operations must arrive in PSN order: psn == IndexedPSN()+1.
+func (ix *Index) Evolve(psn types.PSN, entries []run.Entry, blocks types.BlockRange) error {
+	if ix.closed.Load() {
+		return fmt.Errorf("core: index closed")
+	}
+	if uint64(psn) != ix.indexedPSN.Load()+1 {
+		return fmt.Errorf("core: evolve PSN %d out of order (indexed %d)", psn, ix.indexedPSN.Load())
+	}
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
+
+	// Step 1: build and publish the post-groomed run.
+	if len(entries) > 0 {
+		meta := run.Meta{
+			Zone:   types.ZonePostGroomed,
+			Level:  uint16(ix.post.baseLevel),
+			Blocks: blocks,
+			PSN:    psn,
+		}
+		ref, err := ix.buildAndPersist(entries, meta, true)
+		if err != nil {
+			return fmt.Errorf("core: evolve step 1: %w", err)
+		}
+		ix.post.prepend(ref)
+		ix.crash("evolve.after-step1")
+	}
+
+	// Step 2: raise the covered boundary. Queries loading it afterwards
+	// will skip covered groomed runs; the post run from step 1 is already
+	// visible to them (sequentially consistent atomics).
+	if blocks.Max > ix.maxCovered.Load() {
+		ix.maxCovered.Store(blocks.Max)
+	}
+	ix.indexedPSN.Store(uint64(psn))
+	ix.crash("evolve.after-step2")
+
+	// Step 3: GC groomed runs that are now fully covered.
+	ix.gcCoveredGroomedRuns()
+	ix.stats.Evolves.Add(1)
+
+	// Persist the evolve watermark so recovery resumes from here.
+	if err := ix.writeMeta(); err != nil {
+		return fmt.Errorf("core: evolve meta: %w", err)
+	}
+	return nil
+}
+
+// gcCoveredGroomedRuns removes groomed runs whose whole block range is
+// covered by the post-groomed list. Their storage objects are deleted once
+// in-flight readers drain (reference counting); ancestors of non-persisted
+// runs are deleted immediately since the covering post-groomed run is
+// persisted.
+func (ix *Index) gcCoveredGroomedRuns() {
+	covered := ix.maxCovered.Load()
+	ix.groomed.mu.Lock()
+	for _, ref := range ix.groomed.runsLocked() {
+		if ref.blocks().Max <= covered {
+			for _, a := range ref.header.Meta.Ancestors {
+				_ = ix.store.Delete(a)
+				if ix.cache != nil {
+					ix.cache.DropObject(a)
+				}
+			}
+			ix.groomed.remove(ref, true)
+			ix.stats.RunsGCed.Add(1)
+		}
+	}
+	ix.groomed.mu.Unlock()
+}
+
+// crashPoints enables deterministic failure injection in tests: when the
+// named point is armed, crash panics with crashError. Production code
+// never arms points, so the branch predictor hides the checks.
+var crashPoints = map[string]bool{}
+
+type crashError struct{ point string }
+
+func (e crashError) Error() string { return "injected crash at " + e.point }
+
+func (ix *Index) crash(point string) {
+	if crashPoints[point] {
+		panic(crashError{point})
+	}
+}

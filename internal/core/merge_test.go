@@ -1,0 +1,347 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/run"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+func TestMergeReducesRunCount(t *testing.T) {
+	ix := newTestIndex(t, nil)
+	m := newModel()
+	for c := uint64(1); c <= 8; c++ {
+		groom(t, ix, m, c, recsSeq(40, 4, 0))
+	}
+	g0, _ := ix.RunCounts()
+	if g0 != 8 {
+		t.Fatalf("pre-merge run count = %d", g0)
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := ix.RunCounts()
+	if g1 >= g0 {
+		t.Fatalf("maintenance did not reduce run count: %d -> %d\n%s", g0, g1, fmtRuns(ix))
+	}
+	if err := ix.VerifyInvariants(); err != nil {
+		t.Fatalf("%v\n%s", err, fmtRuns(ix))
+	}
+	// Every key still visible with the correct newest version.
+	for dev := int64(0); dev < 4; dev++ {
+		for msg := int64(0); msg < 10; msg++ {
+			checkLookup(t, ix, m, dev, msg, types.MaxTS)
+		}
+	}
+	// Historical snapshots survive merges (multi-version merge keeps all
+	// versions).
+	for c := uint64(1); c <= 8; c++ {
+		checkLookup(t, ix, m, 2, 3, types.MakeTS(c, 1<<20))
+	}
+}
+
+func TestMergePolicyInactiveBound(t *testing.T) {
+	ix := newTestIndex(t, func(c *Config) { c.K = 3; c.GroomedLevels = 4 })
+	for c := uint64(1); c <= 20; c++ {
+		groom(t, ix, nil, c, recsSeq(10, 2, 0))
+		if err := ix.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After quiescing, no level may hold K or more inactive runs
+	// (except the top level, which only compacts at K).
+	ix.groomed.mu.Lock()
+	perLevel := map[int][]bool{} // level -> active flags
+	for _, r := range ix.groomed.runsLocked() {
+		perLevel[r.level()] = append(perLevel[r.level()], r.active)
+	}
+	ix.groomed.mu.Unlock()
+	for lvl, flags := range perLevel {
+		inactive := 0
+		for _, a := range flags {
+			if !a {
+				inactive++
+			}
+		}
+		if inactive >= ix.cfg.K && lvl != ix.cfg.GroomedLevels-1 {
+			t.Errorf("level %d holds %d inactive runs (K=%d)\n%s", lvl, inactive, ix.cfg.K, fmtRuns(ix))
+		}
+	}
+	if err := ix.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePreservesAllVersionsAndRIDs(t *testing.T) {
+	ix := newTestIndex(t, nil)
+	m := newModel()
+	// Key (0,0) is updated every cycle; all versions must survive merges.
+	for c := uint64(1); c <= 6; c++ {
+		groom(t, ix, m, c, []record{{device: 0, msg: 0, val: int64(c)}, {device: 1, msg: int64(c), val: 9}})
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	for c := uint64(1); c <= 6; c++ {
+		ts := types.MakeTS(c, 1<<20)
+		checkLookup(t, ix, m, 0, 0, ts)
+	}
+}
+
+func TestTopLevelCompaction(t *testing.T) {
+	// With one groomed level, everything compacts within level 0.
+	ix := newTestIndex(t, func(c *Config) { c.GroomedLevels = 1; c.K = 2 })
+	m := newModel()
+	for c := uint64(1); c <= 6; c++ {
+		groom(t, ix, m, c, recsSeq(12, 3, 0))
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ix.RunCounts()
+	if g != 1 {
+		t.Fatalf("single-level zone should compact to 1 run, got %d\n%s", g, fmtRuns(ix))
+	}
+	for dev := int64(0); dev < 3; dev++ {
+		checkLookup(t, ix, m, dev, 2, types.MaxTS)
+	}
+	if err := ix.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDeletesInputObjects(t *testing.T) {
+	store := storage.NewMemStore(storage.LatencyModel{})
+	ix := newTestIndex(t, func(c *Config) { c.Store = store })
+	for c := uint64(1); c <= 4; c++ {
+		groom(t, ix, nil, c, recsSeq(10, 2, 0))
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := store.List("t/z1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ix.RunCounts()
+	if len(names) != g {
+		t.Errorf("storage holds %d groomed objects, list holds %d runs: %v", len(names), g, names)
+	}
+}
+
+func TestNonPersistedLevels(t *testing.T) {
+	store := storage.NewMemStore(storage.LatencyModel{})
+	ix := newTestIndex(t, func(c *Config) {
+		c.Store = store
+		c.GroomedLevels = 3
+		c.NonPersistedGroomedLevels = 1 // level 1 non-persisted
+	})
+	m := newModel()
+	for c := uint64(1); c <= 4; c++ {
+		groom(t, ix, m, c, recsSeq(10, 2, 0))
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find runs at level 1: they must be memory-resident, un-named, and
+	// carry persisted ancestors.
+	refs, release := ix.groomed.snapshot()
+	defer release()
+	sawNonPersisted := false
+	for _, r := range refs {
+		if r.level() == 1 {
+			sawNonPersisted = true
+			if r.persisted() {
+				t.Error("level-1 run has a storage object despite NonPersistedGroomedLevels=1")
+			}
+			if r.mem == nil {
+				t.Error("non-persisted run lost its in-memory data")
+			}
+			if len(r.header.Meta.Ancestors) == 0 {
+				t.Error("non-persisted run has no recorded ancestors (§6.1)")
+			}
+			for _, a := range r.header.Meta.Ancestors {
+				if _, err := store.Size(a); err != nil {
+					t.Errorf("ancestor %s missing from shared storage: %v", a, err)
+				}
+			}
+		}
+	}
+	if !sawNonPersisted {
+		t.Skip("maintenance produced no level-1 run in this configuration")
+	}
+	// Queries still see everything.
+	for dev := int64(0); dev < 2; dev++ {
+		for msg := int64(0); msg < 5; msg++ {
+			checkLookup(t, ix, m, dev, msg, types.MaxTS)
+		}
+	}
+}
+
+func TestNonPersistedAncestorsDeletedOnPersistedMerge(t *testing.T) {
+	store := storage.NewMemStore(storage.LatencyModel{})
+	ix := newTestIndex(t, func(c *Config) {
+		c.Store = store
+		c.GroomedLevels = 3
+		c.NonPersistedGroomedLevels = 1
+		c.K = 2
+		c.T = 1 // seal aggressively so level-1 runs stack up and push to level 2
+	})
+	for c := uint64(1); c <= 12; c++ {
+		groom(t, ix, nil, c, recsSeq(10, 2, 0))
+		if err := ix.Quiesce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After enough merges some runs reached persisted level 2; their
+	// ancestor chains must be gone from storage. Remaining level-0 objects
+	// must be: live level-0 runs + ancestors of live level-1 runs, nothing
+	// else.
+	refs, release := ix.groomed.snapshot()
+	expect := map[string]bool{}
+	for _, r := range refs {
+		if r.persisted() {
+			expect[r.name] = true
+		}
+		for _, a := range r.header.Meta.Ancestors {
+			expect[a] = true
+		}
+	}
+	release()
+	names, err := store.List("t/z1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if !expect[n] {
+			t.Errorf("orphan object in storage: %s", n)
+		}
+	}
+	for n := range expect {
+		if _, err := store.Size(n); err != nil {
+			t.Errorf("expected object missing: %s", n)
+		}
+	}
+}
+
+func TestMergeWriteAmplification(t *testing.T) {
+	// Non-persisted levels must cut shared-storage write traffic (§6.1).
+	writes := func(nonPersisted int) int64 {
+		store := storage.NewMemStore(storage.LatencyModel{})
+		cfg := testConfig("wa")
+		cfg.Store = store
+		cfg.GroomedLevels = 3
+		cfg.NonPersistedGroomedLevels = nonPersisted
+		ix, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		for c := uint64(1); c <= 16; c++ {
+			groom(t, ix, nil, c, recsSeq(40, 4, 0))
+			if err := ix.Quiesce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return store.Stats().Snapshot().BytesWritten
+	}
+	persisted := writes(0)
+	nonPersisted := writes(1)
+	if nonPersisted >= persisted {
+		t.Errorf("non-persisted levels wrote %d bytes, persisted-everything wrote %d", nonPersisted, persisted)
+	}
+}
+
+func TestMaintainOnceIsIncremental(t *testing.T) {
+	ix := newTestIndex(t, nil)
+	for c := uint64(1); c <= 6; c++ {
+		groom(t, ix, nil, c, recsSeq(10, 2, 0))
+	}
+	did, err := ix.MaintainOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("expected pending merge work")
+	}
+	st := ix.Stats()
+	if st.Merges != 1 {
+		t.Fatalf("MaintainOnce performed %d merges, want 1", st.Merges)
+	}
+}
+
+func TestMergedRunNameEncodesLevel(t *testing.T) {
+	store := storage.NewMemStore(storage.LatencyModel{})
+	ix := newTestIndex(t, func(c *Config) { c.Store = store })
+	for c := uint64(1); c <= 4; c++ {
+		groom(t, ix, nil, c, recsSeq(10, 2, 0))
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := store.List("t/z1/")
+	sawMerged := false
+	for _, n := range names {
+		if strings.Contains(n, "-L1-") || strings.Contains(n, "-L2-") {
+			sawMerged = true
+		}
+	}
+	if !sawMerged {
+		t.Errorf("no merged-level object names found: %v", names)
+	}
+}
+
+func TestQuiesceIdempotent(t *testing.T) {
+	ix := newTestIndex(t, nil)
+	for c := uint64(1); c <= 5; c++ {
+		groom(t, ix, nil, c, recsSeq(10, 2, 0))
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	did, err := ix.MaintainOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Error("MaintainOnce found work immediately after Quiesce")
+	}
+}
+
+func TestMergeDedupesEvolveDuplicates(t *testing.T) {
+	// Two post-groomed runs carrying an identical (key, beginTS) entry —
+	// the benign duplicate of §5.4 — must merge into a single entry.
+	ix := newTestIndex(t, func(c *Config) { c.PostGroomedLevels = 2; c.K = 2 })
+	// The same version can only appear once per zone through the real
+	// protocol; duplicates arise across zones transiently. Exercise the
+	// merge dedupe directly with two runs holding the same (key, beginTS).
+	e1, err := ix.MakeEntry([]keyenc.Value{keyenc.I64(1)}, []keyenc.Value{keyenc.I64(1)}, []keyenc.Value{keyenc.I64(7)}, types.MakeTS(1, 0), types.RID{Zone: types.ZoneGroomed, Block: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := e1 // identical key and beginTS, different RID (copied record)
+	e2.RID = types.RID{Zone: types.ZonePostGroomed, Block: 50}
+	if err := ix.BuildRun([]run.Entry{e1}, types.BlockRange{Min: 1, Max: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.BuildRun([]run.Entry{e2}, types.BlockRange{Min: 2, Max: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.RangeScan(ScanOptions{
+		Equality: []keyenc.Value{keyenc.I64(1)},
+		TS:       types.MaxTS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("duplicate versions not reconciled: %d results", len(got))
+	}
+}

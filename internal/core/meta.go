@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Index meta records persist the evolve watermark — maxCoveredGroomedID
+// and IndexedPSN (§5.5) — in shared storage. Because shared storage has no
+// in-place update, each write creates a new sequenced object under
+// <name>/meta/ and recovery reads the highest sequence; older records are
+// pruned opportunistically.
+
+const metaMagic = "UMZIMETA"
+
+func metaName(prefix string, seq uint64) string {
+	return fmt.Sprintf("%s/meta/%012d", prefix, seq)
+}
+
+// writeMeta persists the current watermark as a fresh meta object.
+func (ix *Index) writeMeta() error {
+	seq := ix.metaSeq.Add(1)
+	buf := make([]byte, 0, 8+16)
+	buf = append(buf, metaMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, ix.maxCovered.Load())
+	buf = binary.BigEndian.AppendUint64(buf, ix.indexedPSN.Load())
+	if err := ix.store.Put(metaName(ix.cfg.Name, seq), buf); err != nil {
+		return err
+	}
+	// Prune all but the two most recent records; failures are harmless
+	// (recovery always picks the highest sequence).
+	names, err := ix.store.List(ix.cfg.Name + "/meta/")
+	if err == nil && len(names) > 2 {
+		sort.Strings(names)
+		for _, n := range names[:len(names)-2] {
+			_ = ix.store.Delete(n)
+		}
+	}
+	return nil
+}
+
+// readMeta loads the most recent meta record, returning ok=false when the
+// index has never written one.
+func (ix *Index) readMeta() (maxCovered, indexedPSN uint64, seq uint64, ok bool, err error) {
+	names, err := ix.store.List(ix.cfg.Name + "/meta/")
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if len(names) == 0 {
+		return 0, 0, 0, false, nil
+	}
+	sort.Strings(names)
+	// Walk newest to oldest in case the newest is unreadable.
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := ix.store.Get(names[i])
+		if err != nil {
+			continue
+		}
+		if len(data) != 8+16 || string(data[:8]) != metaMagic {
+			continue
+		}
+		var s uint64
+		fmt.Sscanf(strings.TrimPrefix(names[i], ix.cfg.Name+"/meta/"), "%d", &s)
+		return binary.BigEndian.Uint64(data[8:16]), binary.BigEndian.Uint64(data[16:24]), s, true, nil
+	}
+	return 0, 0, 0, false, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/run"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+// TestMultiColumnIndex exercises an index with two equality columns, two
+// sort columns and mixed kinds — the fully general §4.1 definition —
+// through build, merge, evolve and all query paths.
+func TestMultiColumnIndex(t *testing.T) {
+	cfg := Config{
+		Name: "mc",
+		Def: IndexDef{
+			Equality: []Column{{"region", keyenc.KindString}, {"device", keyenc.KindInt64}},
+			Sort:     []Column{{"day", keyenc.KindInt64}, {"seq", keyenc.KindUint64}},
+			Included: []Column{{"temp", keyenc.KindFloat64}},
+			HashBits: 6,
+		},
+		Store: storage.NewMemStore(storage.LatencyModel{}),
+		K:     2,
+	}
+	ix, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	regions := []string{"emea", "apac"}
+	type fullKey struct {
+		region   string
+		device   int64
+		day, seq int64
+	}
+	expect := map[fullKey]float64{}
+	for c := uint64(1); c <= 4; c++ {
+		var entries []run.Entry
+		i := uint32(0)
+		for _, region := range regions {
+			for device := int64(0); device < 3; device++ {
+				for day := int64(0); day < 2; day++ {
+					for seq := int64(0); seq < 4; seq++ {
+						temp := float64(c)*100 + float64(seq)
+						e, err := ix.MakeEntry(
+							[]keyenc.Value{keyenc.Str(region), keyenc.I64(device)},
+							[]keyenc.Value{keyenc.I64(day), keyenc.U64(uint64(seq))},
+							[]keyenc.Value{keyenc.F64(temp)},
+							types.MakeTS(c, i),
+							types.RID{Zone: types.ZoneGroomed, Block: c, Offset: i},
+						)
+						if err != nil {
+							t.Fatal(err)
+						}
+						entries = append(entries, e)
+						expect[fullKey{region, device, day, seq}] = temp
+						i++
+					}
+				}
+			}
+		}
+		if err := ix.BuildRun(entries, types.BlockRange{Min: c, Max: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Point lookups with the full four-column key.
+	for k, temp := range expect {
+		e, found, err := ix.PointLookup(
+			[]keyenc.Value{keyenc.Str(k.region), keyenc.I64(k.device)},
+			[]keyenc.Value{keyenc.I64(k.day), keyenc.U64(uint64(k.seq))},
+			types.MaxTS,
+		)
+		if err != nil || !found {
+			t.Fatalf("lookup %+v: %v %v", k, err, found)
+		}
+		_, _, incl, err := ix.DecodeEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if incl[0].Float() != temp {
+			t.Fatalf("lookup %+v: temp %v, want %v", k, incl[0].Float(), temp)
+		}
+	}
+
+	// Prefix range scan: bound only the leading sort column (day); all
+	// seqs of that day must return.
+	got, err := ix.RangeScan(ScanOptions{
+		Equality: []keyenc.Value{keyenc.Str("emea"), keyenc.I64(1)},
+		SortLo:   []keyenc.Value{keyenc.I64(1)},
+		SortHi:   []keyenc.Value{keyenc.I64(1)},
+		TS:       types.MaxTS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("prefix scan returned %d, want 4 (seqs of day 1)", len(got))
+	}
+
+	// Full-depth range: day 0, seqs 1..2.
+	got, err = ix.RangeScan(ScanOptions{
+		Equality: []keyenc.Value{keyenc.Str("apac"), keyenc.I64(2)},
+		SortLo:   []keyenc.Value{keyenc.I64(0), keyenc.U64(1)},
+		SortHi:   []keyenc.Value{keyenc.I64(0), keyenc.U64(2)},
+		TS:       types.MaxTS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("deep range scan returned %d, want 2", len(got))
+	}
+
+	// Evolve and re-verify a sample across zones.
+	var migrated []run.Entry
+	i := uint32(0)
+	for k, temp := range expect {
+		e, err := ix.MakeEntry(
+			[]keyenc.Value{keyenc.Str(k.region), keyenc.I64(k.device)},
+			[]keyenc.Value{keyenc.I64(k.day), keyenc.U64(uint64(k.seq))},
+			[]keyenc.Value{keyenc.F64(temp)},
+			types.MakeTS(4, i), // the newest version came from cycle 4
+			types.RID{Zone: types.ZonePostGroomed, Block: 1, Offset: i},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrated = append(migrated, e)
+		i++
+	}
+	if err := ix.Evolve(1, migrated, types.BlockRange{Min: 1, Max: 4}); err != nil {
+		t.Fatal(err)
+	}
+	e, found, err := ix.PointLookup(
+		[]keyenc.Value{keyenc.Str("emea"), keyenc.I64(0)},
+		[]keyenc.Value{keyenc.I64(0), keyenc.U64(0)},
+		types.MaxTS,
+	)
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if e.RID.Zone != types.ZonePostGroomed {
+		t.Errorf("post-evolve lookup served from %v", e.RID.Zone)
+	}
+	if err := ix.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package keyenc
+
+// The hash column of Umzi stores a hash of the equality-column values
+// (§4.1). It serves two purposes: it is the most significant sort field of
+// every index entry, clustering all rows with equal equality columns, and
+// its top n bits index the per-run offset array that narrows binary
+// searches (§4.2, Figure 2b).
+//
+// We use FNV-1a over the order-preserving encodings of the equality
+// columns. Hashing the *encodings* (rather than raw payloads) guarantees
+// that values comparing equal hash equal even across Str/Raw construction.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashValues hashes the equality-column values of an index key.
+// An empty slice (index with no equality columns) hashes to 0 so that the
+// hash column degenerates gracefully: every entry shares the prefix and the
+// index behaves as a pure range index, exactly as §4.1 describes.
+func HashValues(vals []Value) uint64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	var scratch [16]byte
+	for _, v := range vals {
+		enc := Append(scratch[:0], v)
+		for _, c := range enc {
+			h ^= uint64(c)
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// HashBytes hashes a pre-encoded equality-column prefix. It must agree
+// with HashValues on the encoding of the same values; run builders that
+// already hold encoded keys use this form.
+func HashBytes(enc []byte) uint64 {
+	if len(enc) == 0 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for _, c := range enc {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// HashPrefix returns the top bits of h used to index an offset array of
+// 2^bits buckets.
+func HashPrefix(h uint64, bits uint8) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	return h >> (64 - uint(bits))
+}

@@ -1,0 +1,79 @@
+package keyenc
+
+import "testing"
+
+func TestHashValuesEmpty(t *testing.T) {
+	if got := HashValues(nil); got != 0 {
+		t.Errorf("HashValues(nil) = %d, want 0 (pure range index degenerates)", got)
+	}
+	if got := HashBytes(nil); got != 0 {
+		t.Errorf("HashBytes(nil) = %d, want 0", got)
+	}
+}
+
+func TestHashValuesDeterministic(t *testing.T) {
+	a := HashValues([]Value{I64(42), Str("device-7")})
+	b := HashValues([]Value{I64(42), Str("device-7")})
+	if a != b {
+		t.Error("HashValues must be deterministic")
+	}
+}
+
+func TestHashValuesDiscriminates(t *testing.T) {
+	// Not a collision-freeness proof, just a smoke test that nearby keys
+	// land in different buckets.
+	seen := map[uint64]Value{}
+	for i := int64(0); i < 1000; i++ {
+		h := HashValues([]Value{I64(i)})
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %v and %v in tiny domain", prev, I64(i))
+		}
+		seen[h] = I64(i)
+	}
+}
+
+func TestHashStrRawAgree(t *testing.T) {
+	a := HashValues([]Value{Str("abc")})
+	b := HashValues([]Value{Raw([]byte("abc"))})
+	if a != b {
+		t.Error("Str and Raw with equal payloads must hash equal")
+	}
+}
+
+func TestHashValuesMatchesHashBytes(t *testing.T) {
+	vals := []Value{U64(9), Str("x\x00y")}
+	if HashValues(vals) != HashBytes(AppendComposite(nil, vals...)) {
+		t.Error("HashValues must hash the composite encoding")
+	}
+}
+
+func TestHashPrefix(t *testing.T) {
+	h := uint64(0xF1234567_89ABCDEF)
+	if got := HashPrefix(h, 4); got != 0xF {
+		t.Errorf("HashPrefix(4) = %#x, want 0xF", got)
+	}
+	if got := HashPrefix(h, 8); got != 0xF1 {
+		t.Errorf("HashPrefix(8) = %#x, want 0xF1", got)
+	}
+	if got := HashPrefix(h, 0); got != 0 {
+		t.Errorf("HashPrefix(0) = %d, want 0", got)
+	}
+}
+
+func TestHashFieldBoundaries(t *testing.T) {
+	// ("ab","c") and ("a","bc") must hash differently: the self-terminating
+	// encoding keeps field boundaries visible to the hash.
+	a := HashValues([]Value{Str("ab"), Str("c")})
+	b := HashValues([]Value{Str("a"), Str("bc")})
+	if a == b {
+		t.Error("field boundaries must affect the hash")
+	}
+}
+
+func BenchmarkHashValues(b *testing.B) {
+	vals := []Value{I64(123456789), Str("device-000042")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashValues(vals)
+	}
+}

@@ -1,0 +1,420 @@
+// Package keyenc implements order-preserving ("memcmp-comparable") key
+// encodings for the Umzi index.
+//
+// Section 4.2 of the paper requires that all ordering columns — the hash
+// column, equality columns, sort columns and beginTS — are "stored in
+// lexicographically comparable formats, similar to LevelDB, so that keys can
+// be compared by simply using memory compare operations". This package
+// provides exactly that: every supported value kind encodes to bytes such
+// that bytes.Compare on encodings equals the natural comparison on values,
+// composite keys concatenate column encodings with self-terminating byte
+// strings, and a descending variant (used for beginTS, which is sorted
+// newest-first) inverts the order.
+package keyenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind enumerates the value types a key or included column may hold.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt64        // signed 64-bit integer
+	KindUint64       // unsigned 64-bit integer
+	KindFloat64      // IEEE-754 double (total order: -NaN < -Inf < ... < +Inf < +NaN)
+	KindBytes        // arbitrary byte string
+	KindString       // UTF-8 string (encodes identically to KindBytes)
+	KindBool         // boolean, false < true
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindUint64:
+		return "uint64"
+	case KindFloat64:
+		return "float64"
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Fixed reports whether values of this kind encode to a fixed width.
+// Fixed-width kinds skip the escaping machinery entirely.
+func (k Kind) Fixed() bool {
+	switch k {
+	case KindInt64, KindUint64, KindFloat64, KindBool:
+		return true
+	}
+	return false
+}
+
+// Value is a dynamically-typed column value. The zero Value is invalid;
+// construct values with the I64/U64/F64/Str/Raw/B constructors.
+//
+// Value is a small tagged union rather than an interface so that hot paths
+// (run building sorts millions of them) stay allocation-free.
+type Value struct {
+	kind Kind
+	num  uint64 // int64 (as bits), uint64, float64 bits, or bool (0/1)
+	str  []byte // bytes / string payload
+}
+
+// I64 returns an int64 value.
+func I64(v int64) Value { return Value{kind: KindInt64, num: uint64(v)} }
+
+// U64 returns a uint64 value.
+func U64(v uint64) Value { return Value{kind: KindUint64, num: v} }
+
+// F64 returns a float64 value.
+func F64(v float64) Value { return Value{kind: KindFloat64, num: math.Float64bits(v)} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, str: []byte(v)} }
+
+// Raw returns a bytes value. The slice is retained, not copied.
+func Raw(v []byte) Value { return Value{kind: KindBytes, str: v} }
+
+// B returns a bool value.
+func B(v bool) Value {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Kind returns the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the int64 payload; it panics on kind mismatch.
+func (v Value) Int() int64 {
+	v.mustBe(KindInt64)
+	return int64(v.num)
+}
+
+// Uint returns the uint64 payload; it panics on kind mismatch.
+func (v Value) Uint() uint64 {
+	v.mustBe(KindUint64)
+	return v.num
+}
+
+// Float returns the float64 payload; it panics on kind mismatch.
+func (v Value) Float() float64 {
+	v.mustBe(KindFloat64)
+	return math.Float64frombits(v.num)
+}
+
+// Bytes returns the bytes payload; it panics on kind mismatch.
+func (v Value) Bytes() []byte {
+	if v.kind != KindBytes && v.kind != KindString {
+		panic(fmt.Sprintf("keyenc: Bytes() on %v value", v.kind))
+	}
+	return v.str
+}
+
+// String renders the value for debugging; it never panics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt64:
+		return fmt.Sprintf("%d", int64(v.num))
+	case KindUint64:
+		return fmt.Sprintf("%du", v.num)
+	case KindFloat64:
+		return fmt.Sprintf("%g", math.Float64frombits(v.num))
+	case KindBytes, KindString:
+		return fmt.Sprintf("%q", v.str)
+	case KindBool:
+		return fmt.Sprintf("%t", v.num != 0)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Bool returns the bool payload; it panics on kind mismatch.
+func (v Value) Bool() bool {
+	v.mustBe(KindBool)
+	return v.num != 0
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("keyenc: %v accessor on %v value", k, v.kind))
+	}
+}
+
+// Compare compares two values of the same kind with the natural order used
+// by the encodings. It panics if the kinds differ.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		// String and bytes share an encoding and an order.
+		if !((a.kind == KindString || a.kind == KindBytes) &&
+			(b.kind == KindString || b.kind == KindBytes)) {
+			panic(fmt.Sprintf("keyenc: comparing %v with %v", a.kind, b.kind))
+		}
+	}
+	switch a.kind {
+	case KindInt64:
+		return cmpOrdered(int64(a.num), int64(b.num))
+	case KindUint64:
+		return cmpOrdered(a.num, b.num)
+	case KindFloat64:
+		return cmpOrdered(floatSortKey(a.num), floatSortKey(b.num))
+	case KindBytes, KindString:
+		return bytes.Compare(a.str, b.str)
+	case KindBool:
+		return cmpOrdered(a.num, b.num)
+	default:
+		panic("keyenc: comparing invalid values")
+	}
+}
+
+func cmpOrdered[T int64 | uint64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// floatSortKey maps IEEE-754 bits to a uint64 whose unsigned order equals
+// the total order of the floats: flip all bits for negatives, flip only the
+// sign bit for non-negatives.
+func floatSortKey(bits uint64) uint64 {
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// Append appends the ascending order-preserving encoding of v to dst.
+// Variable-length kinds (bytes, string) are self-terminating: 0x00 bytes
+// are escaped as 0x00 0xFF and the value ends with 0x00 0x01, so that a
+// shorter string sorts before any extension of it and encodings can be
+// concatenated into composite keys.
+func Append(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindInt64:
+		return appendUint64(dst, v.num^(1<<63))
+	case KindUint64:
+		return appendUint64(dst, v.num)
+	case KindFloat64:
+		return appendUint64(dst, floatSortKey(v.num))
+	case KindBytes, KindString:
+		return appendEscaped(dst, v.str)
+	case KindBool:
+		return append(dst, byte(v.num))
+	default:
+		panic("keyenc: encoding invalid value")
+	}
+}
+
+// AppendDesc appends the descending encoding of v: the ascending encoding
+// with every byte inverted, so bytes.Compare order is exactly reversed.
+// Umzi uses this for beginTS, which sorts newest-first within a key (§4.2).
+func AppendDesc(dst []byte, v Value) []byte {
+	start := len(dst)
+	dst = Append(dst, v)
+	for i := start; i < len(dst); i++ {
+		dst[i] = ^dst[i]
+	}
+	return dst
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	return append(dst, buf[:]...)
+}
+
+const (
+	escByte  = 0x00
+	escPad   = 0xFF // 0x00 inside the payload becomes 0x00 0xFF
+	termByte = 0x01 // payload terminator 0x00 0x01
+)
+
+func appendEscaped(dst []byte, s []byte) []byte {
+	for _, c := range s {
+		if c == escByte {
+			dst = append(dst, escByte, escPad)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, escByte, termByte)
+}
+
+// decodeEscaped decodes a self-terminating byte string from b, returning
+// the payload and the number of input bytes consumed.
+func decodeEscaped(b []byte) (payload []byte, n int, err error) {
+	for i := 0; i < len(b); {
+		c := b[i]
+		if c != escByte {
+			payload = append(payload, c)
+			i++
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, 0, fmt.Errorf("keyenc: truncated escape at %d", i)
+		}
+		switch b[i+1] {
+		case escPad:
+			payload = append(payload, escByte)
+			i += 2
+		case termByte:
+			return payload, i + 2, nil
+		default:
+			return nil, 0, fmt.Errorf("keyenc: invalid escape 0x00 0x%02x at %d", b[i+1], i)
+		}
+	}
+	return nil, 0, fmt.Errorf("keyenc: unterminated byte string")
+}
+
+// Decode decodes one value of kind k from the front of b, returning the
+// value and the number of bytes consumed. For descending-encoded values use
+// DecodeDesc.
+func Decode(b []byte, k Kind) (Value, int, error) {
+	switch k {
+	case KindInt64:
+		u, err := takeUint64(b)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return I64(int64(u ^ 1<<63)), 8, nil
+	case KindUint64:
+		u, err := takeUint64(b)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return U64(u), 8, nil
+	case KindFloat64:
+		u, err := takeUint64(b)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		return F64(math.Float64frombits(floatSortKeyInv(u))), 8, nil
+	case KindBytes, KindString:
+		payload, n, err := decodeEscaped(b)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		if k == KindString {
+			return Str(string(payload)), n, nil
+		}
+		return Raw(payload), n, nil
+	case KindBool:
+		if len(b) < 1 {
+			return Value{}, 0, fmt.Errorf("keyenc: short bool")
+		}
+		return B(b[0] != 0), 1, nil
+	default:
+		return Value{}, 0, fmt.Errorf("keyenc: decode of %v", k)
+	}
+}
+
+// DecodeDesc decodes one descending-encoded value of kind k from b.
+func DecodeDesc(b []byte, k Kind) (Value, int, error) {
+	// Invert a bounded prefix, decode ascending, map consumed length back.
+	// Fixed kinds have known widths; variable kinds must invert until the
+	// (inverted) terminator is found — invert lazily into a scratch buffer.
+	if k.Fixed() {
+		w := 8
+		if k == KindBool {
+			w = 1
+		}
+		if len(b) < w {
+			return Value{}, 0, fmt.Errorf("keyenc: short desc %v", k)
+		}
+		tmp := make([]byte, w)
+		for i := 0; i < w; i++ {
+			tmp[i] = ^b[i]
+		}
+		v, n, err := Decode(tmp, k)
+		return v, n, err
+	}
+	tmp := make([]byte, 0, len(b))
+	for i := range b {
+		tmp = append(tmp, ^b[i])
+	}
+	return Decode(tmp, k)
+}
+
+func floatSortKeyInv(key uint64) uint64 {
+	if key&(1<<63) != 0 {
+		return key &^ (1 << 63)
+	}
+	return ^key
+}
+
+func takeUint64(b []byte) (uint64, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("keyenc: short fixed value: %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// EncodedLen returns the exact encoded length of v.
+func EncodedLen(v Value) int {
+	switch v.kind {
+	case KindInt64, KindUint64, KindFloat64:
+		return 8
+	case KindBool:
+		return 1
+	case KindBytes, KindString:
+		n := 2 // terminator
+		for _, c := range v.str {
+			if c == escByte {
+				n += 2
+			} else {
+				n++
+			}
+		}
+		return n
+	default:
+		panic("keyenc: EncodedLen of invalid value")
+	}
+}
+
+// AppendComposite appends the encodings of vals in order. Because every
+// per-value encoding is either fixed-width or self-terminating, the
+// concatenation preserves tuple order: (a1,a2) < (b1,b2) lexicographically
+// on values iff the encodings compare the same way.
+func AppendComposite(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		dst = Append(dst, v)
+	}
+	return dst
+}
+
+// DecodeComposite decodes len(kinds) values from b, returning the values
+// and total bytes consumed.
+func DecodeComposite(b []byte, kinds []Kind) ([]Value, int, error) {
+	vals := make([]Value, 0, len(kinds))
+	total := 0
+	for _, k := range kinds {
+		v, n, err := Decode(b[total:], k)
+		if err != nil {
+			return nil, 0, fmt.Errorf("keyenc: composite field %d: %w", len(vals), err)
+		}
+		vals = append(vals, v)
+		total += n
+	}
+	return vals, total, nil
+}

@@ -1,0 +1,301 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt64:   "int64",
+		KindUint64:  "uint64",
+		KindFloat64: "float64",
+		KindBytes:   "bytes",
+		KindString:  "string",
+		KindBool:    "bool",
+		Kind(99):    "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindFixed(t *testing.T) {
+	fixed := map[Kind]bool{
+		KindInt64: true, KindUint64: true, KindFloat64: true, KindBool: true,
+		KindBytes: false, KindString: false,
+	}
+	for k, want := range fixed {
+		if got := k.Fixed(); got != want {
+			t.Errorf("%v.Fixed() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if I64(-7).Int() != -7 {
+		t.Error("I64 accessor")
+	}
+	if U64(7).Uint() != 7 {
+		t.Error("U64 accessor")
+	}
+	if F64(2.5).Float() != 2.5 {
+		t.Error("F64 accessor")
+	}
+	if string(Str("hi").Bytes()) != "hi" {
+		t.Error("Str accessor")
+	}
+	if string(Raw([]byte{1, 2}).Bytes()) != "\x01\x02" {
+		t.Error("Raw accessor")
+	}
+	if !B(true).Bool() || B(false).Bool() {
+		t.Error("B accessor")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic on kind mismatch", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { Str("x").Int() })
+	mustPanic("Uint on int", func() { I64(1).Uint() })
+	mustPanic("Float on bool", func() { B(true).Float() })
+	mustPanic("Bytes on int", func() { I64(1).Bytes() })
+	mustPanic("Bool on bytes", func() { Raw(nil).Bool() })
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{I64(-3), "-3"},
+		{U64(3), "3u"},
+		{F64(1.5), "1.5"},
+		{Str("a"), `"a"`},
+		{B(true), "true"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// orderedPairs lists (smaller, larger) pairs per kind used by both the
+// Compare test and the encoding-order test.
+func orderedPairs() [][2]Value {
+	return [][2]Value{
+		{I64(math.MinInt64), I64(-1)},
+		{I64(-1), I64(0)},
+		{I64(0), I64(1)},
+		{I64(1), I64(math.MaxInt64)},
+		{U64(0), U64(1)},
+		{U64(1), U64(math.MaxUint64)},
+		{F64(math.Inf(-1)), F64(-1e300)},
+		{F64(-1e300), F64(-0.5)},
+		{F64(-0.5), F64(0)},
+		{F64(0), F64(0.5)},
+		{F64(0.5), F64(math.MaxFloat64)},
+		{F64(math.MaxFloat64), F64(math.Inf(1))},
+		{Str(""), Str("a")},
+		{Str("a"), Str("aa")},
+		{Str("a"), Str("b")},
+		{Str("a\x00"), Str("a\x00\x00")},
+		{Str("a\x00b"), Str("ab")}, // 0x00 sorts below any other byte
+		{Raw([]byte{0}), Raw([]byte{0, 0})},
+		{Raw(nil), Raw([]byte{0})},
+		{B(false), B(true)},
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, p := range orderedPairs() {
+		a, b := p[0], p[1]
+		if Compare(a, b) != -1 {
+			t.Errorf("Compare(%v, %v) != -1", a, b)
+		}
+		if Compare(b, a) != 1 {
+			t.Errorf("Compare(%v, %v) != 1", b, a)
+		}
+		if Compare(a, a) != 0 {
+			t.Errorf("Compare(%v, %v) != 0", a, a)
+		}
+	}
+}
+
+func TestCompareKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic comparing int64 with uint64")
+		}
+	}()
+	Compare(I64(1), U64(1))
+}
+
+func TestCompareStrRawInterchangeable(t *testing.T) {
+	if Compare(Str("ab"), Raw([]byte("ab"))) != 0 {
+		t.Error("Str and Raw with identical payloads must compare equal")
+	}
+	if Compare(Raw([]byte("a")), Str("b")) != -1 {
+		t.Error("Raw/Str cross comparison order")
+	}
+}
+
+func TestAppendOrderPreserving(t *testing.T) {
+	for _, p := range orderedPairs() {
+		a, b := p[0], p[1]
+		ea, eb := Append(nil, a), Append(nil, b)
+		if bytes.Compare(ea, eb) != -1 {
+			t.Errorf("enc(%v) !< enc(%v): %x vs %x", a, b, ea, eb)
+		}
+	}
+}
+
+func TestAppendDescReversesOrder(t *testing.T) {
+	for _, p := range orderedPairs() {
+		a, b := p[0], p[1]
+		ea, eb := AppendDesc(nil, a), AppendDesc(nil, b)
+		if bytes.Compare(ea, eb) != 1 {
+			t.Errorf("desc enc(%v) !> desc enc(%v)", a, b)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	vals := []Value{
+		I64(0), I64(-1), I64(math.MinInt64), I64(math.MaxInt64),
+		U64(0), U64(math.MaxUint64),
+		F64(0), F64(-0.0), F64(3.14), F64(math.Inf(1)), F64(math.Inf(-1)),
+		Str(""), Str("hello"), Str("with\x00nul"), Str("\x00\x00"),
+		Raw([]byte{0, 1, 0xFF, 0}),
+		B(true), B(false),
+	}
+	for _, v := range vals {
+		enc := Append(nil, v)
+		got, n, err := Decode(enc, v.Kind())
+		if err != nil {
+			t.Fatalf("Decode(enc(%v)): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Errorf("Decode(%v) consumed %d of %d bytes", v, n, len(enc))
+		}
+		if Compare(v, got) != 0 {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+		if got := EncodedLen(v); got != len(enc) {
+			t.Errorf("EncodedLen(%v) = %d, want %d", v, got, len(enc))
+		}
+	}
+}
+
+func TestRoundTripDesc(t *testing.T) {
+	vals := []Value{
+		I64(-5), I64(42), U64(7), F64(-2.25), Str("abc\x00def"), B(true),
+	}
+	for _, v := range vals {
+		enc := AppendDesc(nil, v)
+		got, n, err := DecodeDesc(enc, v.Kind())
+		if err != nil {
+			t.Fatalf("DecodeDesc(enc(%v)): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Errorf("DecodeDesc(%v) consumed %d of %d bytes", v, n, len(enc))
+		}
+		if Compare(v, got) != 0 {
+			t.Errorf("desc round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+		k    Kind
+	}{
+		{"short int64", []byte{1, 2, 3}, KindInt64},
+		{"short uint64", nil, KindUint64},
+		{"short float", []byte{0}, KindFloat64},
+		{"short bool", nil, KindBool},
+		{"unterminated bytes", []byte{'a', 'b'}, KindBytes},
+		{"truncated escape", []byte{'a', 0x00}, KindBytes},
+		{"invalid escape", []byte{0x00, 0x7F}, KindBytes},
+		{"invalid kind", []byte{1}, KindInvalid},
+		{"short desc fixed", []byte{1}, KindInt64},
+	}
+	for _, c := range cases {
+		if _, _, err := Decode(c.b, c.k); err == nil && c.name != "short desc fixed" {
+			t.Errorf("%s: Decode want error", c.name)
+		}
+	}
+	if _, _, err := DecodeDesc([]byte{1}, KindInt64); err == nil {
+		t.Error("DecodeDesc short: want error")
+	}
+	if _, _, err := DecodeDesc([]byte{'x'}, KindBytes); err == nil {
+		t.Error("DecodeDesc unterminated bytes: want error")
+	}
+}
+
+func TestCompositeOrder(t *testing.T) {
+	// Tuple order must match encoding order, including the tricky case
+	// where the first field of one tuple is a prefix of the other's.
+	type tup []Value
+	ordered := [][2]tup{
+		{tup{Str("a"), I64(9)}, tup{Str("aa"), I64(0)}},
+		{tup{Str("a"), I64(1)}, tup{Str("a"), I64(2)}},
+		{tup{I64(1), Str("z")}, tup{I64(2), Str("a")}},
+		{tup{U64(5), F64(1.0)}, tup{U64(5), F64(2.0)}},
+		{tup{Str("a\x00"), Str("b")}, tup{Str("a\x00\x00"), Str("a")}},
+	}
+	for _, p := range ordered {
+		ea := AppendComposite(nil, p[0]...)
+		eb := AppendComposite(nil, p[1]...)
+		if bytes.Compare(ea, eb) != -1 {
+			t.Errorf("composite enc(%v) !< enc(%v)", p[0], p[1])
+		}
+	}
+}
+
+func TestCompositeRoundTrip(t *testing.T) {
+	vals := []Value{I64(-3), Str("dev\x00ice"), U64(9), F64(0.5), B(true)}
+	kinds := []Kind{KindInt64, KindString, KindUint64, KindFloat64, KindBool}
+	enc := AppendComposite(nil, vals...)
+	got, n, err := DecodeComposite(enc, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d of %d", n, len(enc))
+	}
+	for i := range vals {
+		if Compare(vals[i], got[i]) != 0 {
+			t.Errorf("field %d: %v -> %v", i, vals[i], got[i])
+		}
+	}
+}
+
+func TestCompositeDecodeError(t *testing.T) {
+	enc := AppendComposite(nil, I64(1))
+	if _, _, err := DecodeComposite(enc, []Kind{KindInt64, KindString}); err == nil {
+		t.Error("want error decoding past end of composite")
+	}
+}
+
+func TestAppendUsesDst(t *testing.T) {
+	dst := []byte{0xEE}
+	out := Append(dst, I64(1))
+	if out[0] != 0xEE || len(out) != 9 {
+		t.Error("Append must extend dst in place")
+	}
+}

@@ -1,0 +1,170 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ascending encodings preserve order for every kind.
+
+func TestQuickInt64Order(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := Append(nil, I64(a)), Append(nil, I64(b))
+		return bytes.Compare(ea, eb) == cmpOrdered(a, b)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUint64Order(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ea, eb := Append(nil, U64(a)), Append(nil, U64(b))
+		return bytes.Compare(ea, eb) == cmpOrdered(a, b)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloat64Order(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true // NaN has a defined slot but not via <
+		}
+		ea, eb := Append(nil, F64(a)), Append(nil, F64(b))
+		want := 0
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		case a == b:
+			// -0.0 == 0.0 but their bit patterns differ; the encoding is a
+			// total order, so allow either -1 or 0 there.
+			if math.Signbit(a) != math.Signbit(b) {
+				return true
+			}
+		}
+		return bytes.Compare(ea, eb) == want
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesOrder(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ea, eb := Append(nil, Raw(a)), Append(nil, Raw(b))
+		return bytes.Compare(ea, eb) == bytes.Compare(a, b)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: descending encodings reverse order.
+
+func TestQuickDescReverses(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ea, eb := AppendDesc(nil, U64(a)), AppendDesc(nil, U64(b))
+		return bytes.Compare(ea, eb) == -cmpOrdered(a, b)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round trips are lossless.
+
+func TestQuickRoundTripInt64(t *testing.T) {
+	f := func(a int64) bool {
+		v, n, err := Decode(Append(nil, I64(a)), KindInt64)
+		return err == nil && n == 8 && v.Int() == a
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripBytes(t *testing.T) {
+	f := func(a []byte) bool {
+		enc := Append(nil, Raw(a))
+		v, n, err := Decode(enc, KindBytes)
+		return err == nil && n == len(enc) && bytes.Equal(v.Bytes(), a)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripBytesDesc(t *testing.T) {
+	f := func(a []byte) bool {
+		enc := AppendDesc(nil, Raw(a))
+		v, n, err := DecodeDesc(enc, KindBytes)
+		return err == nil && n == len(enc) && bytes.Equal(v.Bytes(), a)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composite encodings preserve tuple order.
+
+func TestQuickCompositeOrder(t *testing.T) {
+	f := func(s1 []byte, i1 int64, s2 []byte, i2 int64) bool {
+		a := AppendComposite(nil, Raw(s1), I64(i1))
+		b := AppendComposite(nil, Raw(s2), I64(i2))
+		want := bytes.Compare(s1, s2)
+		if want == 0 {
+			want = cmpOrdered(i1, i2)
+		}
+		return bytes.Compare(a, b) == want
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EncodedLen is exact.
+
+func TestQuickEncodedLen(t *testing.T) {
+	f := func(a []byte) bool {
+		return EncodedLen(Raw(a)) == len(Append(nil, Raw(a)))
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HashValues agrees with HashBytes over the encoded prefix, and
+// equal values hash equal regardless of construction.
+
+func TestQuickHashConsistency(t *testing.T) {
+	f := func(s []byte, n uint64) bool {
+		vals := []Value{Raw(s), U64(n)}
+		enc := AppendComposite(nil, vals...)
+		return HashValues(vals) == HashBytes(enc)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashPrefixInRange(t *testing.T) {
+	f := func(h uint64) bool {
+		for bits := uint8(0); bits <= 16; bits++ {
+			if HashPrefix(h, bits) >= 1<<bits && bits > 0 {
+				return false
+			}
+		}
+		return HashPrefix(h, 0) == 0
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func qcfg() *quick.Config { return &quick.Config{MaxCount: 300} }

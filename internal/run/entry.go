@@ -1,0 +1,224 @@
+// Package run implements Umzi's index-run format (§4.2 of the paper,
+// Figure 2): an immutable sorted table of index entries stored as a header
+// block plus fixed-target-size data blocks.
+//
+// Each entry carries the hash of the equality columns, the memcmp-
+// comparable composite key (equality columns then sort columns), the
+// multi-version beginTS, the RID of the indexed record, and any included
+// columns. Entries are ordered by hash, then key, then *descending*
+// beginTS so that the most recent version of a key is reached first.
+//
+// The header block holds the run's metadata: the covered range of groomed
+// block IDs, the merge level, a per-key-column min/max synopsis used to
+// prune runs during queries, an offset array of 2^n entry ordinals indexed
+// by the top n bits of the hash (Figure 2b) that narrows binary searches,
+// and a block index mapping data blocks to their byte extents and first
+// keys so that variable-length entries still support ordinal addressing.
+package run
+
+import (
+	"bytes"
+	"fmt"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// Def describes the key layout of an index as the run format needs it:
+// the kinds of the equality, sort and included columns, plus the size of
+// the per-run hash offset array.
+type Def struct {
+	EqualityKinds []keyenc.Kind
+	SortKinds     []keyenc.Kind
+	IncludedKinds []keyenc.Kind
+	// HashBits selects an offset array of 2^HashBits buckets. Zero
+	// disables the offset array (pure range index or ablation runs).
+	HashBits uint8
+}
+
+// Validate checks the definition for internal consistency.
+func (d Def) Validate() error {
+	if len(d.EqualityKinds)+len(d.SortKinds) == 0 {
+		return fmt.Errorf("run: index needs at least one key column")
+	}
+	if d.HashBits > 24 {
+		return fmt.Errorf("run: HashBits %d too large (max 24)", d.HashBits)
+	}
+	if len(d.EqualityKinds) == 0 && d.HashBits != 0 {
+		return fmt.Errorf("run: offset array requires equality columns")
+	}
+	for _, ks := range [][]keyenc.Kind{d.EqualityKinds, d.SortKinds, d.IncludedKinds} {
+		for _, k := range ks {
+			switch k {
+			case keyenc.KindInt64, keyenc.KindUint64, keyenc.KindFloat64,
+				keyenc.KindBytes, keyenc.KindString, keyenc.KindBool:
+			default:
+				return fmt.Errorf("run: invalid column kind %v", k)
+			}
+		}
+	}
+	return nil
+}
+
+// KeyKinds returns the kinds of all key columns (equality then sort).
+func (d Def) KeyKinds() []keyenc.Kind {
+	kinds := make([]keyenc.Kind, 0, len(d.EqualityKinds)+len(d.SortKinds))
+	kinds = append(kinds, d.EqualityKinds...)
+	kinds = append(kinds, d.SortKinds...)
+	return kinds
+}
+
+// NumKeyCols returns the number of key columns.
+func (d Def) NumKeyCols() int { return len(d.EqualityKinds) + len(d.SortKinds) }
+
+// Entry is one index row: the logical view of Figure 2a.
+type Entry struct {
+	Hash     uint64   // hash of the equality-column values (0 if none)
+	Key      []byte   // keyenc composite of equality then sort columns
+	BeginTS  types.TS // version timestamp; entries sort newest-first
+	RID      types.RID
+	Included []byte // keyenc composite of included columns (may be empty)
+}
+
+// Compare orders entries by (hash asc, key asc, beginTS desc). RID and
+// included columns never participate in ordering.
+func Compare(a, b Entry) int {
+	switch {
+	case a.Hash < b.Hash:
+		return -1
+	case a.Hash > b.Hash:
+		return 1
+	}
+	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.BeginTS > b.BeginTS: // descending: newer sorts first
+		return -1
+	case a.BeginTS < b.BeginTS:
+		return 1
+	}
+	return 0
+}
+
+// SameKey reports whether two entries index the same key (hash and key
+// bytes equal), regardless of version.
+func SameKey(a, b Entry) bool {
+	return a.Hash == b.Hash && bytes.Equal(a.Key, b.Key)
+}
+
+// MakeEntry encodes an entry from raw column values. eq and sortv must
+// match the definition's kinds; incl may be nil when the index has no
+// included columns.
+func MakeEntry(def Def, eq, sortv, incl []keyenc.Value, ts types.TS, rid types.RID) (Entry, error) {
+	if len(eq) != len(def.EqualityKinds) {
+		return Entry{}, fmt.Errorf("run: %d equality values, want %d", len(eq), len(def.EqualityKinds))
+	}
+	if len(sortv) != len(def.SortKinds) {
+		return Entry{}, fmt.Errorf("run: %d sort values, want %d", len(sortv), len(def.SortKinds))
+	}
+	if len(incl) != len(def.IncludedKinds) {
+		return Entry{}, fmt.Errorf("run: %d included values, want %d", len(incl), len(def.IncludedKinds))
+	}
+	key := keyenc.AppendComposite(nil, eq...)
+	hash := keyenc.HashBytes(key) // hash covers the equality prefix only
+	key = keyenc.AppendComposite(key, sortv...)
+	var inclEnc []byte
+	if len(incl) > 0 {
+		inclEnc = keyenc.AppendComposite(nil, incl...)
+	}
+	return Entry{Hash: hash, Key: key, BeginTS: ts, RID: rid, Included: inclEnc}, nil
+}
+
+// SearchKey is the concatenated bound used to search runs (§7.1.1): the
+// hash plus the encoded equality values plus an encoded sort-column bound.
+type SearchKey struct {
+	Hash uint64
+	Key  []byte
+}
+
+// MakeSearchKey builds the search bound for a query that pins all equality
+// columns and constrains the (single leading, or all) sort columns.
+// sortBound may be a prefix of the sort columns; an empty sortBound spans
+// the whole equality group.
+func MakeSearchKey(def Def, eq []keyenc.Value, sortBound []keyenc.Value) (SearchKey, error) {
+	if len(eq) != len(def.EqualityKinds) {
+		return SearchKey{}, fmt.Errorf("run: %d equality values, want %d", len(eq), len(def.EqualityKinds))
+	}
+	if len(sortBound) > len(def.SortKinds) {
+		return SearchKey{}, fmt.Errorf("run: %d sort bounds, index has %d sort columns", len(sortBound), len(def.SortKinds))
+	}
+	key := keyenc.AppendComposite(nil, eq...)
+	hash := keyenc.HashBytes(key)
+	key = keyenc.AppendComposite(key, sortBound...)
+	return SearchKey{Hash: hash, Key: key}, nil
+}
+
+// CompareToSearchKey orders an entry against a search bound. An entry with
+// key bytes extending beyond the bound compares greater when the bound is
+// its prefix, which is exactly the lower-bound semantics binary search
+// needs; upper bounds use prefix-aware comparison in the iterator.
+func CompareToSearchKey(e Entry, k SearchKey) int {
+	switch {
+	case e.Hash < k.Hash:
+		return -1
+	case e.Hash > k.Hash:
+		return 1
+	}
+	return bytes.Compare(e.Key, k.Key)
+}
+
+// HasPrefix reports whether the entry's key starts with the search key's
+// bytes and shares its hash. Range scans use it to stop at the end of an
+// equality group and to match sort-column prefixes.
+func HasPrefix(e Entry, k SearchKey) bool {
+	return e.Hash == k.Hash && bytes.HasPrefix(e.Key, k.Key)
+}
+
+// columnSegments walks the per-column encoded segments of a composite key
+// and invokes fn with each column ordinal and its raw encoded bytes. It
+// returns an error on malformed keys. This powers synopsis maintenance
+// without decoding values.
+func columnSegments(key []byte, kinds []keyenc.Kind, fn func(col int, seg []byte)) error {
+	off := 0
+	for i, k := range kinds {
+		var n int
+		switch k {
+		case keyenc.KindInt64, keyenc.KindUint64, keyenc.KindFloat64:
+			n = 8
+		case keyenc.KindBool:
+			n = 1
+		case keyenc.KindBytes, keyenc.KindString:
+			// Scan for the 0x00 0x01 terminator, honoring 0x00 0xFF escapes.
+			j := off
+			for n == 0 {
+				if j >= len(key) {
+					return fmt.Errorf("run: unterminated key column %d", i)
+				}
+				if key[j] != 0x00 {
+					j++
+					continue
+				}
+				if j+1 >= len(key) {
+					return fmt.Errorf("run: truncated escape in key column %d", i)
+				}
+				if key[j+1] == 0x01 {
+					n = j + 2 - off // include the terminator in the segment
+				} else {
+					j += 2 // escaped 0x00
+				}
+			}
+		default:
+			return fmt.Errorf("run: invalid kind %v in key", k)
+		}
+		if off+n > len(key) {
+			return fmt.Errorf("run: key too short for column %d", i)
+		}
+		fn(i, key[off:off+n])
+		off += n
+	}
+	if off != len(key) {
+		return fmt.Errorf("run: %d trailing key bytes", len(key)-off)
+	}
+	return nil
+}

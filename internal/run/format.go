@@ -1,0 +1,271 @@
+package run
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// Physical layout of a serialized run (one immutable storage object):
+//
+//	[data block 0][data block 1]...[data block B-1][header][footer]
+//
+// Data block:  [entry 0]...[entry k-1][u32 offset × k][u32 k]
+// Entry:       u64 hash | u16 keyLen | key | u64 beginTS | RID | u16 inclLen | incl
+// Footer:      u64 headerOff | u32 headerLen | magic "UMZIRUN1"
+//
+// The header travels last so the builder can stream data blocks without
+// knowing counts up front, exactly like SSTable footers; readers fetch the
+// footer, then the header, then individual data blocks on demand.
+
+const (
+	runMagic   = "UMZIRUN1"
+	footerSize = 8 + 4 + 8
+
+	// DefaultBlockSize is the target data-block size. The paper uses
+	// fixed-size data blocks; blocks here are sealed at the entry boundary
+	// that first reaches the target, so all blocks are within one entry of
+	// the target (oversized single-entry blocks excepted).
+	DefaultBlockSize = 32 * 1024
+)
+
+// Meta is the run-level metadata carried in the header block.
+type Meta struct {
+	Zone   types.ZoneID
+	Level  uint16
+	Blocks types.BlockRange // groomed block IDs this run covers (§4.3)
+	// PSN records the post-groom sequence number that produced this run
+	// (post-groomed zone only; zero elsewhere). Recovery uses the maximum
+	// PSN over post-groomed runs to restore IndexedPSN after a crash
+	// that lost the meta object write (§5.4–§5.5).
+	PSN types.PSN
+	// Ancestors lists the storage object names of persisted ancestor runs
+	// that must not be deleted until this run (living in a non-persisted
+	// level) is merged into a persisted level again (§6.1).
+	Ancestors []string
+}
+
+// BlockInfo locates one data block inside the run object and carries the
+// separators that make ordinal-based binary search possible.
+type BlockInfo struct {
+	Off       uint64 // byte offset of the block in the object
+	Len       uint32 // byte length of the block
+	StartOrd  uint64 // ordinal of the block's first entry
+	FirstHash uint64 // hash of the block's first entry
+	FirstKey  []byte // key of the block's first entry
+}
+
+// Header is the parsed header block of a run.
+type Header struct {
+	Meta       Meta
+	Def        Def
+	Entries    uint64
+	BlockSize  uint32
+	DataEnd    uint64 // byte offset where data blocks end (== header offset)
+	BlockIndex []BlockInfo
+	// OffsetArray[b] is the ordinal of the first entry whose hash prefix
+	// (top HashBits bits) is >= b; len == 2^HashBits+1 with the final
+	// element equal to Entries, so bucket b spans
+	// [OffsetArray[b], OffsetArray[b+1]). Nil when HashBits == 0.
+	OffsetArray []uint64
+	// SynMin/SynMax hold the per-key-column min/max encoded segments
+	// (the synopsis of §4.2). Empty for an empty run.
+	SynMin, SynMax [][]byte
+}
+
+// Builder accumulates entries and serializes a run. Entries may be added
+// in any order; Finish sorts them. For pre-sorted inputs (merges) the sort
+// is a no-op verification pass.
+type Builder struct {
+	def       Def
+	meta      Meta
+	blockSize uint32
+	entries   []Entry
+}
+
+// NewBuilder returns a builder for one run. blockSize <= 0 selects
+// DefaultBlockSize.
+func NewBuilder(def Def, meta Meta, blockSize int) (*Builder, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Builder{def: def, meta: meta, blockSize: uint32(blockSize)}, nil
+}
+
+// Add appends a pre-encoded entry.
+func (b *Builder) Add(e Entry) { b.entries = append(b.entries, e) }
+
+// AddValues encodes and appends an entry from raw column values.
+func (b *Builder) AddValues(eq, sortv, incl []keyenc.Value, ts types.TS, rid types.RID) error {
+	e, err := MakeEntry(b.def, eq, sortv, incl, ts, rid)
+	if err != nil {
+		return err
+	}
+	b.Add(e)
+	return nil
+}
+
+// Len returns the number of entries added so far.
+func (b *Builder) Len() int { return len(b.entries) }
+
+// Finish sorts the entries, serializes the run and returns the raw object
+// bytes together with the parsed header (so callers avoid an immediate
+// re-parse). The builder must not be reused.
+func (b *Builder) Finish() ([]byte, *Header, error) {
+	// Index build sorts entries by hash, key columns and descending
+	// beginTS (§5.2).
+	sort.SliceStable(b.entries, func(i, j int) bool {
+		return Compare(b.entries[i], b.entries[j]) < 0
+	})
+
+	h := &Header{
+		Meta:      b.meta,
+		Def:       b.def,
+		Entries:   uint64(len(b.entries)),
+		BlockSize: b.blockSize,
+	}
+
+	keyKinds := b.def.KeyKinds()
+	h.SynMin = make([][]byte, len(keyKinds))
+	h.SynMax = make([][]byte, len(keyKinds))
+
+	var out []byte
+	var blockStart int
+	var blockFirst *Entry
+	var blockStartOrd uint64
+	entryStart := func() {
+		blockStart = len(out)
+	}
+	entryStart()
+	var offsets []uint32
+
+	sealBlock := func() {
+		if len(offsets) == 0 {
+			return
+		}
+		for _, o := range offsets {
+			out = binary.BigEndian.AppendUint32(out, o)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(offsets)))
+		h.BlockIndex = append(h.BlockIndex, BlockInfo{
+			Off:       uint64(blockStart),
+			Len:       uint32(len(out) - blockStart),
+			StartOrd:  blockStartOrd,
+			FirstHash: blockFirst.Hash,
+			FirstKey:  append([]byte(nil), blockFirst.Key...),
+		})
+		blockStartOrd += uint64(len(offsets))
+		offsets = offsets[:0]
+		blockFirst = nil
+		entryStart()
+	}
+
+	for i := range b.entries {
+		e := &b.entries[i]
+		// Synopsis: track min/max per key column (on the order-preserving
+		// encodings, so comparisons are raw byte compares).
+		err := columnSegments(e.Key, keyKinds, func(col int, seg []byte) {
+			if h.SynMin[col] == nil || bytes.Compare(seg, h.SynMin[col]) < 0 {
+				h.SynMin[col] = append([]byte(nil), seg...)
+			}
+			if h.SynMax[col] == nil || bytes.Compare(seg, h.SynMax[col]) > 0 {
+				h.SynMax[col] = append([]byte(nil), seg...)
+			}
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("run: entry %d: %w", i, err)
+		}
+
+		encLen := entryEncodedLen(e)
+		// Seal the current block if this entry would overflow the target
+		// and the block is non-empty (single oversized entries get their
+		// own block).
+		if len(offsets) > 0 && len(out)-blockStart+encLen+4*(len(offsets)+1)+4 > int(b.blockSize) {
+			sealBlock()
+		}
+		if blockFirst == nil {
+			blockFirst = e
+		}
+		offsets = append(offsets, uint32(len(out)-blockStart))
+		out = appendEntry(out, e)
+	}
+	sealBlock()
+	h.DataEnd = uint64(len(out))
+
+	// Offset array (Figure 2b): bucket b -> first ordinal with prefix >= b.
+	if b.def.HashBits > 0 {
+		n := 1 << b.def.HashBits
+		h.OffsetArray = make([]uint64, n+1)
+		next := 0
+		for i := range b.entries {
+			p := int(keyenc.HashPrefix(b.entries[i].Hash, b.def.HashBits))
+			for next <= p {
+				h.OffsetArray[next] = uint64(i)
+				next++
+			}
+		}
+		for ; next <= n; next++ {
+			h.OffsetArray[next] = uint64(len(b.entries))
+		}
+	}
+
+	hdr := marshalHeader(h)
+	out = append(out, hdr...)
+	out = binary.BigEndian.AppendUint64(out, h.DataEnd)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(hdr)))
+	out = append(out, runMagic...)
+	return out, h, nil
+}
+
+func entryEncodedLen(e *Entry) int {
+	return 8 + 2 + len(e.Key) + 8 + types.RIDSize + 2 + len(e.Included)
+}
+
+func appendEntry(out []byte, e *Entry) []byte {
+	out = binary.BigEndian.AppendUint64(out, e.Hash)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(e.Key)))
+	out = append(out, e.Key...)
+	out = binary.BigEndian.AppendUint64(out, uint64(e.BeginTS))
+	out = types.EncodeRID(out, e.RID)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(e.Included)))
+	out = append(out, e.Included...)
+	return out
+}
+
+func decodeEntry(b []byte) (Entry, int, error) {
+	var e Entry
+	if len(b) < 8+2 {
+		return e, 0, fmt.Errorf("run: truncated entry header")
+	}
+	e.Hash = binary.BigEndian.Uint64(b)
+	keyLen := int(binary.BigEndian.Uint16(b[8:]))
+	off := 10
+	if len(b) < off+keyLen+8+types.RIDSize+2 {
+		return e, 0, fmt.Errorf("run: truncated entry body")
+	}
+	e.Key = b[off : off+keyLen]
+	off += keyLen
+	e.BeginTS = types.TS(binary.BigEndian.Uint64(b[off:]))
+	off += 8
+	rid, err := types.DecodeRID(b[off:])
+	if err != nil {
+		return e, 0, err
+	}
+	e.RID = rid
+	off += types.RIDSize
+	inclLen := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+inclLen {
+		return e, 0, fmt.Errorf("run: truncated included columns")
+	}
+	e.Included = b[off : off+inclLen]
+	off += inclLen
+	return e, off, nil
+}

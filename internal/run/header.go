@@ -1,0 +1,325 @@
+package run
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// Header block wire format (big-endian):
+//
+//	magic    "UMZIHDR1"
+//	version  u16
+//	zone     u8
+//	level    u16
+//	minID    u64, maxID u64        groomed block ID range
+//	psn      u64
+//	entries  u64
+//	blockSz  u32
+//	dataEnd  u64
+//	nEq u8, kinds; nSort u8, kinds; nIncl u8, kinds
+//	hashBits u8
+//	offset array: (2^hashBits + 1) × u64   (absent if hashBits == 0)
+//	synopsis: nKeyCols × { has u8, minLen u32 + bytes, maxLen u32 + bytes }
+//	block index: u32 count × { off u64, len u32, startOrd u64,
+//	                            firstHash u64, keyLen u16 + bytes }
+//	ancestors: u16 count × { u16 len + name }
+
+const headerMagic = "UMZIHDR1"
+
+func marshalHeader(h *Header) []byte {
+	out := make([]byte, 0, 256+len(h.OffsetArray)*8)
+	out = append(out, headerMagic...)
+	out = binary.BigEndian.AppendUint16(out, 1)
+	out = append(out, byte(h.Meta.Zone))
+	out = binary.BigEndian.AppendUint16(out, h.Meta.Level)
+	out = binary.BigEndian.AppendUint64(out, h.Meta.Blocks.Min)
+	out = binary.BigEndian.AppendUint64(out, h.Meta.Blocks.Max)
+	out = binary.BigEndian.AppendUint64(out, uint64(h.Meta.PSN))
+	out = binary.BigEndian.AppendUint64(out, h.Entries)
+	out = binary.BigEndian.AppendUint32(out, h.BlockSize)
+	out = binary.BigEndian.AppendUint64(out, h.DataEnd)
+
+	appendKinds := func(kinds []keyenc.Kind) {
+		out = append(out, byte(len(kinds)))
+		for _, k := range kinds {
+			out = append(out, byte(k))
+		}
+	}
+	appendKinds(h.Def.EqualityKinds)
+	appendKinds(h.Def.SortKinds)
+	appendKinds(h.Def.IncludedKinds)
+
+	out = append(out, h.Def.HashBits)
+	if h.Def.HashBits > 0 {
+		for _, o := range h.OffsetArray {
+			out = binary.BigEndian.AppendUint64(out, o)
+		}
+	}
+
+	for i := range h.SynMin {
+		if h.SynMin[i] == nil {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, 1)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(h.SynMin[i])))
+		out = append(out, h.SynMin[i]...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(h.SynMax[i])))
+		out = append(out, h.SynMax[i]...)
+	}
+
+	out = binary.BigEndian.AppendUint32(out, uint32(len(h.BlockIndex)))
+	for _, bi := range h.BlockIndex {
+		out = binary.BigEndian.AppendUint64(out, bi.Off)
+		out = binary.BigEndian.AppendUint32(out, bi.Len)
+		out = binary.BigEndian.AppendUint64(out, bi.StartOrd)
+		out = binary.BigEndian.AppendUint64(out, bi.FirstHash)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(bi.FirstKey)))
+		out = append(out, bi.FirstKey...)
+	}
+
+	out = binary.BigEndian.AppendUint16(out, uint16(len(h.Meta.Ancestors)))
+	for _, a := range h.Meta.Ancestors {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(a)))
+		out = append(out, a...)
+	}
+	return out
+}
+
+// ParseHeader decodes a header block produced by marshalHeader.
+func ParseHeader(b []byte) (*Header, error) {
+	r := &cursor{b: b}
+	magic, err := r.take(8)
+	if err != nil || string(magic) != headerMagic {
+		return nil, fmt.Errorf("run: bad header magic")
+	}
+	ver, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != 1 {
+		return nil, fmt.Errorf("run: unsupported header version %d", ver)
+	}
+	h := &Header{}
+	zone, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	h.Meta.Zone = types.ZoneID(zone)
+	if h.Meta.Level, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if h.Meta.Blocks.Min, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if h.Meta.Blocks.Max, err = r.u64(); err != nil {
+		return nil, err
+	}
+	psn, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	h.Meta.PSN = types.PSN(psn)
+	if h.Entries, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if h.BlockSize, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if h.DataEnd, err = r.u64(); err != nil {
+		return nil, err
+	}
+
+	takeKinds := func() ([]keyenc.Kind, error) {
+		n, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		kinds := make([]keyenc.Kind, n)
+		for i := range kinds {
+			k, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			kinds[i] = keyenc.Kind(k)
+		}
+		return kinds, nil
+	}
+	if h.Def.EqualityKinds, err = takeKinds(); err != nil {
+		return nil, err
+	}
+	if h.Def.SortKinds, err = takeKinds(); err != nil {
+		return nil, err
+	}
+	if h.Def.IncludedKinds, err = takeKinds(); err != nil {
+		return nil, err
+	}
+	if h.Def.HashBits, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if err := h.Def.Validate(); err != nil {
+		return nil, err
+	}
+
+	if h.Def.HashBits > 0 {
+		n := (1 << h.Def.HashBits) + 1
+		h.OffsetArray = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			if h.OffsetArray[i], err = r.u64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	nKeys := h.Def.NumKeyCols()
+	h.SynMin = make([][]byte, nKeys)
+	h.SynMax = make([][]byte, nKeys)
+	for i := 0; i < nKeys; i++ {
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if has == 0 {
+			continue
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		min, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		if n, err = r.u32(); err != nil {
+			return nil, err
+		}
+		max, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		h.SynMin[i] = append([]byte(nil), min...)
+		h.SynMax[i] = append([]byte(nil), max...)
+	}
+
+	nBlocks, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	h.BlockIndex = make([]BlockInfo, nBlocks)
+	for i := range h.BlockIndex {
+		bi := &h.BlockIndex[i]
+		if bi.Off, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if bi.Len, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if bi.StartOrd, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if bi.FirstHash, err = r.u64(); err != nil {
+			return nil, err
+		}
+		kl, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		key, err := r.take(int(kl))
+		if err != nil {
+			return nil, err
+		}
+		bi.FirstKey = append([]byte(nil), key...)
+	}
+
+	nAnc, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nAnc); i++ {
+		al, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		a, err := r.take(int(al))
+		if err != nil {
+			return nil, err
+		}
+		h.Meta.Ancestors = append(h.Meta.Ancestors, string(a))
+	}
+	return h, nil
+}
+
+// ParseFooter extracts the header location from the final footerSize bytes
+// of a run object.
+func ParseFooter(tail []byte) (headerOff uint64, headerLen uint32, err error) {
+	if len(tail) < footerSize {
+		return 0, 0, fmt.Errorf("run: short footer: %d bytes", len(tail))
+	}
+	f := tail[len(tail)-footerSize:]
+	if string(f[12:20]) != runMagic {
+		return 0, 0, fmt.Errorf("run: bad footer magic")
+	}
+	return binary.BigEndian.Uint64(f[0:8]), binary.BigEndian.Uint32(f[8:12]), nil
+}
+
+// ParseObject parses a complete in-memory run object into its header.
+func ParseObject(data []byte) (*Header, error) {
+	off, l, err := ParseFooter(data)
+	if err != nil {
+		return nil, err
+	}
+	if off+uint64(l) > uint64(len(data))-footerSize {
+		return nil, fmt.Errorf("run: footer points outside object")
+	}
+	return ParseHeader(data[off : off+uint64(l)])
+}
+
+// cursor is a bounds-checked byte reader.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (r *cursor) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("run: truncated header (%d at %d of %d)", n, r.off, len(r.b))
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *cursor) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *cursor) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *cursor) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *cursor) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}

@@ -1,0 +1,78 @@
+package run
+
+import (
+	"fmt"
+
+	"umzi/internal/storage"
+)
+
+// LoadHeader fetches and parses just the header block of a run object in
+// shared storage: a footer read plus a header read, no data-block traffic.
+// This is what recovery and cache-manager purging rely on — a purged run
+// keeps only its header locally (§6.2).
+func LoadHeader(store storage.ObjectStore, name string) (*Header, error) {
+	size, err := store.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	if size < footerSize {
+		return nil, fmt.Errorf("run: object %s too small (%d bytes)", name, size)
+	}
+	tail, err := store.GetRange(name, size-footerSize, footerSize)
+	if err != nil {
+		return nil, err
+	}
+	off, l, err := ParseFooter(tail)
+	if err != nil {
+		return nil, fmt.Errorf("run: object %s: %w", name, err)
+	}
+	if off+uint64(l)+footerSize > uint64(size) {
+		return nil, fmt.Errorf("run: object %s: header extent out of range", name)
+	}
+	hdr, err := store.GetRange(name, int64(off), int64(l))
+	if err != nil {
+		return nil, err
+	}
+	h, err := ParseHeader(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("run: object %s: %w", name, err)
+	}
+	return h, nil
+}
+
+// StoreSource reads data blocks straight from shared storage with
+// block-granular GetRange calls. The core package layers the SSD cache on
+// top; StoreSource is the cache-miss path and the test path.
+type StoreSource struct {
+	Store storage.ObjectStore
+	Name  string
+	Index []BlockInfo
+}
+
+// NewStoreSource builds a source for the named object using the parsed
+// header's block index.
+func NewStoreSource(store storage.ObjectStore, name string, h *Header) *StoreSource {
+	return &StoreSource{Store: store, Name: name, Index: h.BlockIndex}
+}
+
+// FetchBlock implements BlockSource.
+func (s *StoreSource) FetchBlock(i uint32) ([]byte, error) {
+	if int(i) >= len(s.Index) {
+		return nil, fmt.Errorf("run: block %d out of range (%d blocks)", i, len(s.Index))
+	}
+	bi := s.Index[i]
+	return s.Store.GetRange(s.Name, int64(bi.Off), int64(bi.Len))
+}
+
+// Release implements BlockSource (no-op: nothing is pinned).
+func (s *StoreSource) Release(uint32) {}
+
+// Open loads a run's header from shared storage and returns a reader whose
+// blocks are fetched directly from the store.
+func Open(store storage.ObjectStore, name string) (*Reader, error) {
+	h, err := LoadHeader(store, name)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(h, NewStoreSource(store, name, h)), nil
+}

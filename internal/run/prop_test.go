@@ -1,0 +1,262 @@
+package run
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// randDef builds a random index definition mixing column kinds.
+func randDef(rng *rand.Rand) Def {
+	kinds := []keyenc.Kind{keyenc.KindInt64, keyenc.KindUint64, keyenc.KindString, keyenc.KindFloat64}
+	pick := func(n int) []keyenc.Kind {
+		out := make([]keyenc.Kind, n)
+		for i := range out {
+			out[i] = kinds[rng.Intn(len(kinds))]
+		}
+		return out
+	}
+	d := Def{
+		EqualityKinds: pick(1 + rng.Intn(2)),
+		SortKinds:     pick(rng.Intn(2)),
+		IncludedKinds: pick(rng.Intn(2)),
+		HashBits:      uint8(4 + rng.Intn(6)),
+	}
+	return d
+}
+
+func randValue(rng *rand.Rand, k keyenc.Kind) keyenc.Value {
+	switch k {
+	case keyenc.KindInt64:
+		return keyenc.I64(rng.Int63n(1000) - 500)
+	case keyenc.KindUint64:
+		return keyenc.U64(uint64(rng.Intn(1000)))
+	case keyenc.KindFloat64:
+		return keyenc.F64(float64(rng.Intn(100)) / 4)
+	case keyenc.KindString:
+		b := make([]byte, rng.Intn(12))
+		for i := range b {
+			b[i] = byte(rng.Intn(256)) // includes 0x00 to stress escaping
+		}
+		return keyenc.Str(string(b))
+	case keyenc.KindBool:
+		return keyenc.B(rng.Intn(2) == 1)
+	default:
+		panic("unexpected kind")
+	}
+}
+
+func randValues(rng *rand.Rand, kinds []keyenc.Kind) []keyenc.Value {
+	out := make([]keyenc.Value, len(kinds))
+	for i, k := range kinds {
+		out[i] = randValue(rng, k)
+	}
+	return out
+}
+
+// TestRandomRunsMatchNaive builds runs from random entries over random
+// definitions (mixed column kinds, keys containing NUL bytes, duplicate
+// keys with multiple versions, random block sizes) and checks three
+// properties against a naive in-memory reference:
+//
+//  1. full iteration yields exactly the sorted entry sequence;
+//  2. SeekGE lands where a linear scan says it should, for random probes;
+//  3. the synopsis never prunes a run that contains a matching entry.
+func TestRandomRunsMatchNaive(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		def := randDef(rng)
+		blockSize := 128 + rng.Intn(2048)
+		n := 1 + rng.Intn(400)
+
+		b, err := NewBuilder(def, Meta{Zone: types.ZoneGroomed}, blockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref []Entry
+		for i := 0; i < n; i++ {
+			eq := randValues(rng, def.EqualityKinds)
+			sortv := randValues(rng, def.SortKinds)
+			incl := randValues(rng, def.IncludedKinds)
+			ts := types.TS(1 + rng.Intn(50)) // duplicates versions on purpose
+			rid := types.RID{Zone: types.ZoneGroomed, Block: 1, Offset: uint32(i)}
+			e, err := MakeEntry(def, eq, sortv, incl, ts, rid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Add(e)
+			ref = append(ref, cloneEntryForTest(e))
+		}
+		data, h, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.SliceStable(ref, func(i, j int) bool { return Compare(ref[i], ref[j]) < 0 })
+
+		r := NewReader(h, NewMemSource(data, h))
+
+		// Property 1: iteration order.
+		i := 0
+		for it := r.Begin(); it.Valid(); it.Next() {
+			e, err := it.Entry()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Compare(e, ref[i]) != 0 || !bytes.Equal(e.Included, ref[i].Included) {
+				t.Fatalf("trial %d: entry %d mismatch", trial, i)
+			}
+			i++
+		}
+		if i != n {
+			t.Fatalf("trial %d: iterated %d of %d", trial, i, n)
+		}
+
+		// Property 2: random seeks.
+		for probe := 0; probe < 30; probe++ {
+			eq := randValues(rng, def.EqualityKinds)
+			var sortBound []keyenc.Value
+			if len(def.SortKinds) > 0 && rng.Intn(2) == 0 {
+				sortBound = randValues(rng, def.SortKinds[:1])
+			}
+			k, err := MakeSearchKey(def, eq, sortBound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := -1
+			for j := range ref {
+				if CompareToSearchKey(ref[j], k) >= 0 {
+					want = j
+					break
+				}
+			}
+			it, err := r.SeekGE(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == -1 {
+				if it.Valid() {
+					t.Fatalf("trial %d probe %d: seek found %d, scan found nothing", trial, probe, it.Ordinal())
+				}
+			} else if !it.Valid() || it.Ordinal() != uint64(want) {
+				t.Fatalf("trial %d probe %d: seek ordinal %v, want %d", trial, probe, it.Ordinal(), want)
+			}
+			it.Close()
+		}
+
+		// Property 3: the synopsis admits every present key.
+		for probe := 0; probe < 20; probe++ {
+			e := ref[rng.Intn(len(ref))]
+			var bounds []ColumnBound
+			_ = columnSegments(e.Key, def.KeyKinds(), func(col int, seg []byte) {
+				bounds = append(bounds, ColumnBound{Lo: seg, Hi: seg})
+			})
+			if !HeaderMayContain(h, bounds) {
+				t.Fatalf("trial %d: synopsis rejected a present key", trial)
+			}
+		}
+	}
+}
+
+func cloneEntryForTest(e Entry) Entry {
+	out := e
+	out.Key = append([]byte(nil), e.Key...)
+	out.Included = append([]byte(nil), e.Included...)
+	return out
+}
+
+// TestIterBlockCacheEviction forces the iterator's parsed-block cache to
+// evict (long scans over many blocks) and checks nothing breaks.
+func TestIterBlockCacheEviction(t *testing.T) {
+	def := defI1()
+	b, err := NewBuilder(def, Meta{}, 256) // tiny blocks: many of them
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := b.AddValues(
+			[]keyenc.Value{keyenc.I64(int64(i % 5))},
+			[]keyenc.Value{keyenc.I64(int64(i / 5))},
+			[]keyenc.Value{keyenc.I64(int64(i))},
+			types.TS(i+1), types.RID{Offset: uint32(i)},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.BlockIndex) <= iterBlockCacheCap {
+		t.Fatalf("test needs more than %d blocks, got %d", iterBlockCacheCap, len(h.BlockIndex))
+	}
+	r := NewReader(h, NewMemSource(data, h))
+	count := 0
+	it := r.Begin()
+	defer it.Close()
+	for ; it.Valid(); it.Next() {
+		if _, err := it.Entry(); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("iterated %d of %d across cache evictions", count, n)
+	}
+}
+
+// TestPinCountingAcrossEviction uses a pin-tracking source to prove the
+// iterator releases exactly what it fetched, including evicted blocks.
+func TestPinCountingAcrossEviction(t *testing.T) {
+	def := defI1()
+	b, _ := NewBuilder(def, Meta{}, 256)
+	for i := 0; i < 4000; i++ {
+		_ = b.AddValues(
+			[]keyenc.Value{keyenc.I64(int64(i % 3))},
+			[]keyenc.Value{keyenc.I64(int64(i / 3))},
+			[]keyenc.Value{keyenc.I64(int64(i))},
+			types.TS(i+1), types.RID{Offset: uint32(i)},
+		)
+	}
+	data, h, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &pinTrackingSource{inner: NewMemSource(data, h), pins: map[uint32]int{}}
+	r := NewReader(h, src)
+	it := r.Begin()
+	for ; it.Valid(); it.Next() {
+		if _, err := it.Entry(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it.Close()
+	for idx, pins := range src.pins {
+		if pins != 0 {
+			t.Errorf("block %d left with %d outstanding pins", idx, pins)
+		}
+	}
+}
+
+type pinTrackingSource struct {
+	inner BlockSource
+	pins  map[uint32]int
+}
+
+func (s *pinTrackingSource) FetchBlock(i uint32) ([]byte, error) {
+	data, err := s.inner.FetchBlock(i)
+	if err == nil {
+		s.pins[i]++
+	}
+	return data, err
+}
+
+func (s *pinTrackingSource) Release(i uint32) { s.pins[i]-- }

@@ -1,0 +1,314 @@
+package run
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"umzi/internal/keyenc"
+)
+
+// BlockSource supplies the raw bytes of a run's data blocks. The core
+// package wires sources through the SSD cache and shared storage; tests
+// and non-persisted runs use MemSource. Sources must be safe for
+// concurrent use.
+type BlockSource interface {
+	// FetchBlock returns the raw bytes of data block i.
+	FetchBlock(i uint32) ([]byte, error)
+	// Release tells the source the caller is done with block i (used to
+	// unpin query-fetched blocks, §7). Implementations may ignore it.
+	Release(i uint32)
+}
+
+// MemSource serves blocks from an in-memory copy of the whole run object.
+// Non-persisted runs (§6.1) and unit tests use it.
+type MemSource struct {
+	Data   []byte
+	Blocks []BlockInfo
+}
+
+// NewMemSource builds a MemSource from a serialized run object and its
+// parsed header.
+func NewMemSource(data []byte, h *Header) *MemSource {
+	return &MemSource{Data: data, Blocks: h.BlockIndex}
+}
+
+// FetchBlock implements BlockSource.
+func (s *MemSource) FetchBlock(i uint32) ([]byte, error) {
+	if int(i) >= len(s.Blocks) {
+		return nil, fmt.Errorf("run: block %d out of range (%d blocks)", i, len(s.Blocks))
+	}
+	bi := s.Blocks[i]
+	end := bi.Off + uint64(bi.Len)
+	if end > uint64(len(s.Data)) {
+		return nil, fmt.Errorf("run: block %d extends past object end", i)
+	}
+	return s.Data[bi.Off:end], nil
+}
+
+// Release implements BlockSource (no-op).
+func (s *MemSource) Release(uint32) {}
+
+// Reader provides sorted access to one immutable run.
+type Reader struct {
+	h   *Header
+	src BlockSource
+}
+
+// NewReader wraps a parsed header and a block source.
+func NewReader(h *Header, src BlockSource) *Reader {
+	return &Reader{h: h, src: src}
+}
+
+// OpenObject parses a complete serialized run held in memory and returns a
+// reader over it.
+func OpenObject(data []byte) (*Reader, error) {
+	h, err := ParseObject(data)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(h, NewMemSource(data, h)), nil
+}
+
+// Header returns the run's parsed header.
+func (r *Reader) Header() *Header { return r.h }
+
+// Entries returns the number of entries in the run.
+func (r *Reader) Entries() uint64 { return r.h.Entries }
+
+// parsedBlock is a decoded data block: entry byte offsets plus payload.
+type parsedBlock struct {
+	idx     uint32
+	data    []byte
+	offsets []uint32 // intra-block byte offset of each entry
+}
+
+func parseBlock(idx uint32, data []byte) (*parsedBlock, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("run: block %d too short", idx)
+	}
+	count := binary.BigEndian.Uint32(data[len(data)-4:])
+	tail := 4 + 4*int(count)
+	if tail > len(data) {
+		return nil, fmt.Errorf("run: block %d offset table overruns block", idx)
+	}
+	offBase := len(data) - tail
+	offsets := make([]uint32, count)
+	for i := range offsets {
+		offsets[i] = binary.BigEndian.Uint32(data[offBase+4*i:])
+		if int(offsets[i]) >= offBase {
+			return nil, fmt.Errorf("run: block %d entry %d offset out of range", idx, i)
+		}
+	}
+	return &parsedBlock{idx: idx, data: data[:offBase], offsets: offsets}, nil
+}
+
+func (pb *parsedBlock) entry(i int) (Entry, error) {
+	end := len(pb.data)
+	if i+1 < len(pb.offsets) {
+		end = int(pb.offsets[i+1])
+	}
+	e, _, err := decodeEntry(pb.data[pb.offsets[i]:end])
+	if err != nil {
+		return Entry{}, fmt.Errorf("run: block %d entry %d: %w", pb.idx, i, err)
+	}
+	return e, nil
+}
+
+func (r *Reader) fetchParsed(idx uint32) (*parsedBlock, error) {
+	raw, err := r.src.FetchBlock(idx)
+	if err != nil {
+		return nil, err
+	}
+	return parseBlock(idx, raw)
+}
+
+// blockForOrdinal returns the index of the data block containing the
+// entry with the given ordinal.
+func (r *Reader) blockForOrdinal(ord uint64) int {
+	bi := r.h.BlockIndex
+	return sort.Search(len(bi), func(i int) bool { return bi[i].StartOrd > ord }) - 1
+}
+
+// iterBlockCacheCap bounds the parsed blocks an iterator retains. Binary
+// searches probe O(log n) scattered blocks; caching them avoids re-parsing
+// the offset footer on every probe, while the cap keeps long scans from
+// accumulating every block they pass through.
+const iterBlockCacheCap = 32
+
+// SeekGE positions a fresh iterator at the first entry >= (k.Hash, k.Key)
+// in entry order, i.e. the first entry of the newest version group whose
+// key is >= the bound. The offset array narrows the initial binary-search
+// range exactly as §7.1.1 describes.
+func (r *Reader) SeekGE(k SearchKey) (*Iter, error) {
+	it := &Iter{r: r}
+	if err := it.SeekGE(k); err != nil {
+		it.close()
+		return nil, err
+	}
+	return it, nil
+}
+
+// SeekGE repositions the iterator, keeping its parsed-block cache.
+// Batched lookups reuse one iterator per run so that sorted keys landing
+// in the same data blocks amortize fetch and parse costs — the mechanism
+// behind §8.3.2's "no additional I/O is required to fetch that block
+// again for looking up other keys in the batch".
+func (it *Iter) SeekGE(k SearchKey) error {
+	r := it.r
+	lo, hi := uint64(0), r.h.Entries
+	if r.h.OffsetArray != nil {
+		b := keyenc.HashPrefix(k.Hash, r.h.Def.HashBits)
+		lo = r.h.OffsetArray[b]
+		hi = r.h.OffsetArray[b+1]
+		// Entries with a larger prefix can still be < k only within the
+		// same bucket, so [lo,hi) is a correct binary-search window for
+		// any key whose hash falls in bucket b.
+	}
+	it.err = nil
+	// Binary search over ordinals: find first ord with entry >= k.
+	var searchErr error
+	idx := sort.Search(int(hi-lo), func(i int) bool {
+		if searchErr != nil {
+			return true
+		}
+		e, err := it.entryAt(lo + uint64(i))
+		if err != nil {
+			searchErr = err
+			return true
+		}
+		return CompareToSearchKey(e, k) >= 0
+	})
+	if searchErr != nil {
+		return searchErr
+	}
+	it.ord = lo + uint64(idx)
+	return nil
+}
+
+// Begin returns an iterator positioned at the first entry of the run.
+func (r *Reader) Begin() *Iter {
+	return &Iter{r: r, ord: 0}
+}
+
+// Iter walks entries of one run in sorted order. Iterators are cheap;
+// create one per run per query. Not safe for concurrent use.
+type Iter struct {
+	r      *Reader
+	ord    uint64
+	blocks map[uint32]*parsedBlock // parsed blocks, released on Close
+	err    error
+}
+
+// getBlock returns the parsed data block, fetching and caching it.
+func (it *Iter) getBlock(idx uint32) (*parsedBlock, error) {
+	if pb, ok := it.blocks[idx]; ok {
+		return pb, nil
+	}
+	pb, err := it.r.fetchParsed(idx)
+	if err != nil {
+		return nil, err
+	}
+	if it.blocks == nil {
+		it.blocks = make(map[uint32]*parsedBlock, 8)
+	}
+	for len(it.blocks) >= iterBlockCacheCap {
+		for k := range it.blocks {
+			it.r.src.Release(k)
+			delete(it.blocks, k)
+			break
+		}
+	}
+	it.blocks[idx] = pb
+	return pb, nil
+}
+
+// entryAt fetches the entry with the given global ordinal.
+func (it *Iter) entryAt(ord uint64) (Entry, error) {
+	b := it.r.blockForOrdinal(ord)
+	if b < 0 {
+		return Entry{}, fmt.Errorf("run: ordinal %d before first block", ord)
+	}
+	pb, err := it.getBlock(uint32(b))
+	if err != nil {
+		return Entry{}, err
+	}
+	local := int(ord - it.r.h.BlockIndex[b].StartOrd)
+	if local < 0 || local >= len(pb.offsets) {
+		return Entry{}, fmt.Errorf("run: ordinal %d outside block %d", ord, b)
+	}
+	return pb.entry(local)
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.err == nil && it.ord < it.r.h.Entries }
+
+// Err returns the first error the iterator encountered, if any.
+func (it *Iter) Err() error { return it.err }
+
+// Entry returns the current entry. Valid must be true.
+func (it *Iter) Entry() (Entry, error) {
+	if !it.Valid() {
+		if it.err != nil {
+			return Entry{}, it.err
+		}
+		return Entry{}, fmt.Errorf("run: iterator exhausted")
+	}
+	e, err := it.entryAt(it.ord)
+	if err != nil {
+		it.err = err
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// Next advances to the following entry.
+func (it *Iter) Next() { it.ord++ }
+
+// Ordinal returns the current entry ordinal (for tests and debugging).
+func (it *Iter) Ordinal() uint64 { return it.ord }
+
+// Close releases any block the iterator pinned.
+func (it *Iter) Close() { it.close() }
+
+func (it *Iter) close() {
+	for idx := range it.blocks {
+		it.r.src.Release(idx)
+	}
+	it.blocks = nil
+}
+
+// MayContain applies the synopsis check of §7: the run can be skipped if
+// some key column's queried range does not overlap the [min,max] range
+// recorded in the header. cols maps key-column ordinal to the queried
+// bound (encoded ascending); entries with nil Lo/Hi are unconstrained.
+type ColumnBound struct {
+	Lo, Hi []byte // encoded inclusive bounds; nil = unbounded
+}
+
+// MayContain reports whether the run could contain entries matching the
+// per-key-column bounds. An empty run matches nothing.
+func (r *Reader) MayContain(bounds []ColumnBound) bool {
+	return HeaderMayContain(r.h, bounds)
+}
+
+// HeaderMayContain is MayContain on a bare header, usable before deciding
+// to fetch any data block.
+func HeaderMayContain(h *Header, bounds []ColumnBound) bool {
+	if h.Entries == 0 {
+		return false
+	}
+	for i, b := range bounds {
+		if i >= len(h.SynMin) || h.SynMin[i] == nil {
+			continue
+		}
+		if b.Lo != nil && bytes.Compare(b.Lo, h.SynMax[i]) > 0 {
+			return false
+		}
+		if b.Hi != nil && bytes.Compare(b.Hi, h.SynMin[i]) < 0 {
+			return false
+		}
+	}
+	return true
+}

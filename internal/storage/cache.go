@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BlockKey identifies one data block of one object in the SSD cache.
+type BlockKey struct {
+	Object string
+	Block  uint32
+}
+
+// SSDCache is the local SSD caching layer of §6.2. It caches whole data
+// blocks of index runs, bounded by a byte capacity, with LRU eviction among
+// unpinned blocks. Queries that fetch purged blocks from shared storage pin
+// them for the duration of the query (§7: "after the query is finished, the
+// cached data blocks are released, which are further dropped in case of
+// cache replacement").
+//
+// The cache also simulates SSD access latency so end-to-end benchmarks see
+// a realistic gap between SSD hits and shared-storage misses.
+type SSDCache struct {
+	lat      LatencyModel
+	capacity int64
+
+	mu    sync.Mutex
+	used  int64
+	items map[BlockKey]*list.Element
+	lru   *list.List // front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+type cacheItem struct {
+	key  BlockKey
+	data []byte
+	pins int
+}
+
+// NewSSDCache returns a cache bounded to capacity bytes. A capacity of 0
+// means unbounded (tests); capacity < 0 disables caching entirely.
+func NewSSDCache(capacity int64, lat LatencyModel) *SSDCache {
+	return &SSDCache{
+		lat:      lat,
+		capacity: capacity,
+		items:    make(map[BlockKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached block and pins it if pin is true. The boolean
+// reports a hit. Callers that pin must call Release.
+func (c *SSDCache) Get(key BlockKey, pin bool) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	it := el.Value.(*cacheItem)
+	if pin {
+		it.pins++
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	data := it.data
+	c.mu.Unlock()
+	c.lat.sleep(len(data))
+	return data, true
+}
+
+// Put inserts a block, evicting LRU unpinned blocks if over capacity.
+// If pin is true the block enters pinned (query-driven fetch); Release
+// must be called. Put of an existing key refreshes recency only.
+func (c *SSDCache) Put(key BlockKey, data []byte, pin bool) {
+	if c.capacity < 0 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		if pin {
+			el.Value.(*cacheItem).pins++
+		}
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	it := &cacheItem{key: key, data: data}
+	if pin {
+		it.pins = 1
+	}
+	c.items[key] = c.lru.PushFront(it)
+	c.used += int64(len(data))
+	c.evictLocked()
+	c.mu.Unlock()
+	c.lat.sleep(len(data))
+}
+
+// Release unpins a block previously pinned by Get or Put.
+func (c *SSDCache) Release(key BlockKey) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		if it.pins > 0 {
+			it.pins--
+		}
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// DropObject removes every cached block of the object. This is how the
+// cache manager purges a run: data blocks leave the SSD, the header block
+// is kept by the run itself (§6.2).
+func (c *SSDCache) DropObject(object string) {
+	c.mu.Lock()
+	for key, el := range c.items {
+		if key.Object == object {
+			it := el.Value.(*cacheItem)
+			c.used -= int64(len(it.data))
+			c.lru.Remove(el)
+			delete(c.items, key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops LRU unpinned items until within capacity.
+func (c *SSDCache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.used > c.capacity {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			it := el.Value.(*cacheItem)
+			if it.pins > 0 {
+				continue
+			}
+			c.used -= int64(len(it.data))
+			c.lru.Remove(el)
+			delete(c.items, it.key)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything pinned; allow temporary overshoot
+		}
+	}
+}
+
+// CacheStats reports hit/miss counters and occupancy.
+type CacheStats struct {
+	Hits, Misses int64
+	Used         int64
+	Blocks       int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SSDCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Used: c.used, Blocks: len(c.items)}
+}
+
+// Used returns the current occupancy in bytes.
+func (c *SSDCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity returns the configured capacity in bytes.
+func (c *SSDCache) Capacity() int64 { return c.capacity }
+
+// Contains reports whether the block is cached (test helper; does not
+// count as a hit or miss and does not touch recency).
+func (c *SSDCache) Contains(key BlockKey) bool {
+	c.mu.Lock()
+	_, ok := c.items[key]
+	c.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := NewSSDCache(0, LatencyModel{})
+	key := BlockKey{Object: "run-1", Block: 0}
+	c.Put(key, []byte("block data"), false)
+	got, ok := c.Get(key, false)
+	if !ok || string(got) != "block data" {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+	if _, ok := c.Get(BlockKey{Object: "run-1", Block: 1}, false); ok {
+		t.Error("Get of absent block reported a hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewSSDCache(3000, LatencyModel{})
+	blk := make([]byte, 1000)
+	for i := uint32(0); i < 3; i++ {
+		c.Put(BlockKey{Object: "r", Block: i}, blk, false)
+	}
+	// Touch block 0 so block 1 is the LRU victim.
+	if _, ok := c.Get(BlockKey{Object: "r", Block: 0}, false); !ok {
+		t.Fatal("warmup miss")
+	}
+	c.Put(BlockKey{Object: "r", Block: 3}, blk, false)
+	if c.Contains(BlockKey{Object: "r", Block: 1}) {
+		t.Error("LRU block 1 should have been evicted")
+	}
+	for _, b := range []uint32{0, 2, 3} {
+		if !c.Contains(BlockKey{Object: "r", Block: b}) {
+			t.Errorf("block %d unexpectedly evicted", b)
+		}
+	}
+	if used := c.Used(); used != 3000 {
+		t.Errorf("Used = %d, want 3000", used)
+	}
+}
+
+func TestCachePinnedBlocksSurviveEviction(t *testing.T) {
+	c := NewSSDCache(1000, LatencyModel{})
+	pinned := BlockKey{Object: "r", Block: 0}
+	c.Put(pinned, make([]byte, 800), true) // pinned query fetch
+	c.Put(BlockKey{Object: "r", Block: 1}, make([]byte, 800), false)
+	if !c.Contains(pinned) {
+		t.Fatal("pinned block evicted")
+	}
+	// After release, pressure can evict it.
+	c.Release(pinned)
+	c.Put(BlockKey{Object: "r", Block: 2}, make([]byte, 900), false)
+	if c.Contains(pinned) && c.Used() > c.Capacity() {
+		t.Error("released block kept despite over-capacity")
+	}
+}
+
+func TestCacheDropObject(t *testing.T) {
+	c := NewSSDCache(0, LatencyModel{})
+	for i := uint32(0); i < 4; i++ {
+		c.Put(BlockKey{Object: "run-A", Block: i}, []byte("aaaa"), false)
+		c.Put(BlockKey{Object: "run-B", Block: i}, []byte("bbbb"), false)
+	}
+	c.DropObject("run-A")
+	for i := uint32(0); i < 4; i++ {
+		if c.Contains(BlockKey{Object: "run-A", Block: i}) {
+			t.Errorf("run-A block %d survived purge", i)
+		}
+		if !c.Contains(BlockKey{Object: "run-B", Block: i}) {
+			t.Errorf("run-B block %d wrongly purged", i)
+		}
+	}
+	if used := c.Used(); used != 16 {
+		t.Errorf("Used after purge = %d, want 16", used)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewSSDCache(-1, LatencyModel{})
+	c.Put(BlockKey{Object: "r", Block: 0}, []byte("x"), false)
+	if _, ok := c.Get(BlockKey{Object: "r", Block: 0}, false); ok {
+		t.Error("disabled cache stored a block")
+	}
+}
+
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := NewSSDCache(2000, LatencyModel{})
+	blk := make([]byte, 900)
+	c.Put(BlockKey{"r", 0}, blk, false)
+	c.Put(BlockKey{"r", 1}, blk, false)
+	// Re-put block 0: refresh recency, not duplicate bytes.
+	c.Put(BlockKey{"r", 0}, blk, false)
+	if used := c.Used(); used != 1800 {
+		t.Errorf("Used = %d, want 1800 (no double count)", used)
+	}
+	c.Put(BlockKey{"r", 2}, blk, false) // evicts LRU = block 1
+	if c.Contains(BlockKey{"r", 1}) {
+		t.Error("block 1 should be the eviction victim after block 0 refresh")
+	}
+}
+
+func TestCacheReleaseUnknownKey(t *testing.T) {
+	c := NewSSDCache(0, LatencyModel{})
+	c.Release(BlockKey{"ghost", 9}) // must not panic
+}
+
+func TestCacheAllPinnedOvershoots(t *testing.T) {
+	c := NewSSDCache(100, LatencyModel{})
+	c.Put(BlockKey{"r", 0}, make([]byte, 90), true)
+	c.Put(BlockKey{"r", 1}, make([]byte, 90), true)
+	// Both pinned: cache overshoots rather than dropping pinned data.
+	if !c.Contains(BlockKey{"r", 0}) || !c.Contains(BlockKey{"r", 1}) {
+		t.Error("pinned blocks must never be evicted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewSSDCache(10_000, LatencyModel{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := BlockKey{Object: fmt.Sprintf("r%d", w%3), Block: uint32(i % 17)}
+				if i%3 == 0 {
+					c.Put(key, make([]byte, 64), false)
+				} else if i%7 == 0 {
+					c.Get(key, true)
+					c.Release(key)
+				} else {
+					c.Get(key, false)
+				}
+				if i%41 == 0 {
+					c.DropObject("r0")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if used := c.Used(); used < 0 || used > 20_000 {
+		t.Errorf("Used = %d out of sanity range", used)
+	}
+}

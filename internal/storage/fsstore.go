@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FSStore is a directory-backed ObjectStore. Object names map to files
+// under the root directory; slashes in names become subdirectories.
+// Writes go through a temporary file plus rename so that, like real shared
+// storage, an object becomes visible atomically and is never observed
+// half-written. FSStore backs the recovery example and the crash tests.
+type FSStore struct {
+	root  string
+	lat   LatencyModel
+	stats Stats
+
+	// mu serializes Put existence checks; the filesystem itself is the
+	// source of truth for contents.
+	mu sync.Mutex
+}
+
+// NewFSStore creates (if needed) and opens a store rooted at dir.
+func NewFSStore(dir string, lat LatencyModel) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &FSStore{root: dir, lat: lat}, nil
+}
+
+// Stats exposes the traffic counters.
+func (s *FSStore) Stats() *Stats { return &s.stats }
+
+func (s *FSStore) path(name string) (string, error) {
+	clean := filepath.Clean(name)
+	if clean == "." || strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("storage: invalid object name %q", name)
+	}
+	return filepath.Join(s.root, filepath.FromSlash(clean)), nil
+}
+
+// Put implements ObjectStore.
+func (s *FSStore) Put(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(p); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: mkdir: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write temp: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publish object: %w", err)
+	}
+	s.stats.Writes.Add(1)
+	s.stats.BytesWrite.Add(int64(len(data)))
+	s.lat.sleep(len(data))
+	return nil
+}
+
+// Get implements ObjectStore.
+func (s *FSStore) Get(name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return nil, fmt.Errorf("storage: read: %w", err)
+	}
+	s.stats.Reads.Add(1)
+	s.stats.BytesRead.Add(int64(len(data)))
+	s.lat.sleep(len(data))
+	return data, nil
+}
+
+// GetRange implements ObjectStore.
+func (s *FSStore) GetRange(name string, offset, length int64) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return nil, fmt.Errorf("storage: open: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: stat: %w", err)
+	}
+	if offset < 0 || length < 0 || offset+length > st.Size() {
+		return nil, fmt.Errorf("%w: %s [%d,+%d) of %d", ErrRange, name, offset, length, st.Size())
+	}
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return nil, fmt.Errorf("storage: read at: %w", err)
+	}
+	s.stats.Reads.Add(1)
+	s.stats.BytesRead.Add(length)
+	s.lat.sleep(int(length))
+	return buf, nil
+}
+
+// Size implements ObjectStore.
+func (s *FSStore) Size(name string) (int64, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return 0, fmt.Errorf("storage: stat: %w", err)
+	}
+	return st.Size(), nil
+}
+
+// List implements ObjectStore.
+func (s *FSStore) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(s.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: list: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements ObjectStore.
+func (s *FSStore) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: delete: %w", err)
+	}
+	s.stats.Deletes.Add(1)
+	return nil
+}

@@ -1,0 +1,214 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZoneString(t *testing.T) {
+	cases := []struct {
+		z    ZoneID
+		want string
+	}{
+		{ZoneLive, "live"},
+		{ZoneGroomed, "groomed"},
+		{ZonePostGroomed, "post-groomed"},
+		{ZoneID(9), "zone(9)"},
+	}
+	for _, c := range cases {
+		if got := c.z.String(); got != c.want {
+			t.Errorf("ZoneID(%d).String() = %q, want %q", c.z, got, c.want)
+		}
+	}
+}
+
+func TestRIDRoundTrip(t *testing.T) {
+	rids := []RID{
+		{},
+		{Zone: ZoneGroomed, Block: 0, Offset: 0},
+		{Zone: ZonePostGroomed, Block: 1<<64 - 1, Offset: 1<<32 - 1},
+		{Zone: ZoneLive, Block: 42, Offset: 7},
+	}
+	for _, r := range rids {
+		enc := EncodeRID(nil, r)
+		if len(enc) != RIDSize {
+			t.Fatalf("EncodeRID(%v) produced %d bytes, want %d", r, len(enc), RIDSize)
+		}
+		got, err := DecodeRID(enc)
+		if err != nil {
+			t.Fatalf("DecodeRID(%v): %v", r, err)
+		}
+		if got != r {
+			t.Errorf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestRIDRoundTripQuick(t *testing.T) {
+	f := func(zone uint8, block uint64, offset uint32) bool {
+		r := RID{Zone: ZoneID(zone), Block: block, Offset: offset}
+		got, err := DecodeRID(EncodeRID(nil, r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRIDShort(t *testing.T) {
+	if _, err := DecodeRID(make([]byte, RIDSize-1)); err == nil {
+		t.Error("DecodeRID on short input: want error, got nil")
+	}
+}
+
+func TestRIDIsZero(t *testing.T) {
+	if !(RID{}).IsZero() {
+		t.Error("zero RID should report IsZero")
+	}
+	if (RID{Block: 1}).IsZero() {
+		t.Error("non-zero RID should not report IsZero")
+	}
+}
+
+func TestRIDEncodeAppends(t *testing.T) {
+	prefix := []byte{0xaa, 0xbb}
+	out := EncodeRID(prefix, RID{Zone: ZoneGroomed, Block: 5, Offset: 6})
+	if len(out) != 2+RIDSize {
+		t.Fatalf("len = %d, want %d", len(out), 2+RIDSize)
+	}
+	if out[0] != 0xaa || out[1] != 0xbb {
+		t.Error("EncodeRID must append, not overwrite, the prefix")
+	}
+}
+
+func TestMakeTSParts(t *testing.T) {
+	ts := MakeTS(123456, 789)
+	if got := ts.GroomSeq(); got != 123456 {
+		t.Errorf("GroomSeq = %d, want 123456", got)
+	}
+	if got := ts.CommitSeq(); got != 789 {
+		t.Errorf("CommitSeq = %d, want 789", got)
+	}
+}
+
+func TestMakeTSMonotonicAcrossGrooms(t *testing.T) {
+	// beginTS must be monotonically increasing across groom cycles even if
+	// a later cycle has a smaller commit sequence (§2.1).
+	a := MakeTS(10, 1<<tsCommitBits-1)
+	b := MakeTS(11, 0)
+	if !(a < b) {
+		t.Errorf("TS of later groom cycle must be larger: %v vs %v", a, b)
+	}
+}
+
+func TestMakeTSCommitTruncated(t *testing.T) {
+	// commit sequences above 24 bits must not bleed into the groom part.
+	ts := MakeTS(5, 1<<31-1)
+	if got := ts.GroomSeq(); got != 5 {
+		t.Errorf("GroomSeq polluted by oversized commitSeq: %d", got)
+	}
+}
+
+func TestTSOrderingQuick(t *testing.T) {
+	f := func(g1, g2 uint32, c1, c2 uint32) bool {
+		a := MakeTS(uint64(g1), c1)
+		b := MakeTS(uint64(g2), c2)
+		if g1 != g2 {
+			return (g1 < g2) == (a < b)
+		}
+		return (c1&(1<<tsCommitBits-1) < c2&(1<<tsCommitBits-1)) == (a < b) ||
+			(c1&(1<<tsCommitBits-1) == c2&(1<<tsCommitBits-1)) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSString(t *testing.T) {
+	if got := MaxTS.String(); got != "ts(max)" {
+		t.Errorf("MaxTS.String() = %q", got)
+	}
+	if got := MakeTS(3, 4).String(); got != "ts(3.4)" {
+		t.Errorf("MakeTS(3,4).String() = %q", got)
+	}
+}
+
+func TestBlockRangeContains(t *testing.T) {
+	r := BlockRange{Min: 5, Max: 9}
+	for id, want := range map[uint64]bool{4: false, 5: true, 7: true, 9: true, 10: false} {
+		if got := r.Contains(id); got != want {
+			t.Errorf("%v.Contains(%d) = %v, want %v", r, id, got, want)
+		}
+	}
+}
+
+func TestBlockRangeCovers(t *testing.T) {
+	r := BlockRange{Min: 5, Max: 9}
+	cases := []struct {
+		o    BlockRange
+		want bool
+	}{
+		{BlockRange{5, 9}, true},
+		{BlockRange{6, 8}, true},
+		{BlockRange{5, 10}, false},
+		{BlockRange{4, 9}, false},
+		{BlockRange{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := r.Covers(c.o); got != c.want {
+			t.Errorf("%v.Covers(%v) = %v, want %v", r, c.o, got, c.want)
+		}
+	}
+}
+
+func TestBlockRangeOverlaps(t *testing.T) {
+	r := BlockRange{Min: 5, Max: 9}
+	cases := []struct {
+		o    BlockRange
+		want bool
+	}{
+		{BlockRange{0, 4}, false},
+		{BlockRange{0, 5}, true},
+		{BlockRange{9, 20}, true},
+		{BlockRange{10, 20}, false},
+		{BlockRange{6, 7}, true},
+	}
+	for _, c := range cases {
+		if got := r.Overlaps(c.o); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", r, c.o, got, c.want)
+		}
+		// Overlap is symmetric.
+		if got := c.o.Overlaps(r); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", c.o, r, got, c.want)
+		}
+	}
+}
+
+func TestBlockRangeLen(t *testing.T) {
+	if got := (BlockRange{3, 3}).Len(); got != 1 {
+		t.Errorf("Len of single-block range = %d", got)
+	}
+	if got := (BlockRange{3, 7}).Len(); got != 5 {
+		t.Errorf("Len = %d, want 5", got)
+	}
+	if got := (BlockRange{7, 3}).Len(); got != 0 {
+		t.Errorf("Len of inverted range = %d, want 0", got)
+	}
+}
+
+func TestBlockRangeUnion(t *testing.T) {
+	got := BlockRange{5, 9}.Union(BlockRange{2, 6})
+	if got != (BlockRange{2, 9}) {
+		t.Errorf("Union = %v, want [2-9]", got)
+	}
+	got = BlockRange{1, 2}.Union(BlockRange{8, 9})
+	if got != (BlockRange{1, 9}) {
+		t.Errorf("Union of disjoint = %v, want [1-9]", got)
+	}
+}
+
+func TestBlockRangeString(t *testing.T) {
+	if got := (BlockRange{1, 5}).String(); got != "[1-5]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+package wildfire
+
+import (
+	"fmt"
+
+	"umzi/internal/columnar"
+	"umzi/internal/types"
+)
+
+// Data-block access path: groomed and post-groomed blocks are immutable
+// columnar objects in shared storage; the engine memoizes parsed blocks
+// (the engine-side analogue of the SSD data cache of Figure 1).
+
+type blockEntry struct {
+	blk *columnar.Block
+}
+
+// fetchBlock returns the parsed columnar block with the given object
+// name, reading through the block cache.
+func (e *Engine) fetchBlock(name string) (*columnar.Block, error) {
+	e.blockMu.Lock()
+	if be, ok := e.blockCache[name]; ok {
+		e.blockMu.Unlock()
+		return be.blk, nil
+	}
+	e.blockMu.Unlock()
+
+	data, err := e.store.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	blk, err := columnar.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("wildfire: corrupt block %s: %w", name, err)
+	}
+	e.cacheBlock(name, blk)
+	return blk, nil
+}
+
+func (e *Engine) cacheBlock(name string, blk *columnar.Block) {
+	e.blockMu.Lock()
+	e.blockCache[name] = &blockEntry{blk: blk}
+	e.blockMu.Unlock()
+}
+
+func (e *Engine) dropCachedBlock(name string) {
+	e.blockMu.Lock()
+	delete(e.blockCache, name)
+	e.blockMu.Unlock()
+}
+
+// Record is a fully resolved record version: the user row plus the hidden
+// multi-version columns.
+type Record struct {
+	Row     Row
+	BeginTS types.TS
+	EndTS   types.TS // MaxTS while the version is current
+	PrevRID types.RID
+	RID     types.RID
+}
+
+// Fetch resolves an RID to its record (§2.1 footnote 2: an RID is the
+// combination of zone, block ID and record offset). The endTS overlay
+// from post-groom sidecars is applied on the way out.
+func (e *Engine) Fetch(rid types.RID) (Record, error) {
+	var name string
+	switch rid.Zone {
+	case types.ZoneGroomed:
+		name = groomedBlockName(e.table.Name, rid.Block)
+	case types.ZonePostGroomed:
+		name = postBlockName(e.table.Name, rid.Block)
+	default:
+		return Record{}, fmt.Errorf("wildfire: cannot fetch RID %v (live zone has no blocks)", rid)
+	}
+	blk, err := e.fetchBlock(name)
+	if err != nil {
+		return Record{}, err
+	}
+	if int(rid.Offset) >= blk.NumRows() {
+		return Record{}, fmt.Errorf("wildfire: RID %v beyond block size %d", rid, blk.NumRows())
+	}
+	nUser := len(e.table.Columns)
+	row := make(Row, nUser)
+	for c := 0; c < nUser; c++ {
+		row[c] = blk.Value(int(rid.Offset), c)
+	}
+	rec := Record{
+		Row:     row,
+		BeginTS: types.TS(blk.Value(int(rid.Offset), nUser).Uint()),
+		EndTS:   types.TS(blk.Value(int(rid.Offset), nUser+1).Uint()),
+		RID:     rid,
+	}
+	if prevEnc := blk.Value(int(rid.Offset), nUser+2).Bytes(); len(prevEnc) == types.RIDSize {
+		if prev, err := types.DecodeRID(prevEnc); err == nil {
+			rec.PrevRID = prev
+		}
+	}
+	// Apply the endTS sidecar overlay.
+	e.endTSMu.Lock()
+	if ts, ok := e.endTS[rid]; ok {
+		rec.EndTS = ts
+	}
+	e.endTSMu.Unlock()
+	return rec, nil
+}

@@ -1,0 +1,287 @@
+package wildfire
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"umzi/internal/core"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+// Config configures an Engine (one table shard).
+type Config struct {
+	Table TableDef
+	Index IndexSpec
+	// Store is the shared storage backend for data blocks, index runs and
+	// engine metadata.
+	Store storage.ObjectStore
+	// Cache is the local SSD cache shared by the index and data blocks.
+	Cache *storage.SSDCache
+	// Replicas is the number of multi-master shard replicas (default 1).
+	Replicas int
+	// Partitions is the number of partition-key buckets the post-groomer
+	// writes (default 4; ignored without a partition key).
+	Partitions int
+	// IndexTuning forwards merge-policy and level-assignment knobs to the
+	// Umzi index; zero values keep core defaults. Name/Def/Store/Cache
+	// are managed by the engine and ignored here.
+	IndexTuning core.Config
+}
+
+// Engine is one Wildfire table shard: live zone, groomer, post-groomer,
+// indexer and the query front end.
+type Engine struct {
+	table      TableDef
+	ixSpec     IndexSpec
+	store      storage.ObjectStore
+	cache      *storage.SSDCache
+	idx        *core.Index
+	replicas   []*replica
+	partitions int
+
+	// commitSeq is the global tentative-commit clock; the groomer merges
+	// replica logs in this order (§2.1 "merges, in the time order,
+	// transaction logs from shard replicas").
+	commitSeq atomic.Uint64
+	// groomCycle numbers groom operations; it doubles as the groomed
+	// block ID and as the high part of beginTS.
+	groomCycle atomic.Uint64
+	// lastGroomTS is the snapshot boundary: every groomed version has
+	// beginTS <= lastGroomTS.
+	lastGroomTS atomic.Uint64
+	// maxPSN is the post-groomer's published watermark; the indexer polls
+	// it (Figure 5).
+	maxPSN atomic.Uint64
+	// postBlockSeq numbers post-groomed blocks.
+	postBlockSeq atomic.Uint64
+
+	// pending guards the groomed blocks not yet post-groomed.
+	pendingMu sync.Mutex
+	pending   []uint64 // groomed block IDs in order
+
+	// groomMu serializes groom operations; postMu serializes post-grooms.
+	groomMu sync.Mutex
+	postMu  sync.Mutex
+
+	// endTS overlays replaced versions: RID -> endTS. Maintained by the
+	// post-groomer; persisted as sidecar objects because shared storage
+	// forbids in-place updates of data blocks.
+	endTSMu sync.Mutex
+	endTS   map[types.RID]types.TS
+
+	// blockCache memoizes parsed columnar blocks (data access path).
+	// Deprecated groomed blocks stay cached until every query that could
+	// hold their RIDs has drained (epoch-based reclamation through gate),
+	// realizing "marked deprecated and eventually deleted" (§5.4) without
+	// blocking readers.
+	blockMu    sync.Mutex
+	blockCache map[string]*blockEntry
+
+	// gate tracks in-flight queries; retireQueue holds cache entries of
+	// deleted groomed blocks awaiting epoch drain.
+	gate        queryGate
+	retireMu    sync.Mutex
+	retireQueue []retireItem
+
+	// deprecated lists groomed block IDs consumed by post-grooms whose
+	// data blocks cannot be deleted yet because a (partially covered)
+	// groomed run still references them.
+	deprecateMu sync.Mutex
+	deprecated  []uint64
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewEngine creates a fresh engine with an empty index. Storage must not
+// already contain this table.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Index.Validate(cfg.Table); err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("wildfire: Config.Store is required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+
+	ixCfg := cfg.IndexTuning
+	ixCfg.Name = "tbl/" + cfg.Table.Name + "/idx"
+	ixCfg.Def = indexDefFor(cfg.Table, cfg.Index)
+	ixCfg.Store = cfg.Store
+	ixCfg.Cache = cfg.Cache
+	idx, err := core.Open(ixCfg) // Open handles both fresh and recovery
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		table:      cfg.Table,
+		ixSpec:     cfg.Index,
+		store:      cfg.Store,
+		cache:      cfg.Cache,
+		idx:        idx,
+		endTS:      make(map[types.RID]types.TS),
+		blockCache: make(map[string]*blockEntry),
+		stopCh:     make(chan struct{}),
+	}
+	e.partitions = cfg.Partitions
+	for i := 0; i < cfg.Replicas; i++ {
+		e.replicas = append(e.replicas, &replica{id: i})
+	}
+	if err := e.recoverState(); err != nil {
+		idx.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Index exposes the underlying Umzi index (benchmarks tune and inspect
+// it directly).
+func (e *Engine) Index() *core.Index { return e.idx }
+
+// Table returns the table definition.
+func (e *Engine) Table() TableDef { return e.table }
+
+// LastGroomTS returns the snapshot boundary: the largest beginTS any
+// groomed version can carry. Queries at this timestamp see everything
+// groomed so far ("quorum-readable" content, §2.1).
+func (e *Engine) LastGroomTS() types.TS { return types.TS(e.lastGroomTS.Load()) }
+
+// MaxPSN returns the post-groomer's published watermark.
+func (e *Engine) MaxPSN() types.PSN { return types.PSN(e.maxPSN.Load()) }
+
+// Start launches the background daemons: the groomer (every groomEvery),
+// the post-groomer (every postGroomEvery) and the indexer poller, plus
+// the index's own per-level maintenance workers.
+func (e *Engine) Start(groomEvery, postGroomEvery time.Duration) {
+	e.idx.Start(groomEvery)
+	e.wg.Add(3)
+	go e.loop(groomEvery, func() { _ = e.Groom() })
+	go e.loop(postGroomEvery, func() { _, _ = e.PostGroom() })
+	go e.loop(groomEvery, func() { _ = e.SyncIndex() })
+}
+
+func (e *Engine) loop(every time.Duration, f func()) {
+	defer e.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-t.C:
+			f()
+		}
+	}
+}
+
+// Close stops the daemons and the index.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.stopCh)
+	e.wg.Wait()
+	return e.idx.Close()
+}
+
+// recoverState rebuilds engine counters from storage after a restart:
+// the groom cycle from groomed/post block listings, PSN from psn metas,
+// the pending groomed blocks (those not covered by the index watermark),
+// and the endTS overlay from the sidecar objects.
+func (e *Engine) recoverState() error {
+	prefix := "tbl/" + e.table.Name
+	names, err := e.store.List(prefix + "/groomed/")
+	if err != nil {
+		return err
+	}
+	var maxCycle uint64
+	covered := e.idx.MaxCoveredGroomedID()
+	safe := covered + 1
+	if min, ok := e.idx.MinLiveGroomedBlock(); ok && min < safe {
+		safe = min
+	}
+	for _, n := range names {
+		var id uint64
+		if _, err := fmt.Sscanf(n, prefix+"/groomed/block-%d", &id); err != nil {
+			continue
+		}
+		if id > maxCycle {
+			maxCycle = id
+		}
+		switch {
+		case id > covered:
+			// Not yet post-groomed: back into the pending queue.
+			e.pending = append(e.pending, id)
+		case id < safe:
+			// Deprecated and unreferenced: an interrupted deletion.
+			_ = e.store.Delete(n)
+		default:
+			// Deprecated but still referenced by a partially covered
+			// groomed run; retired by a later evolve.
+			e.deprecated = append(e.deprecated, id)
+		}
+	}
+	e.groomCycle.Store(maxCycle)
+	e.lastGroomTS.Store(uint64(types.MakeTS(maxCycle, 1<<24-1)))
+
+	postNames, err := e.store.List(prefix + "/post/")
+	if err != nil {
+		return err
+	}
+	var maxPost uint64
+	for _, n := range postNames {
+		var id uint64
+		if _, err := fmt.Sscanf(n, prefix+"/post/block-%d", &id); err != nil {
+			continue
+		}
+		if id > maxPost {
+			maxPost = id
+		}
+	}
+	e.postBlockSeq.Store(maxPost)
+
+	psnNames, err := e.store.List(prefix + "/psn/")
+	if err != nil {
+		return err
+	}
+	var maxPSN uint64
+	for _, n := range psnNames {
+		var id uint64
+		if _, err := fmt.Sscanf(n, prefix+"/psn/%d", &id); err != nil {
+			continue
+		}
+		if id > maxPSN {
+			maxPSN = id
+		}
+	}
+	e.maxPSN.Store(maxPSN)
+
+	// Rebuild the endTS overlay from sidecars.
+	endNames, err := e.store.List(prefix + "/endts/")
+	if err != nil {
+		return err
+	}
+	for _, n := range endNames {
+		data, err := e.store.Get(n)
+		if err != nil {
+			continue
+		}
+		decodeEndTSSidecar(data, func(rid types.RID, ts types.TS) {
+			e.endTS[rid] = ts
+		})
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package wildfire
+
+import (
+	"testing"
+
+	"umzi/internal/columnar"
+	"umzi/internal/core"
+	"umzi/internal/keyenc"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+// iotTable is the paper's motivating IoT example: deviceID as equality /
+// sharding column, msg number as sort column, a reading payload, and the
+// date as partition key for analytics (§2.1, §4.1).
+func iotTable() TableDef {
+	return TableDef{
+		Name: "sensors",
+		Columns: []columnar.Column{
+			{Name: "device", Kind: keyenc.KindInt64},
+			{Name: "msg", Kind: keyenc.KindInt64},
+			{Name: "reading", Kind: keyenc.KindFloat64},
+			{Name: "day", Kind: keyenc.KindInt64},
+		},
+		PrimaryKey:   []string{"device", "msg"},
+		ShardKey:     []string{"device"},
+		PartitionKey: "day",
+	}
+}
+
+func iotIndex() IndexSpec {
+	return IndexSpec{
+		Equality: []string{"device"},
+		Sort:     []string{"msg"},
+		Included: []string{"reading"},
+		HashBits: 6,
+	}
+}
+
+func newTestEngine(t *testing.T, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{
+		Table:    iotTable(),
+		Index:    iotIndex(),
+		Store:    storage.NewMemStore(storage.LatencyModel{}),
+		Replicas: 2,
+	}
+	cfg.IndexTuning.K = 2
+	cfg.IndexTuning.GroomedLevels = 3
+	cfg.IndexTuning.PostGroomedLevels = 2
+	cfg.IndexTuning.BlockSize = 1024
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func row(device, msg int64, reading float64, day int64) Row {
+	return Row{keyenc.I64(device), keyenc.I64(msg), keyenc.F64(reading), keyenc.I64(day)}
+}
+
+func key(device, msg int64) ([]keyenc.Value, []keyenc.Value) {
+	return []keyenc.Value{keyenc.I64(device)}, []keyenc.Value{keyenc.I64(msg)}
+}
+
+func TestTableValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*TableDef)
+	}{
+		{"no name", func(td *TableDef) { td.Name = "" }},
+		{"no columns", func(td *TableDef) { td.Columns = nil }},
+		{"no pk", func(td *TableDef) { td.PrimaryKey = nil }},
+		{"pk not in table", func(td *TableDef) { td.PrimaryKey = []string{"ghost"} }},
+		{"shard key outside pk", func(td *TableDef) { td.ShardKey = []string{"reading"} }},
+		{"partition key missing", func(td *TableDef) { td.PartitionKey = "ghost" }},
+		{"reserved column", func(td *TableDef) {
+			td.Columns = append(td.Columns, columnar.Column{Name: "_sneaky", Kind: keyenc.KindInt64})
+		}},
+		{"duplicate column", func(td *TableDef) {
+			td.Columns = append(td.Columns, columnar.Column{Name: "device", Kind: keyenc.KindInt64})
+		}},
+	}
+	for _, c := range cases {
+		td := iotTable()
+		c.mutate(&td)
+		if err := td.Validate(); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+	td := iotTable()
+	if err := td.Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestIndexSpecValidation(t *testing.T) {
+	td := iotTable()
+	cases := []struct {
+		name string
+		spec IndexSpec
+	}{
+		{"missing pk coverage", IndexSpec{Equality: []string{"device"}}},
+		{"non-pk key column", IndexSpec{Equality: []string{"device"}, Sort: []string{"reading"}}},
+		{"unknown column", IndexSpec{Equality: []string{"ghost"}, Sort: []string{"msg"}}},
+		{"dup key column", IndexSpec{Equality: []string{"device"}, Sort: []string{"device", "msg"}}},
+		{"included is key", IndexSpec{Equality: []string{"device"}, Sort: []string{"msg"}, Included: []string{"device"}}},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(td); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+	if err := iotIndex().Validate(td); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestIngestGroomGet(t *testing.T) {
+	e := newTestEngine(t, nil)
+	if err := e.UpsertRows(0, row(1, 1, 20.5, 100), row(2, 1, 21.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LiveCount(); got != 2 {
+		t.Fatalf("LiveCount = %d, want 2", got)
+	}
+	n, err := e.GroomCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("groomed %d records, want 2", n)
+	}
+	if got := e.LiveCount(); got != 0 {
+		t.Fatalf("LiveCount after groom = %d, want 0", got)
+	}
+	eq, sortv := key(1, 1)
+	rec, found, err := e.Get(eq, sortv, QueryOptions{})
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if rec.Row[2].Float() != 20.5 {
+		t.Errorf("reading = %v", rec.Row[2])
+	}
+	if rec.RID.Zone != types.ZoneGroomed {
+		t.Errorf("RID zone = %v, want groomed", rec.RID.Zone)
+	}
+	if rec.EndTS != types.MaxTS {
+		t.Errorf("open version endTS = %v, want MaxTS", rec.EndTS)
+	}
+	// Missing key.
+	eq, sortv = key(9, 9)
+	if _, found, _ := e.Get(eq, sortv, QueryOptions{}); found {
+		t.Error("found absent key")
+	}
+}
+
+func TestUpsertIsUpdate(t *testing.T) {
+	e := newTestEngine(t, nil)
+	if err := e.UpsertRows(0, row(1, 1, 20.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := e.LastGroomTS()
+	if err := e.UpsertRows(0, row(1, 1, 25.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	eq, sortv := key(1, 1)
+	rec, found, err := e.Get(eq, sortv, QueryOptions{})
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if rec.Row[2].Float() != 25.0 {
+		t.Errorf("newest reading = %v, want 25.0", rec.Row[2])
+	}
+	// Time travel to the first groom's snapshot.
+	old, found, err := e.Get(eq, sortv, QueryOptions{TS: ts1})
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if old.Row[2].Float() != 20.0 {
+		t.Errorf("snapshot reading = %v, want 20.0", old.Row[2])
+	}
+}
+
+func TestLastWriterWinsAcrossReplicas(t *testing.T) {
+	e := newTestEngine(t, nil)
+	// Concurrent updates to the same key on different replicas: commit
+	// order decides (LWW, §2.1).
+	if err := e.UpsertRows(0, row(1, 1, 10.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UpsertRows(1, row(1, 1, 99.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	eq, sortv := key(1, 1)
+	rec, found, err := e.Get(eq, sortv, QueryOptions{})
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if rec.Row[2].Float() != 99.0 {
+		t.Errorf("LWW violated: reading = %v, want 99.0 (later commit)", rec.Row[2])
+	}
+}
+
+func TestTxnLifecycle(t *testing.T) {
+	e := newTestEngine(t, nil)
+	tx, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Upsert(row(1, 1, 1.0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted data is invisible everywhere.
+	if e.LiveCount() != 0 {
+		t.Error("uncommitted rows visible in live zone")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+	if err := tx.Upsert(row(1, 2, 1.0, 1)); err == nil {
+		t.Error("upsert after commit accepted")
+	}
+
+	tx2, _ := e.Begin(0)
+	if err := tx2.Upsert(row(2, 1, 2.0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	if e.LiveCount() != 1 {
+		t.Errorf("LiveCount = %d, want 1 (aborted txn discarded)", e.LiveCount())
+	}
+
+	if _, err := e.Begin(99); err == nil {
+		t.Error("bad replica accepted")
+	}
+	tx3, _ := e.Begin(0)
+	if err := tx3.Upsert(Row{keyenc.I64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tx3.Upsert(Row{keyenc.Str("x"), keyenc.I64(1), keyenc.F64(0), keyenc.I64(0)}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestLiveZoneReads(t *testing.T) {
+	e := newTestEngine(t, nil)
+	if err := e.UpsertRows(0, row(1, 1, 10.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	// Newer committed-but-ungroomed update.
+	if err := e.UpsertRows(0, row(1, 1, 20.0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	eq, sortv := key(1, 1)
+	// Default read: groomed snapshot only.
+	rec, _, err := e.Get(eq, sortv, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Row[2].Float() != 10.0 {
+		t.Errorf("groomed-snapshot read = %v, want 10.0", rec.Row[2])
+	}
+	// Freshness read sees the live zone.
+	rec, _, err = e.Get(eq, sortv, QueryOptions{IncludeLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Row[2].Float() != 20.0 {
+		t.Errorf("live read = %v, want 20.0", rec.Row[2])
+	}
+}
+
+func TestScanAndIndexOnlyScan(t *testing.T) {
+	e := newTestEngine(t, nil)
+	for msg := int64(0); msg < 20; msg++ {
+		if err := e.UpsertRows(int(msg)%2, row(7, msg, float64(msg)/2, 100+msg%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	eq := []keyenc.Value{keyenc.I64(7)}
+	recs, err := e.Scan(eq, []keyenc.Value{keyenc.I64(5)}, []keyenc.Value{keyenc.I64(14)}, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("scan returned %d, want 10", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Row[1].Int() != int64(5+i) {
+			t.Errorf("scan[%d] msg = %v, want %d (ordered)", i, rec.Row[1], 5+i)
+		}
+	}
+	// Index-only: reading comes from the included column, no block fetch.
+	rows, err := e.IndexOnlyScan(eq, []keyenc.Value{keyenc.I64(5)}, []keyenc.Value{keyenc.I64(14)}, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("index-only scan returned %d, want 10", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].Int() != 7 || r[1].Int() != int64(5+i) || r[2].Float() != float64(5+i)/2 {
+			t.Errorf("index-only row %d = %v", i, r)
+		}
+	}
+}
+
+func TestGetBatch(t *testing.T) {
+	e := newTestEngine(t, nil)
+	for msg := int64(0); msg < 10; msg++ {
+		if err := e.UpsertRows(0, row(1, msg, float64(msg), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	var keys []core.LookupKey
+	for msg := int64(0); msg < 12; msg += 2 { // msgs 10 and beyond miss
+		keys = append(keys, core.LookupKey{
+			Equality: []keyenc.Value{keyenc.I64(1)},
+			Sort:     []keyenc.Value{keyenc.I64(msg)},
+		})
+	}
+	recs, found, err := e.GetBatch(keys, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, msg := range []int64{0, 2, 4, 6, 8, 10} {
+		wantFound := msg < 10
+		if found[i] != wantFound {
+			t.Fatalf("batch[%d] (msg %d): found=%v, want %v", i, msg, found[i], wantFound)
+		}
+		if found[i] && recs[i].Row[2].Float() != float64(msg) {
+			t.Errorf("batch[%d]: reading %v, want %d", i, recs[i].Row[2], msg)
+		}
+	}
+}

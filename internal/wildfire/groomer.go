@@ -1,0 +1,116 @@
+package wildfire
+
+import (
+	"fmt"
+	"sort"
+
+	"umzi/internal/columnar"
+	"umzi/internal/keyenc"
+	"umzi/internal/run"
+	"umzi/internal/types"
+)
+
+// Groom performs one groom operation (§2.1): it merges the committed
+// logs of all shard replicas in commit-time order, resolves concurrent
+// updates to the same key by last-writer-wins (the later commit gets the
+// larger beginTS, so queries reconcile to it), assigns monotonically
+// increasing beginTS values whose high part is the groom cycle and low
+// part the commit order, writes one columnar groomed block to shared
+// storage, and builds an index run over it (§5.2).
+//
+// It returns the number of records groomed; zero means the live zone was
+// empty and no block or run was produced.
+func (e *Engine) Groom() error {
+	_, err := e.GroomCount()
+	return err
+}
+
+// GroomCount is Groom returning the number of records groomed.
+func (e *Engine) GroomCount() (int, error) {
+	if e.closed.Load() {
+		return 0, fmt.Errorf("wildfire: engine closed")
+	}
+	e.groomMu.Lock()
+	defer e.groomMu.Unlock()
+
+	// Merge replica logs in time order.
+	var recs []logRecord
+	for _, r := range e.replicas {
+		recs = append(recs, r.drain()...)
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].commitSeq < recs[j].commitSeq })
+
+	cycle := e.groomCycle.Add(1)
+	schema, err := e.table.blockSchema()
+	if err != nil {
+		return 0, err
+	}
+	builder := columnar.NewBuilder(schema)
+	entries := make([]run.Entry, 0, len(recs))
+
+	for i, rec := range recs {
+		if i >= 1<<24 {
+			return 0, fmt.Errorf("wildfire: groom cycle exceeds %d records", 1<<24)
+		}
+		beginTS := types.MakeTS(cycle, uint32(i))
+		rid := types.RID{Zone: types.ZoneGroomed, Block: cycle, Offset: uint32(i)}
+
+		// Hidden columns: endTS is unknown (open version) and prevRID is
+		// resolved later by the post-groomer (§2.1).
+		full := append(append(Row{}, rec.row...),
+			keyenc.U64(uint64(beginTS)),
+			keyenc.U64(uint64(types.MaxTS)),
+			keyenc.Raw(nil),
+		)
+		if err := builder.Append(full); err != nil {
+			return 0, err
+		}
+
+		entry, err := e.entryForRow(rec.row, beginTS, rid)
+		if err != nil {
+			return 0, err
+		}
+		entries = append(entries, entry)
+	}
+
+	blk := builder.Build()
+	name := groomedBlockName(e.table.Name, cycle)
+	if err := e.store.Put(name, blk.Marshal()); err != nil {
+		return 0, err
+	}
+	e.cacheBlock(name, blk)
+
+	// The groomer also builds indexes over the groomed data (§2.1).
+	if err := e.idx.BuildRun(entries, types.BlockRange{Min: cycle, Max: cycle}); err != nil {
+		return 0, err
+	}
+
+	e.pendingMu.Lock()
+	e.pending = append(e.pending, cycle)
+	e.pendingMu.Unlock()
+
+	// Publish the new snapshot boundary: all versions of this cycle are
+	// now quorum-readable.
+	e.lastGroomTS.Store(uint64(types.MakeTS(cycle, 1<<24-1)))
+	return len(recs), nil
+}
+
+// entryForRow builds the index entry of one record version.
+func (e *Engine) entryForRow(row Row, ts types.TS, rid types.RID) (run.Entry, error) {
+	eq := make([]keyenc.Value, len(e.ixSpec.Equality))
+	for i, c := range e.ixSpec.Equality {
+		eq[i] = row[e.table.colIndex(c)]
+	}
+	sortv := make([]keyenc.Value, len(e.ixSpec.Sort))
+	for i, c := range e.ixSpec.Sort {
+		sortv[i] = row[e.table.colIndex(c)]
+	}
+	incl := make([]keyenc.Value, len(e.ixSpec.Included))
+	for i, c := range e.ixSpec.Included {
+		incl[i] = row[e.table.colIndex(c)]
+	}
+	return e.idx.MakeEntry(eq, sortv, incl, ts, rid)
+}

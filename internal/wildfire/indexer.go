@@ -1,0 +1,161 @@
+package wildfire
+
+import (
+	"fmt"
+
+	"umzi/internal/core"
+	"umzi/internal/run"
+	"umzi/internal/types"
+)
+
+// The indexer side of Figure 5: the indexer tracks IndexedPSN and polls
+// the post-groomer's MaxPSN; whenever IndexedPSN < MaxPSN it performs an
+// index evolve operation for IndexedPSN+1, strictly in order, and lets
+// the index persist the new watermark. Asynchrony is safe because a
+// post-groom only copies data between zones — a query finds the same
+// record through either zone's RID until the groomed blocks are dropped.
+
+// SyncIndex applies every published-but-unindexed post-groom operation.
+// It is the poll loop body; tests call it directly for determinism.
+func (e *Engine) SyncIndex() error {
+	for {
+		indexed := uint64(e.idx.IndexedPSN())
+		max := e.maxPSN.Load()
+		if indexed >= max {
+			return nil
+		}
+		if err := e.evolveOne(types.PSN(indexed + 1)); err != nil {
+			return err
+		}
+	}
+}
+
+// evolveOne builds the index entries for one post-groom operation and
+// hands them to the index's evolve, then deletes the deprecated groomed
+// blocks (they are no longer referenced once the evolve completes).
+func (e *Engine) evolveOne(psn types.PSN) error {
+	meta, err := e.store.Get(psnMetaName(e.table.Name, psn))
+	if err != nil {
+		return fmt.Errorf("wildfire: reading PSN %d meta: %w", psn, err)
+	}
+	lo, hi, blockIDs, err := decodePSNMeta(meta)
+	if err != nil {
+		return err
+	}
+
+	var entries []run.Entry
+	nUser := len(e.table.Columns)
+	for _, id := range blockIDs {
+		blk, err := e.fetchBlock(postBlockName(e.table.Name, id))
+		if err != nil {
+			return fmt.Errorf("wildfire: evolve reading post block %d: %w", id, err)
+		}
+		for r := 0; r < blk.NumRows(); r++ {
+			row := make(Row, nUser)
+			for c := 0; c < nUser; c++ {
+				row[c] = blk.Value(r, c)
+			}
+			beginTS := types.TS(blk.Value(r, nUser).Uint())
+			rid := types.RID{Zone: types.ZonePostGroomed, Block: id, Offset: uint32(r)}
+			entry, err := e.entryForRow(row, beginTS, rid)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, entry)
+		}
+	}
+
+	if err := e.idx.Evolve(psn, entries, types.BlockRange{Min: lo, Max: hi}); err != nil {
+		return err
+	}
+
+	// Groomed blocks consumed by this post-groom are deprecated and
+	// eventually deleted (§5.4). "Eventually" has two conditions here:
+	//
+	//   - no live groomed run may still reference the block — merged runs
+	//     can span ranges evolve only partially covered, and their entries
+	//     hand out RIDs into low blocks until they are GC'd;
+	//   - in-flight queries that already resolved a groomed RID keep the
+	//     block readable through the engine block cache until their query
+	//     epoch drains (epoch-based reclamation).
+	e.deprecateMu.Lock()
+	for id := lo; id <= hi; id++ {
+		e.deprecated = append(e.deprecated, id)
+	}
+	safe := e.idx.MaxCoveredGroomedID() + 1
+	if min, ok := e.idx.MinLiveGroomedBlock(); ok && min < safe {
+		safe = min
+	}
+	var retire []string
+	keep := e.deprecated[:0]
+	for _, id := range e.deprecated {
+		if id < safe {
+			retire = append(retire, groomedBlockName(e.table.Name, id))
+		} else {
+			keep = append(keep, id)
+		}
+	}
+	e.deprecated = keep
+	e.deprecateMu.Unlock()
+
+	// The storage objects can go immediately: current and future queries
+	// reach retired blocks only through the cache (the index no longer
+	// hands out their RIDs to queries starting after this point, and
+	// recovery cannot resurrect references to them thanks to the safe
+	// rule above).
+	for _, name := range retire {
+		_ = e.store.Delete(name)
+	}
+	e.retireCacheEntries(retire)
+	return nil
+}
+
+// retireItem is one cached block awaiting query-epoch drain.
+type retireItem struct {
+	name string
+	tag  uint64
+}
+
+// retireCacheEntries queues cache entries of deleted blocks and reclaims
+// every queued entry whose tag epoch has drained.
+func (e *Engine) retireCacheEntries(names []string) {
+	e.retireMu.Lock()
+	now := e.gate.current()
+	for _, n := range names {
+		e.retireQueue = append(e.retireQueue, retireItem{name: n, tag: now})
+	}
+	e.gate.tryAdvance()
+	cur := e.gate.current()
+	keep := e.retireQueue[:0]
+	var drop []string
+	for _, it := range e.retireQueue {
+		if it.tag+2 <= cur {
+			drop = append(drop, it.name)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	e.retireQueue = keep
+	e.retireMu.Unlock()
+
+	e.blockMu.Lock()
+	for _, n := range drop {
+		delete(e.blockCache, n)
+	}
+	e.blockMu.Unlock()
+}
+
+// indexDefFor lowers an IndexSpec to the core index definition.
+func indexDefFor(t TableDef, s IndexSpec) core.IndexDef {
+	def := core.IndexDef{HashBits: s.HashBits}
+	for _, c := range s.Equality {
+		def.Equality = append(def.Equality, core.Column{Name: c, Kind: t.Columns[t.colIndex(c)].Kind})
+	}
+	for _, c := range s.Sort {
+		def.Sort = append(def.Sort, core.Column{Name: c, Kind: t.Columns[t.colIndex(c)].Kind})
+	}
+	for _, c := range s.Included {
+		def.Included = append(def.Included, core.Column{Name: c, Kind: t.Columns[t.colIndex(c)].Kind})
+	}
+	return def
+}

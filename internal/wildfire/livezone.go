@@ -1,0 +1,143 @@
+package wildfire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The live zone (§2.1): transactions append uncommitted changes to a
+// local side-log; on commit the side-log moves to the replica's committed
+// log with a tentative commit timestamp. The committed log is the
+// groomer's input and is also scanned directly by freshness-sensitive
+// queries, since the live zone is not covered by the index (§3).
+
+// logRecord is one committed upsert awaiting grooming.
+type logRecord struct {
+	row       Row
+	commitSeq uint64 // global commit order (tentative commit time)
+}
+
+// replica is one multi-master shard replica with its own committed log.
+type replica struct {
+	id int
+
+	mu  sync.Mutex
+	log []logRecord
+}
+
+// appendCommitted adds a transaction's side-log to the committed log.
+func (r *replica) appendCommitted(rows []Row, seqOf func() uint64) {
+	r.mu.Lock()
+	for _, row := range rows {
+		r.log = append(r.log, logRecord{row: row, commitSeq: seqOf()})
+	}
+	r.mu.Unlock()
+}
+
+// drain removes and returns all committed records (groom input).
+func (r *replica) drain() []logRecord {
+	r.mu.Lock()
+	out := r.log
+	r.log = nil
+	r.mu.Unlock()
+	return out
+}
+
+// scan visits the committed log without draining it (live-zone reads).
+func (r *replica) scan(visit func(rec logRecord)) {
+	r.mu.Lock()
+	for _, rec := range r.log {
+		visit(rec)
+	}
+	r.mu.Unlock()
+}
+
+// size returns the number of records awaiting grooming.
+func (r *replica) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.log)
+}
+
+// Txn is a transaction: upserts accumulate in a side-log and become
+// visible (to grooming and live-zone scans) only at Commit. Wildfire
+// treats every insert/update/delete as an upsert on the primary key with
+// last-writer-wins semantics for concurrent updates (§2.1).
+type Txn struct {
+	eng      *Engine
+	replica  *replica
+	sidelog  []Row
+	done     bool
+	readOnly bool
+}
+
+// Begin starts a transaction against the given shard replica. Any replica
+// of a shard can ingest data (multi-master).
+func (e *Engine) Begin(replicaID int) (*Txn, error) {
+	if replicaID < 0 || replicaID >= len(e.replicas) {
+		return nil, fmt.Errorf("wildfire: replica %d out of range (%d replicas)", replicaID, len(e.replicas))
+	}
+	return &Txn{eng: e, replica: e.replicas[replicaID]}, nil
+}
+
+// Upsert stages one row. The row is validated eagerly so a malformed
+// write fails at the call site, not at commit.
+func (tx *Txn) Upsert(row Row) error {
+	if tx.done {
+		return fmt.Errorf("wildfire: transaction already finished")
+	}
+	if err := tx.eng.table.validateRow(row); err != nil {
+		return err
+	}
+	cp := make(Row, len(row))
+	copy(cp, row)
+	tx.sidelog = append(tx.sidelog, cp)
+	return nil
+}
+
+// Commit publishes the side-log to the replica's committed log with
+// tentative commit times; the groomer later resets beginTS so the commit
+// effectively happens at groom time (§2.1).
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("wildfire: transaction already finished")
+	}
+	tx.done = true
+	if len(tx.sidelog) == 0 {
+		return nil
+	}
+	tx.replica.appendCommitted(tx.sidelog, func() uint64 { return tx.eng.commitSeq.Add(1) })
+	tx.sidelog = nil
+	return nil
+}
+
+// Abort discards the side-log.
+func (tx *Txn) Abort() {
+	tx.done = true
+	tx.sidelog = nil
+}
+
+// UpsertRows is a convenience that runs one auto-committed transaction.
+func (e *Engine) UpsertRows(replicaID int, rows ...Row) error {
+	tx, err := e.Begin(replicaID)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := tx.Upsert(r); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// LiveCount reports the number of committed-but-ungroomed records across
+// all replicas (live-zone size).
+func (e *Engine) LiveCount() int {
+	n := 0
+	for _, r := range e.replicas {
+		n += r.size()
+	}
+	return n
+}

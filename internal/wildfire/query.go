@@ -1,0 +1,199 @@
+package wildfire
+
+import (
+	"fmt"
+
+	"umzi/internal/core"
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// Query front end. Depending on the freshness requirement a query reads
+// the live zone, the groomed zone and/or the post-groomed zone (§3): the
+// indexed zones are served by Umzi; the live zone — small by construction
+// because the groomer runs every second — is scanned directly when the
+// caller asks for it.
+
+// QueryOptions control snapshot and freshness semantics.
+type QueryOptions struct {
+	// TS is the snapshot timestamp. Zero selects the newest groomed
+	// snapshot (LastGroomTS), the default read point of §2.1's
+	// quorum-readable semantics.
+	TS types.TS
+	// IncludeLive additionally scans committed-but-ungroomed records,
+	// trading latency for freshness. Live records have no final beginTS
+	// yet, so they are only consulted for reads at the newest snapshot.
+	IncludeLive bool
+}
+
+func (e *Engine) resolveTS(opts QueryOptions) types.TS {
+	if opts.TS == 0 {
+		return e.LastGroomTS()
+	}
+	return opts.TS
+}
+
+// Get returns the newest visible version of the primary key assembled
+// from equality + sort column values.
+func (e *Engine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	if e.closed.Load() {
+		return Record{}, false, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ts := e.resolveTS(opts)
+
+	if opts.IncludeLive && ts >= e.LastGroomTS() {
+		if rec, ok := e.liveLookup(eq, sortv); ok {
+			return rec, true, nil
+		}
+	}
+	entry, found, err := e.idx.PointLookup(eq, sortv, ts)
+	if err != nil || !found {
+		return Record{}, false, err
+	}
+	rec, err := e.Fetch(entry.RID)
+	if err != nil {
+		return Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// liveLookup scans the replicas' committed logs for the newest committed
+// version of the key. Linear in live-zone size, which the groomer keeps
+// small.
+func (e *Engine) liveLookup(eq, sortv []keyenc.Value) (Record, bool) {
+	target := string(keyenc.AppendComposite(keyenc.AppendComposite(nil, eq...), sortv...))
+	var best Row
+	var bestSeq uint64
+	for _, r := range e.replicas {
+		r.scan(func(rec logRecord) {
+			key := string(keyenc.AppendComposite(
+				keyenc.AppendComposite(nil, e.eqVals(rec.row)...),
+				e.sortVals(rec.row)...))
+			if key == target && rec.commitSeq >= bestSeq {
+				best = rec.row
+				bestSeq = rec.commitSeq
+			}
+		})
+	}
+	if best == nil {
+		return Record{}, false
+	}
+	return Record{Row: best, BeginTS: types.MaxTS, EndTS: types.MaxTS}, true
+}
+
+// Scan returns the newest visible version of every key matching the
+// equality values and the inclusive sort-column bounds, in key order.
+func (e *Engine) Scan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ts := e.resolveTS(opts)
+	entries, err := e.idx.RangeScan(core.ScanOptions{
+		Equality: eq,
+		SortLo:   sortLo,
+		SortHi:   sortHi,
+		TS:       ts,
+		Method:   core.MethodPQ,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, len(entries))
+	for _, entry := range entries {
+		rec, err := e.Fetch(entry.RID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// IndexOnlyScan is Scan without fetching records: the result rows are
+// assembled entirely from the index (key + included columns), the
+// index-only access plan the included columns exist for (§4.1). Each
+// result carries only the indexed columns, in spec order
+// (equality, sort, included).
+func (e *Engine) IndexOnlyScan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	entries, err := e.idx.RangeScan(core.ScanOptions{
+		Equality: eq,
+		SortLo:   sortLo,
+		SortHi:   sortHi,
+		TS:       e.resolveTS(opts),
+		Method:   core.MethodPQ,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]keyenc.Value, 0, len(entries))
+	for _, entry := range entries {
+		eqv, sortv, incl, err := e.idx.DecodeEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]keyenc.Value, 0, len(eqv)+len(sortv)+len(incl))
+		row = append(row, eqv...)
+		row = append(row, sortv...)
+		row = append(row, incl...)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// GetBatch resolves a batch of point lookups through the index's sorted
+// batch path (§7.2).
+func (e *Engine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Record, []bool, error) {
+	if e.closed.Load() {
+		return nil, nil, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	entries, found, err := e.idx.LookupBatch(keys, e.resolveTS(opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Record, len(keys))
+	for i := range entries {
+		if !found[i] {
+			continue
+		}
+		rec, err := e.Fetch(entries[i].RID)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = rec
+	}
+	return out, found, nil
+}
+
+// History walks the version chain of a key backwards from its newest
+// visible version using prevRID (time travel, §2.1). Versions groomed
+// but never post-groomed have no prevRID yet; the walk covers what the
+// post-groomer has resolved plus the head version.
+func (e *Engine) History(eq, sortv []keyenc.Value, opts QueryOptions, limit int) ([]Record, error) {
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	rec, found, err := e.Get(eq, sortv, opts)
+	if err != nil || !found {
+		return nil, err
+	}
+	out := []Record{rec}
+	for len(out) != limit && !rec.PrevRID.IsZero() {
+		prev, err := e.Fetch(rec.PrevRID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prev)
+		rec = prev
+	}
+	return out, nil
+}

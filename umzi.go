@@ -1,0 +1,204 @@
+// Package umzi is a from-scratch Go implementation of Umzi, the unified
+// multi-version, multi-zone LSM-like index of IBM's Wildfire HTAP system
+// ("Umzi: Unified Multi-Zone Indexing for Large-Scale HTAP", Luo et al.,
+// EDBT 2019), together with the engine substrate it lives in.
+//
+// Two levels of API are exposed:
+//
+//   - The index itself (New / Open, returning *Index): an LSM-like
+//     structure whose runs are divided into a groomed and a post-groomed
+//     zone, merged within zones under a hybrid K/T policy, migrated
+//     between zones by lock-free evolve operations, persisted in
+//     append-only shared storage and cached block-by-block in a local SSD
+//     cache. Queries — range scans, point lookups, sorted batches — are
+//     non-blocking and multi-version (every read carries a timestamp).
+//
+//   - The Wildfire-style engine (NewEngine, returning *Engine): tables
+//     with primary/sharding/partition keys, multi-master transaction
+//     ingest with last-writer-wins upserts, a groomer producing columnar
+//     groomed blocks and index runs, a post-groomer resolving
+//     endTS/prevRID and re-partitioning data, and an indexer daemon
+//     applying index evolve operations in PSN order.
+//
+// The umzi package re-exports the internal packages' public surface so
+// applications import a single path:
+//
+//	ix, err := umzi.Open(umzi.Config{
+//	    Name:  "orders",
+//	    Def:   umzi.IndexDef{
+//	        Equality: []umzi.Column{{Name: "customer", Kind: umzi.KindInt64}},
+//	        Sort:     []umzi.Column{{Name: "order", Kind: umzi.KindInt64}},
+//	    },
+//	    Store: umzi.NewMemStore(umzi.LatencyModel{}),
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the map from
+// paper sections to packages.
+package umzi
+
+import (
+	"umzi/internal/core"
+	"umzi/internal/keyenc"
+	"umzi/internal/run"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+	"umzi/internal/wildfire"
+)
+
+// Core index API (internal/core).
+type (
+	// Index is one Umzi index instance serving a single table shard.
+	Index = core.Index
+	// Config configures an Index.
+	Config = core.Config
+	// IndexDef declares equality, sort and included columns (§4.1).
+	IndexDef = core.IndexDef
+	// Column names one indexed column.
+	Column = core.Column
+	// ScanOptions describes a range scan.
+	ScanOptions = core.ScanOptions
+	// LookupKey is one key of a batched point lookup.
+	LookupKey = core.LookupKey
+	// Method selects the reconciliation strategy (§7.1.2).
+	Method = core.Method
+	// StatsSnapshot is a copy of the index counters.
+	StatsSnapshot = core.StatsSnapshot
+	// Entry is one index entry (hash, key, beginTS, RID, included cols).
+	Entry = run.Entry
+)
+
+// Reconciliation methods.
+const (
+	MethodAuto = core.MethodAuto
+	MethodSet  = core.MethodSet
+	MethodPQ   = core.MethodPQ
+)
+
+// New creates a fresh index; it fails if shared storage already holds an
+// index under Config.Name.
+func New(cfg Config) (*Index, error) { return core.New(cfg) }
+
+// Open recovers an index from shared storage (§5.5), or creates a fresh
+// one when the name is unused.
+func Open(cfg Config) (*Index, error) { return core.Open(cfg) }
+
+// Value model (internal/keyenc).
+type (
+	// Value is a dynamically typed column value.
+	Value = keyenc.Value
+	// Kind enumerates value types.
+	Kind = keyenc.Kind
+)
+
+// Column kinds.
+const (
+	KindInt64   = keyenc.KindInt64
+	KindUint64  = keyenc.KindUint64
+	KindFloat64 = keyenc.KindFloat64
+	KindBytes   = keyenc.KindBytes
+	KindString  = keyenc.KindString
+	KindBool    = keyenc.KindBool
+)
+
+// I64 returns an int64 value.
+func I64(v int64) Value { return keyenc.I64(v) }
+
+// U64 returns a uint64 value.
+func U64(v uint64) Value { return keyenc.U64(v) }
+
+// F64 returns a float64 value.
+func F64(v float64) Value { return keyenc.F64(v) }
+
+// Str returns a string value.
+func Str(v string) Value { return keyenc.Str(v) }
+
+// Raw returns a bytes value (the slice is retained, not copied).
+func Raw(v []byte) Value { return keyenc.Raw(v) }
+
+// Bool returns a bool value.
+func Bool(v bool) Value { return keyenc.B(v) }
+
+// Shared primitives (internal/types).
+type (
+	// TS is a multi-version timestamp; beginTS composes a groom-cycle
+	// part and a commit-sequence part (§2.1).
+	TS = types.TS
+	// RID locates a record: zone, block ID, record offset.
+	RID = types.RID
+	// ZoneID identifies a data zone.
+	ZoneID = types.ZoneID
+	// PSN is a post-groom sequence number (§5.4).
+	PSN = types.PSN
+	// BlockRange is an inclusive range of groomed block IDs.
+	BlockRange = types.BlockRange
+)
+
+// Zone identifiers and timestamp bounds.
+const (
+	ZoneLive        = types.ZoneLive
+	ZoneGroomed     = types.ZoneGroomed
+	ZonePostGroomed = types.ZonePostGroomed
+	// MaxTS reads the newest version of everything.
+	MaxTS = types.MaxTS
+)
+
+// MakeTS builds a hybrid timestamp from a groom cycle and commit sequence.
+func MakeTS(groomSeq uint64, commitSeq uint32) TS { return types.MakeTS(groomSeq, commitSeq) }
+
+// Storage hierarchy (internal/storage).
+type (
+	// ObjectStore is the append-only shared-storage abstraction.
+	ObjectStore = storage.ObjectStore
+	// MemStore is an in-memory ObjectStore with a latency model.
+	MemStore = storage.MemStore
+	// FSStore is a directory-backed ObjectStore.
+	FSStore = storage.FSStore
+	// SSDCache is the local SSD block cache (§6.2).
+	SSDCache = storage.SSDCache
+	// LatencyModel simulates per-tier access cost.
+	LatencyModel = storage.LatencyModel
+)
+
+// NewMemStore returns an in-memory shared-storage simulator.
+func NewMemStore(lat LatencyModel) *MemStore { return storage.NewMemStore(lat) }
+
+// NewFSStore opens a directory-backed shared store (durable; used by the
+// recovery example).
+func NewFSStore(dir string, lat LatencyModel) (*FSStore, error) {
+	return storage.NewFSStore(dir, lat)
+}
+
+// NewSSDCache returns a capacity-bounded SSD block cache. capacity 0
+// means unbounded; negative disables caching.
+func NewSSDCache(capacity int64, lat LatencyModel) *SSDCache {
+	return storage.NewSSDCache(capacity, lat)
+}
+
+// Wildfire engine (internal/wildfire).
+type (
+	// Engine is one Wildfire table shard: live zone, groomer,
+	// post-groomer, indexer and query front end (§2.1).
+	Engine = wildfire.Engine
+	// EngineConfig configures an Engine.
+	EngineConfig = wildfire.Config
+	// TableDef defines a table: columns, primary key, sharding key,
+	// partition key.
+	TableDef = wildfire.TableDef
+	// IndexSpec selects the index key layout over a table.
+	IndexSpec = wildfire.IndexSpec
+	// Row is one table row.
+	Row = wildfire.Row
+	// Record is a resolved record version with its hidden columns.
+	Record = wildfire.Record
+	// Txn is an upsert transaction.
+	Txn = wildfire.Txn
+	// QueryOptions control snapshot and freshness semantics.
+	QueryOptions = wildfire.QueryOptions
+	// TableColumn describes one table column (alias of the columnar
+	// package's column descriptor).
+	TableColumn = wildfire.TableColumn
+)
+
+// NewEngine creates a table-shard engine (one Umzi index instance plus
+// the grooming pipeline).
+func NewEngine(cfg EngineConfig) (*Engine, error) { return wildfire.NewEngine(cfg) }
