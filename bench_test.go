@@ -6,8 +6,12 @@
 package umzi_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
+	"umzi"
 	"umzi/internal/bench"
 )
 
@@ -75,3 +79,88 @@ func BenchmarkAblationMergePolicy(b *testing.B) { benchFigure(b, bench.AblationM
 // BenchmarkAblationNonPersisted measures write traffic with non-persisted
 // levels (A6).
 func BenchmarkAblationNonPersisted(b *testing.B) { benchFigure(b, bench.AblationNonPersisted) }
+
+// BenchmarkFigS1ShardScaling regenerates Figure S1 (the scatter-gather
+// shard-count sweep, an extension beyond the paper's single-shard
+// evaluation).
+func BenchmarkFigS1ShardScaling(b *testing.B) { benchFigure(b, bench.FigS1ShardScaling) }
+
+// Scatter-gather benchmarks: the same dataset partitioned across 1, 2, 4
+// and 8 shards, queried through the sharded engine. Shared storage
+// carries a simulated per-read latency (as the Figure 14 benchmark does)
+// and there is no SSD cache, so index reads hit shared storage — the
+// regime scatter-gather is built for: per-shard reads overlap instead of
+// queueing behind a single index instance. Expect the 4-shard ordered
+// scan to beat the 1-shard baseline by roughly the shard count.
+
+const (
+	shardBenchRows  = 8_000
+	shardBenchBatch = 256
+)
+
+// newShardBenchEngine builds an n-shard ledger (single-column primary
+// key that is both sharding and sort key, so every scan scatters) with
+// shardBenchRows rows, through the same builder the Figure S1 sweep
+// uses so both measure the same workload.
+func newShardBenchEngine(b *testing.B, name string, shards int) *umzi.ShardedEngine {
+	b.Helper()
+	eng, err := bench.NewShardedLedger(name, shards, shardBenchRows,
+		umzi.LatencyModel{PerOp: 100 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// BenchmarkShardedScan measures the full ordered index-only scan (every
+// shard scanned concurrently, results sort-merged) at growing shard
+// counts over the same data.
+func BenchmarkShardedScan(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := newShardBenchEngine(b, fmt.Sprintf("bscan%d", shards), shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := eng.IndexOnlyScan(nil, nil, nil, umzi.QueryOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != shardBenchRows {
+					b.Fatalf("scan returned %d rows, want %d", len(rows), shardBenchRows)
+				}
+			}
+			b.ReportMetric(float64(shardBenchRows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkShardedLookup measures a random point-lookup batch split
+// across the shards and executed concurrently.
+func BenchmarkShardedLookup(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := newShardBenchEngine(b, fmt.Sprintf("blook%d", shards), shards)
+			rng := rand.New(rand.NewSource(11))
+			keys := make([]umzi.LookupKey, shardBenchBatch)
+			for i := range keys {
+				keys[i] = umzi.LookupKey{Sort: []umzi.Value{umzi.I64(rng.Int63n(shardBenchRows))}}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, found, err := eng.GetBatch(keys, umzi.QueryOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, f := range found {
+					if !f {
+						b.Fatalf("key %d not found", j)
+					}
+				}
+			}
+			b.ReportMetric(float64(shardBenchBatch*b.N)/b.Elapsed().Seconds(), "lookups/s")
+		})
+	}
+}

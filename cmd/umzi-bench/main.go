@@ -39,6 +39,7 @@ func drivers() []driver {
 		{"13", "Figure 13: update-rate sweep", bench.Fig13UpdateRates},
 		{"14", "Figure 14: purge levels", bench.Fig14PurgeLevels},
 		{"15", "Figure 15: index evolve on/off", bench.Fig15Evolve},
+		{"s1", "Figure S1: scatter-gather shard scaling (extension)", bench.FigS1ShardScaling},
 		{"a1", "Ablation A1: offset array width", bench.AblationOffsetArray},
 		{"a2", "Ablation A2: set vs priority-queue reconciliation", bench.AblationReconcile},
 		{"a3", "Ablation A3: synopsis pruning", bench.AblationSynopsis},

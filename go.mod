@@ -1,0 +1,3 @@
+module umzi
+
+go 1.22

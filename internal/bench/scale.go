@@ -36,6 +36,15 @@ type Scale struct {
 	ReaderCounts []int
 	// UpdateRates sweeps the IoT update percentage p (Fig 13).
 	UpdateRates []int
+
+	// ShardCounts sweeps the number of table shards for the sharded
+	// scatter-gather experiment (Figure S1, an extension: the paper runs
+	// Umzi inside sharded Wildfire but evaluates a single shard).
+	ShardCounts []int
+	// ShardScanRows is the total dataset size of the shard experiment;
+	// it stays fixed across shard counts so the sweep isolates the
+	// scatter-gather effect on the same data.
+	ShardScanRows int
 }
 
 // SmallScale returns the default laptop-scale configuration used by the
@@ -56,6 +65,8 @@ func SmallScale() Scale {
 		PostGroomEvery:  4,
 		ReaderCounts:    []int{1, 2, 4, 8},
 		UpdateRates:     []int{0, 20, 40, 60, 80, 100},
+		ShardCounts:     []int{1, 2, 4, 8},
+		ShardScanRows:   16_000,
 	}
 }
 
@@ -78,6 +89,8 @@ func PaperScale() Scale {
 		PostGroomEvery:  20,
 		ReaderCounts:    []int{1, 4, 16, 28, 40, 52},
 		UpdateRates:     []int{0, 20, 40, 60, 80, 100},
+		ShardCounts:     []int{1, 2, 4, 8, 16},
+		ShardScanRows:   200_000,
 	}
 }
 
@@ -98,5 +111,7 @@ func TinyScale() Scale {
 		PostGroomEvery:  2,
 		ReaderCounts:    []int{1, 2},
 		UpdateRates:     []int{0, 100},
+		ShardCounts:     []int{1, 2},
+		ShardScanRows:   2_000,
 	}
 }

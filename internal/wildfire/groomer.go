@@ -98,6 +98,24 @@ func (e *Engine) GroomCount() (int, error) {
 	return len(recs), nil
 }
 
+// alignGroomCycle fast-forwards the groom clock to at least cycle
+// without writing a block or a run — an empty groom. The sharding layer
+// uses it to keep shard snapshot clocks in lockstep: after a groom round
+// the shards that had nothing to groom advance to the round's cycle, so
+// a cross-shard snapshot timestamp cuts every shard at the same groom
+// boundary. Skipped cycle numbers are legal everywhere block IDs appear:
+// recovery takes the maximum over existing blocks, and post-groom block
+// ranges simply cover IDs that carry no data.
+func (e *Engine) alignGroomCycle(cycle uint64) {
+	e.groomMu.Lock()
+	defer e.groomMu.Unlock()
+	if e.groomCycle.Load() >= cycle {
+		return
+	}
+	e.groomCycle.Store(cycle)
+	e.lastGroomTS.Store(uint64(types.MakeTS(cycle, 1<<24-1)))
+}
+
 // entryForRow builds the index entry of one record version.
 func (e *Engine) entryForRow(row Row, ts types.TS, rid types.RID) (run.Entry, error) {
 	eq := make([]keyenc.Value, len(e.ixSpec.Equality))

@@ -1,0 +1,627 @@
+package wildfire
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"umzi/internal/core"
+	"umzi/internal/keyenc"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+// The sharding layer. Wildfire is a sharded multi-master system: a table
+// is hash-partitioned by its sharding key across shards, each shard is
+// the unit of grooming, post-grooming and indexing, and each runs its
+// own Umzi index instance (§2.1, §3). ShardedEngine composes N
+// independent Engines into that system: upsert transactions route to the
+// shard owning their rows, and queries either pin to one shard or
+// scatter-gather across all of them through a bounded worker pool,
+// merging per-shard results (sort-merge for ordered scans, positional or
+// plain concatenation otherwise).
+//
+// Snapshot semantics across shards: every shard grooms independently, so
+// there is no global commit clock — exactly as in Wildfire, where a
+// query's read point is the "quorum-readable" groom boundary. The
+// sharded engine keeps the shard groom clocks in lockstep (a groom round
+// advances every shard's cycle, empty shards included) and resolves a
+// query's default read point to the minimum groom boundary across
+// shards, so one timestamp cuts every shard at a groomed prefix and
+// repeated reads at that timestamp are stable.
+
+// ShardedConfig configures a ShardedEngine.
+type ShardedConfig struct {
+	Table TableDef
+	Index IndexSpec
+	// Shards is the number of hash partitions (default 4).
+	Shards int
+	// Parallelism bounds the scatter-gather worker pool shared by all
+	// queries of this engine. The default equals Shards: a fan-out query
+	// can overlap the shared-storage reads of every shard at once, which
+	// is where scatter-gather wins (I/O parallelism against shared
+	// storage, CPU parallelism on multi-core).
+	Parallelism int
+	// Store is the shared storage backend used by every shard; shard
+	// objects live under "tbl/<name>/shard-NNN/...".
+	Store storage.ObjectStore
+	// ShardStore, when set, gives each shard its own storage backend
+	// (modeling scale-out across storage nodes); Store is then ignored.
+	ShardStore func(shard int) storage.ObjectStore
+	// Cache is the local SSD cache shared by all shards (one node's
+	// cache in front of shared storage); nil disables caching.
+	Cache *storage.SSDCache
+	// Replicas is the number of multi-master replicas per shard.
+	Replicas int
+	// Partitions is the number of partition-key buckets per shard.
+	Partitions int
+	// IndexTuning forwards index knobs to every shard's Umzi instance.
+	IndexTuning core.Config
+}
+
+// ShardedEngine is a sharded Wildfire table: N engines behind one
+// routing, ingest and scatter-gather query front end.
+type ShardedEngine struct {
+	table  TableDef
+	ixSpec IndexSpec
+	shards []*Engine
+	router *shardRouter
+	pool   *gatherPool
+
+	// sortIdx are the spec sort columns' ordinals in the table row, for
+	// merge-key extraction.
+	sortIdx []int
+
+	// groomMu serializes groom rounds so the lockstep cycle advance stays
+	// consistent.
+	groomMu sync.Mutex
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// shardTableName names one shard's table; every storage object of the
+// shard lives under the derived "tbl/<this>/" prefix, disjoint between
+// shards and recoverable independently.
+func shardTableName(base string, shard int) string {
+	return fmt.Sprintf("%s/shard-%03d", base, shard)
+}
+
+// NewShardedEngine creates (or recovers, per shard) a sharded engine.
+func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Index.Validate(cfg.Table); err != nil {
+		return nil, err
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = cfg.Shards
+	}
+	if cfg.Store == nil && cfg.ShardStore == nil {
+		return nil, fmt.Errorf("wildfire: ShardedConfig needs Store or ShardStore")
+	}
+
+	router, err := newShardRouter(cfg.Table, cfg.Index, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedEngine{
+		table:  cfg.Table,
+		ixSpec: cfg.Index,
+		router: router,
+		pool:   newGatherPool(cfg.Parallelism),
+		stopCh: make(chan struct{}),
+	}
+	for _, c := range cfg.Index.Sort {
+		s.sortIdx = append(s.sortIdx, cfg.Table.colIndex(c))
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		shardCfg := Config{
+			Table:       cfg.Table,
+			Index:       cfg.Index,
+			Store:       cfg.Store,
+			Cache:       cfg.Cache,
+			Replicas:    cfg.Replicas,
+			Partitions:  cfg.Partitions,
+			IndexTuning: cfg.IndexTuning,
+		}
+		shardCfg.Table.Name = shardTableName(cfg.Table.Name, i)
+		if cfg.ShardStore != nil {
+			shardCfg.Store = cfg.ShardStore(i)
+		}
+		eng, err := NewEngine(shardCfg)
+		if err != nil {
+			for _, e := range s.shards {
+				e.Close()
+			}
+			return nil, fmt.Errorf("wildfire: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, eng)
+	}
+	// Recovery can leave shard groom clocks unequal (empty-cycle advances
+	// are not persisted); realign so the first snapshot is consistent.
+	var max uint64
+	for _, e := range s.shards {
+		if c := e.groomCycle.Load(); c > max {
+			max = c
+		}
+	}
+	for _, e := range s.shards {
+		e.alignGroomCycle(max)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard's engine (benchmarks and tests inspect shards
+// directly; production code should not bypass routing).
+func (s *ShardedEngine) Shard(i int) *Engine { return s.shards[i] }
+
+// Table returns the table definition.
+func (s *ShardedEngine) Table() TableDef { return s.table }
+
+// SnapshotTS returns the default cross-shard read point: the minimum
+// groom boundary over all shards. Every shard shows a groomed prefix at
+// this timestamp, and with lockstep grooming it equals each shard's own
+// boundary.
+func (s *ShardedEngine) SnapshotTS() types.TS {
+	min := types.MaxTS
+	for _, e := range s.shards {
+		if ts := e.LastGroomTS(); ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+func (s *ShardedEngine) resolveTS(opts QueryOptions) types.TS {
+	if opts.TS == 0 {
+		return s.SnapshotTS()
+	}
+	return opts.TS
+}
+
+// Start launches the background daemons. Grooming and post-grooming run
+// as sharded-level lockstep rounds — NOT as per-shard daemons, which
+// would let an idle shard's snapshot clock freeze and pin SnapshotTS
+// (the min over shards) forever. Each shard's own index maintenance
+// workers run per shard as usual.
+func (s *ShardedEngine) Start(groomEvery, postGroomEvery time.Duration) {
+	for _, e := range s.shards {
+		e.idx.Start(groomEvery)
+	}
+	s.wg.Add(3)
+	go s.daemon(groomEvery, func() { _ = s.Groom() })
+	go s.daemon(postGroomEvery, func() { _ = s.PostGroom() })
+	go s.daemon(groomEvery, func() { _ = s.SyncIndex() })
+}
+
+func (s *ShardedEngine) daemon(every time.Duration, f func()) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			f()
+		}
+	}
+}
+
+// Close stops the daemons and closes all shards.
+func (s *ShardedEngine) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stopCh)
+	s.wg.Wait()
+	var first error
+	for _, e := range s.shards {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardedTxn is an upsert transaction against the sharded table: rows
+// accumulate locally and are routed to their owning shards at Commit.
+// Cross-shard commits are not atomic — per Wildfire's multi-master
+// semantics a transaction becomes durable per shard and visible at groom
+// time (§2.1); a crash between shard commits can persist a prefix.
+type ShardedTxn struct {
+	eng       *ShardedEngine
+	replicaID int
+	perShard  [][]Row
+	done      bool
+}
+
+// Begin starts a transaction that will commit through the given replica
+// ordinal of every shard it touches.
+func (s *ShardedEngine) Begin(replicaID int) (*ShardedTxn, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	nr := len(s.shards[0].replicas)
+	if replicaID < 0 || replicaID >= nr {
+		return nil, fmt.Errorf("wildfire: replica %d out of range (%d replicas)", replicaID, nr)
+	}
+	return &ShardedTxn{eng: s, replicaID: replicaID, perShard: make([][]Row, len(s.shards))}, nil
+}
+
+// Upsert stages one row on its owning shard.
+func (tx *ShardedTxn) Upsert(row Row) error {
+	if tx.done {
+		return fmt.Errorf("wildfire: transaction already finished")
+	}
+	if err := tx.eng.table.validateRow(row); err != nil {
+		return err
+	}
+	cp := make(Row, len(row))
+	copy(cp, row)
+	shard := tx.eng.router.shardOfRow(cp)
+	tx.perShard[shard] = append(tx.perShard[shard], cp)
+	return nil
+}
+
+// Commit publishes the staged rows shard by shard.
+func (tx *ShardedTxn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("wildfire: transaction already finished")
+	}
+	tx.done = true
+	for shard, rows := range tx.perShard {
+		if len(rows) == 0 {
+			continue
+		}
+		stx, err := tx.eng.shards[shard].Begin(tx.replicaID)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := stx.Upsert(r); err != nil {
+				stx.Abort()
+				return err
+			}
+		}
+		if err := stx.Commit(); err != nil {
+			return err
+		}
+	}
+	tx.perShard = nil
+	return nil
+}
+
+// Abort discards the staged rows.
+func (tx *ShardedTxn) Abort() {
+	tx.done = true
+	tx.perShard = nil
+}
+
+// UpsertRows runs one auto-committed transaction.
+func (s *ShardedEngine) UpsertRows(replicaID int, rows ...Row) error {
+	tx, err := s.Begin(replicaID)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := tx.Upsert(r); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// LiveCount reports committed-but-ungroomed records across all shards.
+func (s *ShardedEngine) LiveCount() int {
+	n := 0
+	for _, e := range s.shards {
+		n += e.LiveCount()
+	}
+	return n
+}
+
+// Groom performs one lockstep groom round: every shard grooms in
+// parallel, then shards that had nothing advance their groom clock to
+// the round's cycle so the cross-shard snapshot boundary moves as one.
+func (s *ShardedEngine) Groom() error {
+	_, err := s.GroomCount()
+	return err
+}
+
+// GroomCount is Groom returning the total records groomed.
+func (s *ShardedEngine) GroomCount() (int, error) {
+	if s.closed.Load() {
+		return 0, fmt.Errorf("wildfire: engine closed")
+	}
+	s.groomMu.Lock()
+	defer s.groomMu.Unlock()
+	counts := make([]int, len(s.shards))
+	err := s.pool.each(len(s.shards), func(i int) error {
+		n, err := s.shards[i].GroomCount()
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var maxCycle uint64
+	for i, e := range s.shards {
+		total += counts[i]
+		if c := e.groomCycle.Load(); c > maxCycle {
+			maxCycle = c
+		}
+	}
+	if total > 0 {
+		for _, e := range s.shards {
+			e.alignGroomCycle(maxCycle)
+		}
+	}
+	return total, nil
+}
+
+// PostGroom runs one post-groom operation on every shard in parallel.
+func (s *ShardedEngine) PostGroom() error {
+	if s.closed.Load() {
+		return fmt.Errorf("wildfire: engine closed")
+	}
+	return s.pool.each(len(s.shards), func(i int) error {
+		_, err := s.shards[i].PostGroom()
+		return err
+	})
+}
+
+// SyncIndex applies pending index evolve operations on every shard.
+func (s *ShardedEngine) SyncIndex() error {
+	if s.closed.Load() {
+		return fmt.Errorf("wildfire: engine closed")
+	}
+	return s.pool.each(len(s.shards), func(i int) error {
+		return s.shards[i].SyncIndex()
+	})
+}
+
+// MaintainOnce runs one index maintenance pass per shard; it reports
+// whether any shard performed work.
+func (s *ShardedEngine) MaintainOnce() (bool, error) {
+	if s.closed.Load() {
+		return false, fmt.Errorf("wildfire: engine closed")
+	}
+	did := make([]bool, len(s.shards))
+	err := s.pool.each(len(s.shards), func(i int) error {
+		d, err := s.shards[i].Index().MaintainOnce()
+		did[i] = d
+		return err
+	})
+	for _, d := range did {
+		if d {
+			return true, err
+		}
+	}
+	return false, err
+}
+
+// checkFullKey validates a point-lookup key before routing: the router
+// indexes into eq/sortv, so a short key must fail like the single-engine
+// path does instead of panicking.
+func (s *ShardedEngine) checkFullKey(eq, sortv []keyenc.Value) error {
+	if len(eq) != len(s.ixSpec.Equality) || len(sortv) != len(s.ixSpec.Sort) {
+		return fmt.Errorf("wildfire: point lookup requires the full key (%d+%d values, want %d+%d)",
+			len(eq), len(sortv), len(s.ixSpec.Equality), len(s.ixSpec.Sort))
+	}
+	return nil
+}
+
+// checkScanKey validates a scan's equality values before routing.
+func (s *ShardedEngine) checkScanKey(eq []keyenc.Value) error {
+	if len(eq) != len(s.ixSpec.Equality) {
+		return fmt.Errorf("wildfire: scan requires all equality values (%d, want %d)",
+			len(eq), len(s.ixSpec.Equality))
+	}
+	return nil
+}
+
+// Get returns the newest visible version of a key. The full key
+// determines the sharding key, so the lookup always pins to one shard.
+func (s *ShardedEngine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	if s.closed.Load() {
+		return Record{}, false, fmt.Errorf("wildfire: engine closed")
+	}
+	if err := s.checkFullKey(eq, sortv); err != nil {
+		return Record{}, false, err
+	}
+	opts.TS = s.resolveTS(opts)
+	return s.shards[s.router.shardOfKey(eq, sortv)].Get(eq, sortv, opts)
+}
+
+// History walks a key's version chain on its owning shard.
+func (s *ShardedEngine) History(eq, sortv []keyenc.Value, opts QueryOptions, limit int) ([]Record, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	if err := s.checkFullKey(eq, sortv); err != nil {
+		return nil, err
+	}
+	opts.TS = s.resolveTS(opts)
+	return s.shards[s.router.shardOfKey(eq, sortv)].History(eq, sortv, opts, limit)
+}
+
+// GetBatch resolves a batch of point lookups: keys group by owning
+// shard, the per-shard sub-batches run concurrently through each shard's
+// sorted-batch path (§7.2), and results reassemble positionally.
+func (s *ShardedEngine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Record, []bool, error) {
+	if s.closed.Load() {
+		return nil, nil, fmt.Errorf("wildfire: engine closed")
+	}
+	opts.TS = s.resolveTS(opts)
+	perShard := make([][]core.LookupKey, len(s.shards))
+	perShardPos := make([][]int, len(s.shards))
+	for i, k := range keys {
+		if err := s.checkFullKey(k.Equality, k.Sort); err != nil {
+			return nil, nil, fmt.Errorf("batch key %d: %w", i, err)
+		}
+		shard := s.router.shardOfKey(k.Equality, k.Sort)
+		perShard[shard] = append(perShard[shard], k)
+		perShardPos[shard] = append(perShardPos[shard], i)
+	}
+	out := make([]Record, len(keys))
+	found := make([]bool, len(keys))
+	// Each shard writes a disjoint set of positions, and pool.each's wait
+	// orders the writes before the return — no lock needed.
+	err := s.pool.each(len(s.shards), func(i int) error {
+		if len(perShard[i]) == 0 {
+			return nil
+		}
+		recs, ok, err := s.shards[i].GetBatch(perShard[i], opts)
+		if err != nil {
+			return err
+		}
+		for j, pos := range perShardPos[i] {
+			out[pos] = recs[j]
+			found[pos] = ok[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, found, nil
+}
+
+// Scan returns the newest visible version of every key matching the
+// equality values and sort bounds, in global key order. When the
+// sharding key is contained in the equality columns the scan pins to one
+// shard; otherwise it scatters to all shards through the worker pool and
+// sort-merges the per-shard ordered streams.
+func (s *ShardedEngine) Scan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
+	parts, err := s.scatterScan(eq, sortLo, sortHi, opts)
+	if err != nil || parts == nil {
+		return nil, err
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	// Sort-merge: each shard's results are already ordered on the sort
+	// key, so a streaming k-way merge restores global order.
+	keys := make([][][]byte, len(parts))
+	total := 0
+	for i, p := range parts {
+		keys[i] = make([][]byte, len(p))
+		for j := range p {
+			keys[i][j] = sortKeyOfRecord(s.sortIdx, &p[j])
+		}
+		total += len(p)
+	}
+	out := make([]Record, 0, total)
+	it := newMergeIter(keys)
+	for {
+		shard, pos, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, parts[shard][pos])
+	}
+}
+
+// ScanUnordered is Scan without the sort-merge: per-shard results are
+// concatenated in shard order. Cheaper when the caller aggregates and
+// does not need global order.
+func (s *ShardedEngine) ScanUnordered(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
+	parts, err := s.scatterScan(eq, sortLo, sortHi, opts)
+	if err != nil || parts == nil {
+		return nil, err
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	var out []Record
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// scatterScan runs the shard-local scans: one pinned shard when routing
+// allows it, otherwise all shards concurrently. It returns one result
+// slice per participating shard.
+func (s *ShardedEngine) scatterScan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]Record, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	if err := s.checkScanKey(eq); err != nil {
+		return nil, err
+	}
+	opts.TS = s.resolveTS(opts)
+	if shard, ok := s.router.pinScan(eq); ok {
+		recs, err := s.shards[shard].Scan(eq, sortLo, sortHi, opts)
+		if err != nil {
+			return nil, err
+		}
+		return [][]Record{recs}, nil
+	}
+	parts := make([][]Record, len(s.shards))
+	err := s.pool.each(len(s.shards), func(i int) error {
+		recs, err := s.shards[i].Scan(eq, sortLo, sortHi, opts)
+		parts[i] = recs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// IndexOnlyScan is Scan assembled entirely from the shards' indexes
+// (§4.1): scatter, then sort-merge the per-shard index-only rows.
+func (s *ShardedEngine) IndexOnlyScan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	if err := s.checkScanKey(eq); err != nil {
+		return nil, err
+	}
+	opts.TS = s.resolveTS(opts)
+	if shard, ok := s.router.pinScan(eq); ok {
+		return s.shards[shard].IndexOnlyScan(eq, sortLo, sortHi, opts)
+	}
+	parts := make([][][]keyenc.Value, len(s.shards))
+	err := s.pool.each(len(s.shards), func(i int) error {
+		rows, err := s.shards[i].IndexOnlyScan(eq, sortLo, sortHi, opts)
+		parts[i] = rows
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	nEq, nSort := len(s.ixSpec.Equality), len(s.ixSpec.Sort)
+	keys := make([][][]byte, len(parts))
+	total := 0
+	for i, p := range parts {
+		keys[i] = make([][]byte, len(p))
+		for j := range p {
+			keys[i][j] = sortKeyOfIndexRow(nEq, nSort, p[j])
+		}
+		total += len(p)
+	}
+	out := make([][]keyenc.Value, 0, total)
+	it := newMergeIter(keys)
+	for {
+		shard, pos, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, parts[shard][pos])
+	}
+}

@@ -1,0 +1,141 @@
+package wildfire
+
+import (
+	"bytes"
+	"container/heap"
+	"sync"
+
+	"umzi/internal/keyenc"
+)
+
+// Scatter-gather machinery of the sharding layer: a bounded worker pool
+// that fans a query out to every shard concurrently, and a streaming
+// k-way merge that reassembles the per-shard ordered results into one
+// globally ordered stream.
+
+// gatherPool bounds the number of per-shard query tasks running at once.
+// One pool is shared by every query of a ShardedEngine, so a burst of
+// concurrent scatter queries cannot spawn shards×queries goroutines.
+type gatherPool struct {
+	sem chan struct{}
+}
+
+func newGatherPool(limit int) *gatherPool {
+	if limit < 1 {
+		limit = 1
+	}
+	return &gatherPool{sem: make(chan struct{}, limit)}
+}
+
+// each runs f(0..n-1) on the pool and waits for all of them; the first
+// error (lowest index) wins. Task submission blocks while the pool is
+// saturated, which is what bounds concurrency.
+func (p *gatherPool) each(n int, f func(int) error) error {
+	if n == 1 {
+		return f(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardStream is one shard's ordered result slice with its precomputed
+// merge keys (the encoded sort-column values of each item, which is the
+// order every per-shard scan already returns).
+type shardStream struct {
+	keys  [][]byte
+	pos   int
+	shard int
+}
+
+// mergeHeap orders streams by their current merge key; ties break by
+// shard ordinal for determinism (they cannot happen for scans, since a
+// scan key is unique across shards — each primary key lives on exactly
+// one shard).
+type mergeHeap []*shardStream
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].keys[h[i].pos], h[j].keys[h[j].pos]); c != 0 {
+		return c < 0
+	}
+	return h[i].shard < h[j].shard
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*shardStream)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeIter streams the k-way sort-merge of per-shard results: Next
+// yields (shard, position) pairs in global key order. The caller indexes
+// its own per-shard slices with them, so one iterator serves both Record
+// results and index-only value rows.
+type mergeIter struct {
+	h mergeHeap
+}
+
+// newMergeIter builds the merge over per-shard key slices. Shards with no
+// results are skipped.
+func newMergeIter(keys [][][]byte) *mergeIter {
+	it := &mergeIter{h: make(mergeHeap, 0, len(keys))}
+	for shard, ks := range keys {
+		if len(ks) > 0 {
+			it.h = append(it.h, &shardStream{keys: ks, shard: shard})
+		}
+	}
+	heap.Init(&it.h)
+	return it
+}
+
+// Next returns the next (shard, position) in global sort-key order.
+func (it *mergeIter) Next() (shard, pos int, ok bool) {
+	if len(it.h) == 0 {
+		return 0, 0, false
+	}
+	s := it.h[0]
+	shard, pos = s.shard, s.pos
+	s.pos++
+	if s.pos < len(s.keys) {
+		heap.Fix(&it.h, 0)
+	} else {
+		heap.Pop(&it.h)
+	}
+	return shard, pos, true
+}
+
+// sortKeyOfRecord encodes the sort-column values of a record for merging,
+// using the spec's sort-column ordinals in the table row.
+func sortKeyOfRecord(sortIdx []int, rec *Record) []byte {
+	var scratch [4]keyenc.Value
+	vals := scratch[:0]
+	for _, i := range sortIdx {
+		vals = append(vals, rec.Row[i])
+	}
+	return keyenc.AppendComposite(nil, vals...)
+}
+
+// sortKeyOfIndexRow encodes the sort-column values of an index-only
+// result row (layout: equality, sort, included — §4.1).
+func sortKeyOfIndexRow(nEq, nSort int, row []keyenc.Value) []byte {
+	return keyenc.AppendComposite(nil, row[nEq:nEq+nSort]...)
+}

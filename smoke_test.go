@@ -1,0 +1,73 @@
+// Smoke tests that compile and run every program under examples/ and
+// cmd/, so example drift breaks `go test ./...` instead of rotting
+// silently. Each program must build, exit zero and print something it
+// is expected to print.
+package umzi_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildProgram compiles one main package into dir and returns the binary
+// path.
+func buildProgram(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestExamplesAndCommandsSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	dir := t.TempDir()
+
+	cases := []struct {
+		pkg  string
+		args []string
+		want string // substring expected on stdout
+	}{
+		{"examples/quickstart", nil, ""},
+		{"examples/iot", nil, ""},
+		{"examples/htap", nil, ""},
+		{"examples/recovery", nil, ""},
+		{"examples/sharded", []string{"-rows", "20000", "-shards", "4"}, "global id order verified"},
+		{"cmd/umzi-bench", []string{"-list"}, "available figures"},
+		{"cmd/umzi-bench", []string{"-figure", "s1", "-scale", "tiny"}, "Figure S1"},
+		{"cmd/umzi-inspect", []string{"-store", dir}, ""},
+	}
+
+	bins := map[string]string{}
+	for _, c := range cases {
+		if _, ok := bins[c.pkg]; !ok {
+			bins[c.pkg] = buildProgram(t, dir, c.pkg)
+		}
+	}
+
+	for _, c := range cases {
+		name := c.pkg
+		if len(c.args) > 0 {
+			name += " " + strings.Join(c.args, " ")
+		}
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(bins[c.pkg], c.args...)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", name, err, out)
+			}
+			if c.want != "" && !strings.Contains(string(out), c.want) {
+				t.Fatalf("%s: output missing %q:\n%s", name, c.want, out)
+			}
+		})
+	}
+}

@@ -202,3 +202,22 @@ type (
 // NewEngine creates a table-shard engine (one Umzi index instance plus
 // the grooming pipeline).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return wildfire.NewEngine(cfg) }
+
+// Sharded multi-engine layer (internal/wildfire).
+type (
+	// ShardedEngine hash-partitions a table by its sharding key across N
+	// independent Engines — Wildfire's "sharded multi-master" shape
+	// (§2.1) — routing upserts to their owning shard and executing
+	// queries as parallel scatter-gather with sort-merged results.
+	ShardedEngine = wildfire.ShardedEngine
+	// ShardedConfig configures a ShardedEngine.
+	ShardedConfig = wildfire.ShardedConfig
+	// ShardedTxn is an upsert transaction routed across shards at Commit.
+	ShardedTxn = wildfire.ShardedTxn
+)
+
+// NewShardedEngine creates (or recovers) a sharded engine: N table-shard
+// engines behind one routing, ingest and scatter-gather query front end.
+func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
+	return wildfire.NewShardedEngine(cfg)
+}
