@@ -80,6 +80,10 @@ func BenchmarkAblationMergePolicy(b *testing.B) { benchFigure(b, bench.AblationM
 // levels (A6).
 func BenchmarkAblationNonPersisted(b *testing.B) { benchFigure(b, bench.AblationNonPersisted) }
 
+// BenchmarkAblationAggPushdown runs the aggregation pushdown vs
+// client-side sweep (A7).
+func BenchmarkAblationAggPushdown(b *testing.B) { benchFigure(b, bench.AblationAggPushdown) }
+
 // BenchmarkFigS1ShardScaling regenerates Figure S1 (the scatter-gather
 // shard-count sweep, an extension beyond the paper's single-shard
 // evaluation).
@@ -134,6 +138,53 @@ func BenchmarkShardedScan(b *testing.B) {
 			b.ReportMetric(float64(shardBenchRows*b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+}
+
+// BenchmarkAggPushdown compares the analytical executor against the
+// client-side plan it replaces, on a low-selectivity aggregation over a
+// 4-shard orders table (amount <= 1% of the key space; COUNT +
+// SUM(amount)). The pushdown path ships per-shard partial aggregates —
+// sum/count pairs — to the coordinator and skips non-qualifying blocks
+// by their min/max synopses; the client-side path scatter-gathers every
+// record to the coordinator and filters and aggregates there. Expect
+// the pushdown to win by well over 2x.
+func BenchmarkAggPushdown(b *testing.B) {
+	const shards = 4
+	eng, err := bench.NewShardedOrders("baggpush", shards, shardBenchRows,
+		umzi.LatencyModel{PerOp: 100 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	threshold := int64(shardBenchRows/100) - 1 // 1% selectivity
+	plan := bench.AggPushdownPlan(threshold)
+	wantCount := int64(shardBenchRows / 100)
+	wantSum := wantCount * (wantCount - 1) / 2 // amounts are 0..threshold
+
+	b.Run("pushdown", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Execute(plan, umzi.QueryOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Rows[0][0].Int() != wantCount || res.Rows[0][1].Int() != wantSum {
+				b.Fatalf("pushdown aggregate = %v, want (%d, %d)", res.Rows[0], wantCount, wantSum)
+			}
+		}
+	})
+	b.Run("client-side", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count, sum, err := bench.ClientSideAggregate(eng, threshold)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if count != wantCount || sum != wantSum {
+				b.Fatalf("client aggregate = (%d, %d), want (%d, %d)", count, sum, wantCount, wantSum)
+			}
+		}
+	})
 }
 
 // BenchmarkShardedLookup measures a random point-lookup batch split

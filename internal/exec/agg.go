@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"bytes"
+	"sort"
+
+	"umzi/internal/keyenc"
+)
+
+// Partial aggregation. Each shard accumulates qualifying rows into a
+// Partial — per-group aggregate accumulators keyed by the memcmp-encoded
+// group key, or projected rows for row queries — and the coordinator
+// merges Partials instead of rows. AVG ships as a (sum, count) pair and
+// divides only at Finalize, so merging partials is exact.
+
+// aggAcc is one aggregate accumulator. Sums stay in the input column's
+// arithmetic (int64 / uint64 / float64) until Finalize.
+type aggAcc struct {
+	count int64
+	isum  int64
+	usum  uint64
+	fsum  float64
+	min   keyenc.Value
+	max   keyenc.Value
+	hasMM bool // min/max hold values (Min/Max aggregates only)
+}
+
+func (a *aggAcc) add(fn AggFunc, kind keyenc.Kind, v keyenc.Value) {
+	a.count++
+	switch fn {
+	case Sum, Avg:
+		switch kind {
+		case keyenc.KindInt64:
+			a.isum += v.Int()
+			a.fsum += float64(v.Int())
+		case keyenc.KindUint64:
+			a.usum += v.Uint()
+			a.fsum += float64(v.Uint())
+		default:
+			a.fsum += v.Float()
+		}
+	case Min, Max:
+		if !a.hasMM || keyenc.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+		if !a.hasMM || keyenc.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+		a.hasMM = true
+	}
+}
+
+func (a *aggAcc) merge(o *aggAcc) {
+	a.count += o.count
+	a.isum += o.isum
+	a.usum += o.usum
+	a.fsum += o.fsum
+	if o.hasMM {
+		if !a.hasMM || keyenc.Compare(o.min, a.min) < 0 {
+			a.min = o.min
+		}
+		if !a.hasMM || keyenc.Compare(o.max, a.max) > 0 {
+			a.max = o.max
+		}
+		a.hasMM = true
+	}
+}
+
+// finalize lowers the accumulator to its output value.
+func (a *aggAcc) finalize(fn AggFunc, kind keyenc.Kind) keyenc.Value {
+	switch fn {
+	case Count:
+		return keyenc.I64(a.count)
+	case Sum:
+		switch kind {
+		case keyenc.KindInt64:
+			return keyenc.I64(a.isum)
+		case keyenc.KindUint64:
+			return keyenc.U64(a.usum)
+		default:
+			return keyenc.F64(a.fsum)
+		}
+	case Avg:
+		return keyenc.F64(a.fsum / float64(a.count))
+	case Min:
+		return a.min
+	default:
+		return a.max
+	}
+}
+
+// groupState is one group's key values and accumulators.
+type groupState struct {
+	keyVals []keyenc.Value
+	accs    []aggAcc
+}
+
+// Partial is one shard's partially evaluated query: per-group aggregate
+// states for aggregate queries, projected rows for row queries. Partials
+// of the same BoundPlan merge exactly — this is what the sharded layer
+// ships to the coordinator instead of rows.
+type Partial struct {
+	plan   *BoundPlan
+	groups map[string]*groupState
+	rows   [][]keyenc.Value
+	// rowKeys are the rows' composite encodings, kept only for limited
+	// row queries so the partial can hold its top-Limit rows in bounded
+	// memory (limit pushdown: the global first Limit rows in encoded
+	// order are within the union of the per-shard first Limit rows).
+	rowKeys [][]byte
+
+	keyBuf []byte // group-key scratch
+}
+
+// NewPartial returns an empty accumulator for the plan.
+func (b *BoundPlan) NewPartial() *Partial {
+	p := &Partial{plan: b}
+	if b.Aggregating() {
+		p.groups = make(map[string]*groupState)
+	}
+	return p
+}
+
+// NumRows returns the number of accumulated row-query rows.
+func (p *Partial) NumRows() int { return len(p.rows) }
+
+// NumGroups returns the number of accumulated groups.
+func (p *Partial) NumGroups() int { return len(p.groups) }
+
+// Add accumulates one qualifying row. The caller is responsible for
+// filtering (Matches) and for multi-version reconciliation; Add reads
+// only the columns the plan touches.
+func (p *Partial) Add(row RowView) {
+	b := p.plan
+	if !b.Aggregating() {
+		out := make([]keyenc.Value, len(b.project))
+		for i, c := range b.project {
+			out[i] = row(c)
+		}
+		p.rows = append(p.rows, out)
+		if b.limit > 0 {
+			p.rowKeys = append(p.rowKeys, keyenc.AppendComposite(nil, out...))
+			if len(p.rows) >= 2*b.limit {
+				p.truncateToLimit()
+			}
+		}
+		return
+	}
+	p.keyBuf = p.keyBuf[:0]
+	for _, c := range b.groupBy {
+		p.keyBuf = keyenc.Append(p.keyBuf, row(c))
+	}
+	g, ok := p.groups[string(p.keyBuf)]
+	if !ok {
+		g = &groupState{accs: make([]aggAcc, len(b.aggs))}
+		if len(b.groupBy) > 0 {
+			g.keyVals = make([]keyenc.Value, len(b.groupBy))
+			for i, c := range b.groupBy {
+				g.keyVals[i] = row(c)
+			}
+		}
+		p.groups[string(p.keyBuf)] = g
+	}
+	for i := range b.aggs {
+		a := &b.aggs[i]
+		var v keyenc.Value
+		if a.col >= 0 {
+			v = row(a.col)
+		}
+		g.accs[i].add(a.fn, a.kind, v)
+	}
+}
+
+// Merge folds another shard's partial of the same plan into p.
+func (p *Partial) Merge(o *Partial) {
+	if o == nil {
+		return
+	}
+	if !p.plan.Aggregating() {
+		p.rows = append(p.rows, o.rows...)
+		if p.plan.limit > 0 {
+			p.rowKeys = append(p.rowKeys, o.rowKeys...)
+			p.truncateToLimit()
+		}
+		return
+	}
+	for k, og := range o.groups {
+		g, ok := p.groups[k]
+		if !ok {
+			p.groups[k] = og
+			continue
+		}
+		for i := range g.accs {
+			g.accs[i].merge(&og.accs[i])
+		}
+	}
+}
+
+// truncateToLimit keeps the partial's first limit rows in encoded
+// order. Safe at any point: a dropped row sorts after limit retained
+// rows, so it cannot be part of the global first limit rows either.
+func (p *Partial) truncateToLimit() {
+	limit := p.plan.limit
+	if limit <= 0 || len(p.rows) <= limit {
+		return
+	}
+	sort.Sort(&rowSorter{rows: p.rows, keys: p.rowKeys})
+	p.rows = p.rows[:limit]
+	p.rowKeys = p.rowKeys[:limit]
+}
+
+// Result is a finalized query result: output column names and rows.
+// Aggregate results carry one row per group (group-by values first, then
+// one value per aggregate) sorted by group key; row-query results are the
+// projected rows sorted by their encoded values. Both orders are
+// deterministic regardless of shard count and block layout.
+type Result struct {
+	Columns []string
+	Rows    [][]keyenc.Value
+}
+
+// Finalize merges the partials (the coordinator step: partial aggregates
+// in, no rows shipped) and lowers them to a Result. It consumes the
+// partials; nil entries — shards with nothing — are skipped.
+func (b *BoundPlan) Finalize(parts ...*Partial) *Result {
+	var merged *Partial
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if merged == nil {
+			merged = p
+			continue
+		}
+		merged.Merge(p)
+	}
+	if merged == nil {
+		merged = b.NewPartial()
+	}
+	res := &Result{Columns: b.outCols}
+	if b.Aggregating() {
+		keys := make([]string, 0, len(merged.groups))
+		for k := range merged.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := merged.groups[k]
+			out := make([]keyenc.Value, 0, len(b.groupBy)+len(b.aggs))
+			out = append(out, g.keyVals...)
+			for i := range b.aggs {
+				out = append(out, g.accs[i].finalize(b.aggs[i].fn, b.aggs[i].kind))
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	} else {
+		rows := merged.rows
+		keys := make([][]byte, len(rows))
+		for i, r := range rows {
+			keys[i] = keyenc.AppendComposite(nil, r...)
+		}
+		sort.Sort(&rowSorter{rows: rows, keys: keys})
+		res.Rows = rows
+	}
+	if b.limit > 0 && len(res.Rows) > b.limit {
+		res.Rows = res.Rows[:b.limit]
+	}
+	return res
+}
+
+// rowSorter orders row-query results by their composite encoding.
+type rowSorter struct {
+	rows [][]keyenc.Value
+	keys [][]byte
+}
+
+func (s *rowSorter) Len() int           { return len(s.rows) }
+func (s *rowSorter) Less(i, j int) bool { return bytes.Compare(s.keys[i], s.keys[j]) < 0 }
+func (s *rowSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

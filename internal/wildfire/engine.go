@@ -62,6 +62,17 @@ type Engine struct {
 	pendingMu sync.Mutex
 	pending   []uint64 // groomed block IDs in order
 
+	// postBlocks lists the post-groomed block IDs published by committed
+	// post-grooms (in PSN order). Together with pending it enumerates
+	// every current record version at least once — a version lives in a
+	// not-yet-post-groomed groomed block or in a published post-groomed
+	// block, transiently in both around a post-groom commit (the
+	// executor reconciles the duplicate away) — and orphaned post blocks
+	// of failed post-grooms are never listed. The analytical executor
+	// scans this set.
+	postListMu sync.Mutex
+	postBlocks []uint64
+
 	// groomMu serializes groom operations; postMu serializes post-grooms.
 	groomMu sync.Mutex
 	postMu  sync.Mutex
@@ -266,6 +277,22 @@ func (e *Engine) recoverState() error {
 		if id > maxPSN {
 			maxPSN = id
 		}
+		// Published post blocks come from the PSN metas, not the raw post/
+		// listing: a post-groom that failed after writing some blocks
+		// leaves orphans that no meta (and no index run) references, and
+		// the executor must not scan them. A meta that exists but does
+		// not decode is a hard error — silently skipping it would leave
+		// the executor's block list incomplete while the index still
+		// serves the rows (the indexer treats the same failure as fatal).
+		meta, err := e.store.Get(n)
+		if err != nil {
+			return err
+		}
+		_, _, blocks, err := decodePSNMeta(meta)
+		if err != nil {
+			return fmt.Errorf("wildfire: recovering PSN meta %s: %w", n, err)
+		}
+		e.postBlocks = append(e.postBlocks, blocks...)
 	}
 	e.maxPSN.Store(maxPSN)
 

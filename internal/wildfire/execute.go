@@ -1,0 +1,223 @@
+package wildfire
+
+import (
+	"fmt"
+
+	"umzi/internal/columnar"
+	"umzi/internal/exec"
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// The analytical execution path (paper §1, §7: Umzi exists to serve the
+// analytical side of HTAP). Unlike the key-side queries in query.go,
+// which walk the index and fetch records RID by RID, Execute evaluates a
+// plan block-at-a-time directly over the columnar groomed and
+// post-groomed blocks — skipping blocks whose per-column min/max
+// synopses prove no row can match — and unions in the live zone at the
+// query timestamp for freshness. Each shard reduces to an exec.Partial
+// (per-group aggregate states, not rows), which is what the sharded
+// layer merges at the coordinator.
+
+// Execute runs an analytical plan on this shard and finalizes the
+// result. QueryOptions have their usual meaning: TS selects the
+// snapshot (zero: the newest groomed snapshot), IncludeLive unions
+// committed-but-ungroomed records into the scan, and Limit caps the
+// result rows (the tighter of opts.Limit and Plan.Limit wins).
+func (e *Engine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, error) {
+	p.Limit = tightenLimit(p.Limit, opts.Limit)
+	bound, err := p.Bind(e.table.Columns)
+	if err != nil {
+		return nil, err
+	}
+	part, err := e.executeBound(bound, opts)
+	if err != nil {
+		return nil, err
+	}
+	return bound.Finalize(part), nil
+}
+
+// tightenLimit resolves a plan's limit against QueryOptions.Limit: the
+// tighter nonzero bound wins, zero means unlimited on both sides.
+func tightenLimit(planLimit, optsLimit int) int {
+	if optsLimit > 0 && (planLimit == 0 || optsLimit < planLimit) {
+		return optsLimit
+	}
+	return planLimit
+}
+
+// zoneSnapshot captures the set of data blocks to scan: the groomed
+// blocks not yet post-groomed plus the post-groomed blocks of committed
+// post-grooms. It deliberately does not take postMu — a query must not
+// stall behind an in-flight post-groom. The read order (pending before
+// postBlocks) mirrors the commit's write order (postBlocks before
+// pending), so a migrating batch is always captured at least once: if
+// the pending read misses it, the commit — which consumed it from
+// pending only after publishing the post blocks — has already made it
+// visible to the later postBlocks read. The transient state where a
+// batch appears in both lists (also reachable through recovery, before
+// the indexer catches up) is harmless: both copies of a version carry
+// the same key and beginTS, so the executor's winner map keeps exactly
+// one and both evaluate identically.
+func (e *Engine) zoneSnapshot() (groomed, post []uint64) {
+	e.pendingMu.Lock()
+	groomed = append([]uint64(nil), e.pending...)
+	e.pendingMu.Unlock()
+	e.postListMu.Lock()
+	post = append([]uint64(nil), e.postBlocks...)
+	e.postListMu.Unlock()
+	return groomed, post
+}
+
+// execCandidate is one primary key's newest visible version found so
+// far: either a (block, row) reference or a live-zone row. canMatch is
+// false when the version sits in a block the filter synopsis excluded —
+// the version still shadows older ones but cannot itself qualify.
+type execCandidate struct {
+	beginTS  uint64
+	blk      *columnar.Block
+	row      int
+	liveRow  Row
+	canMatch bool
+}
+
+// executeBound evaluates a bound plan on this shard into a partial
+// result. Multi-version, multi-zone semantics match Scan: of every
+// primary key, exactly the newest version with beginTS <= TS qualifies
+// (plus live records when requested), and the filter applies to that
+// reconciled row — an old version whose key was since updated never
+// leaks into the result.
+//
+// Block-at-a-time with two levels of skipping: a block whose minimum
+// beginTS exceeds the timestamp holds no visible rows and is skipped
+// outright; a block excluded by the filter synopses is scanned for its
+// key and beginTS columns only (its versions may still shadow older
+// versions of the same keys elsewhere), never materializing data
+// columns.
+func (e *Engine) executeBound(bound *exec.BoundPlan, opts QueryOptions) (*exec.Partial, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ts := e.resolveTS(opts)
+
+	pkIdx := make([]int, len(e.table.PrimaryKey))
+	for i, k := range e.table.PrimaryKey {
+		pkIdx[i] = e.table.colIndex(k)
+	}
+	nUser := len(e.table.Columns)
+	winners := make(map[string]execCandidate)
+	var keyBuf []byte
+
+	groomedIDs, postIDs := e.zoneSnapshot()
+	scanBlock := func(name string) error {
+		blk, err := e.fetchBlock(name)
+		if err != nil {
+			return err
+		}
+		if min, ok := blk.ColumnMin(nUser); !ok || types.TS(min.Uint()) > ts {
+			return nil // empty, or nothing visible at this timestamp
+		}
+		canMatch := bound.CanMatchBlock(blk)
+		for r := 0; r < blk.NumRows(); r++ {
+			beginTS := blk.Value(r, nUser).Uint()
+			if types.TS(beginTS) > ts {
+				continue
+			}
+			keyBuf = keyBuf[:0]
+			for _, c := range pkIdx {
+				keyBuf = keyenc.Append(keyBuf, blk.Value(r, c))
+			}
+			if w, ok := winners[string(keyBuf)]; ok && w.beginTS >= beginTS {
+				continue
+			}
+			winners[string(keyBuf)] = execCandidate{beginTS: beginTS, blk: blk, row: r, canMatch: canMatch}
+		}
+		return nil
+	}
+	for _, id := range groomedIDs {
+		if err := scanBlock(groomedBlockName(e.table.Name, id)); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range postIDs {
+		if err := scanBlock(postBlockName(e.table.Name, id)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Union the live zone: committed-but-ungroomed records are newer than
+	// every groomed version of their key (the groomer will assign them a
+	// larger beginTS), so the newest live version per key supersedes any
+	// zone candidate. Like Get, live records are only consulted for reads
+	// at the newest snapshot.
+	if opts.IncludeLive && ts >= e.LastGroomTS() {
+		type liveBest struct {
+			row Row
+			seq uint64
+		}
+		live := make(map[string]liveBest)
+		for _, rep := range e.replicas {
+			rep.scan(func(rec logRecord) {
+				pk := e.table.pkEncoding(rec.row)
+				if best, ok := live[pk]; !ok || rec.commitSeq >= best.seq {
+					live[pk] = liveBest{row: rec.row, seq: rec.commitSeq}
+				}
+			})
+		}
+		for pk, best := range live {
+			winners[pk] = execCandidate{beginTS: uint64(types.MaxTS), liveRow: best.row, canMatch: true}
+		}
+	}
+
+	part := bound.NewPartial()
+	for _, w := range winners {
+		var view exec.RowView
+		if !w.canMatch {
+			continue
+		}
+		if w.liveRow != nil {
+			row := w.liveRow
+			view = func(c int) keyenc.Value { return row[c] }
+		} else {
+			blk, r := w.blk, w.row
+			view = func(c int) keyenc.Value { return blk.Value(r, c) }
+		}
+		if !bound.Matches(view) {
+			continue
+		}
+		part.Add(view)
+	}
+	return part, nil
+}
+
+// Execute runs an analytical plan across all shards: the bound plan is
+// pushed into every shard in parallel through the scatter-gather pool,
+// each shard reduces its blocks and live records to an exec.Partial, and
+// the coordinator merges the partial aggregates — sum/count pairs and
+// per-group accumulator maps, never rows — before finalizing. Row-shaped
+// plans (no aggregates) are the exception: shards return their
+// qualifying projected rows, concatenated and deterministically sorted
+// at finalize.
+func (s *ShardedEngine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	p.Limit = tightenLimit(p.Limit, opts.Limit)
+	bound, err := p.Bind(s.table.Columns)
+	if err != nil {
+		return nil, err
+	}
+	opts.TS = s.resolveTS(opts)
+	parts := make([]*exec.Partial, len(s.shards))
+	err = s.pool.each(len(s.shards), func(i int) error {
+		part, err := s.shards[i].executeBound(bound, opts)
+		parts[i] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bound.Finalize(parts...), nil
+}

@@ -1,0 +1,363 @@
+package wildfire
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"umzi/internal/exec"
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// TestExecuteEquivalenceProperty drives a single Engine and a 4-shard
+// ShardedEngine with the same random workload — upserts with key
+// updates, lockstep grooms, post-grooms — and checks random analytical
+// plans (filters, projections, aggregates, GROUP BY) against a naive
+// scan-then-filter-then-aggregate reference computed from a model of
+// the table. Checks run with the live zone both excluded and included,
+// so groups routinely straddle the live/groomed boundary, and at
+// historical groom boundaries so beginTS visibility (and the executor's
+// beginTS block skipping) is exercised.
+//
+// Readings are whole numbers stored as float64, so float sums are exact
+// and order-independent: the reference, the single engine and the
+// 4-shard partial-aggregate merge must agree bit-for-bit.
+func TestExecuteEquivalenceProperty(t *testing.T) {
+	seeds := []int64{3, 77}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			executeEquivalence(t, seed)
+		})
+	}
+}
+
+// refFilter is the reference implementation of a generated predicate.
+type refFilter func(Row) bool
+
+func refHolds(op exec.CmpOp, c int) bool {
+	switch op {
+	case exec.OpEq:
+		return c == 0
+	case exec.OpNe:
+		return c != 0
+	case exec.OpLt:
+		return c < 0
+	case exec.OpLe:
+		return c <= 0
+	case exec.OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// genLeaf returns a random comparison over the IoT table and its
+// independent reference evaluator.
+func genLeaf(rng *rand.Rand, devices, msgs int64) (exec.Expr, refFilter) {
+	ops := []exec.CmpOp{exec.OpEq, exec.OpNe, exec.OpLt, exec.OpLe, exec.OpGt, exec.OpGe}
+	op := ops[rng.Intn(len(ops))]
+	switch rng.Intn(4) {
+	case 0:
+		v := keyenc.I64(rng.Int63n(devices + 1))
+		return exec.Cmp("device", op, v), func(r Row) bool { return refHolds(op, keyenc.Compare(r[0], v)) }
+	case 1:
+		v := keyenc.I64(rng.Int63n(msgs + 1))
+		return exec.Cmp("msg", op, v), func(r Row) bool { return refHolds(op, keyenc.Compare(r[1], v)) }
+	case 2:
+		v := keyenc.F64(float64(rng.Int63n(1000)))
+		return exec.Cmp("reading", op, v), func(r Row) bool { return refHolds(op, keyenc.Compare(r[2], v)) }
+	default:
+		v := keyenc.I64(100 + rng.Int63n(3))
+		return exec.Cmp("day", op, v), func(r Row) bool { return refHolds(op, keyenc.Compare(r[3], v)) }
+	}
+}
+
+// genFilter returns a random predicate tree (nil ~25% of the time).
+func genFilter(rng *rand.Rand, devices, msgs int64) (exec.Expr, refFilter) {
+	switch rng.Intn(4) {
+	case 0:
+		return nil, func(Row) bool { return true }
+	case 1:
+		return genLeaf(rng, devices, msgs)
+	case 2:
+		a, ra := genLeaf(rng, devices, msgs)
+		b, rb := genLeaf(rng, devices, msgs)
+		return exec.And(a, b), func(r Row) bool { return ra(r) && rb(r) }
+	default:
+		a, ra := genLeaf(rng, devices, msgs)
+		b, rb := genLeaf(rng, devices, msgs)
+		return exec.Or(a, b), func(r Row) bool { return ra(r) || rb(r) }
+	}
+}
+
+// genPlan returns a random plan and its reference filter. Roughly a
+// third are row queries, the rest aggregate with random GROUP BY.
+func genPlan(rng *rand.Rand, devices, msgs int64) (exec.Plan, refFilter) {
+	f, rf := genFilter(rng, devices, msgs)
+	p := exec.Plan{Filter: f}
+	if rng.Intn(3) == 0 {
+		projections := [][]string{nil, {"device", "msg"}, {"reading"}, {"day", "reading", "device"}}
+		p.Columns = projections[rng.Intn(len(projections))]
+		if rng.Intn(3) == 0 {
+			p.Limit = 1 + rng.Intn(10)
+		}
+		return p, rf
+	}
+	groupings := [][]string{nil, {"day"}, {"device"}, {"day", "device"}}
+	p.GroupBy = groupings[rng.Intn(len(groupings))]
+	aggPool := []exec.Agg{
+		{Func: exec.Count},
+		{Func: exec.Sum, Col: "reading"},
+		{Func: exec.Avg, Col: "reading"},
+		{Func: exec.Min, Col: "reading"},
+		{Func: exec.Max, Col: "msg"},
+		{Func: exec.Count, Col: "day"},
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		p.Aggs = append(p.Aggs, aggPool[rng.Intn(len(aggPool))])
+	}
+	return p, rf
+}
+
+// naiveExecute is the reference: filter the reconciled rows, then
+// project or aggregate with plain Go — no exec machinery beyond the
+// plan shape itself.
+func naiveExecute(td TableDef, p exec.Plan, rf refFilter, visible []Row) [][]keyenc.Value {
+	var match []Row
+	for _, r := range visible {
+		if rf(r) {
+			match = append(match, r)
+		}
+	}
+	colIdx := func(name string) int { return td.colIndex(name) }
+
+	if len(p.Aggs) == 0 {
+		names := p.Columns
+		if len(names) == 0 {
+			for _, c := range td.Columns {
+				names = append(names, c.Name)
+			}
+		}
+		out := make([][]keyenc.Value, 0, len(match))
+		for _, r := range match {
+			pr := make([]keyenc.Value, len(names))
+			for i, n := range names {
+				pr[i] = r[colIdx(n)]
+			}
+			out = append(out, pr)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			a := keyenc.AppendComposite(nil, out[i]...)
+			b := keyenc.AppendComposite(nil, out[j]...)
+			return string(a) < string(b)
+		})
+		if p.Limit > 0 && len(out) > p.Limit {
+			out = out[:p.Limit]
+		}
+		return out
+	}
+
+	type refGroup struct {
+		keyVals []keyenc.Value
+		rows    []Row
+	}
+	groups := map[string]*refGroup{}
+	for _, r := range match {
+		var kb []byte
+		var kv []keyenc.Value
+		for _, g := range p.GroupBy {
+			v := r[colIdx(g)]
+			kb = keyenc.Append(kb, v)
+			kv = append(kv, v)
+		}
+		g, ok := groups[string(kb)]
+		if !ok {
+			g = &refGroup{keyVals: kv}
+			groups[string(kb)] = g
+		}
+		g.rows = append(g.rows, r)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out [][]keyenc.Value
+	for _, k := range keys {
+		g := groups[k]
+		rowOut := append([]keyenc.Value(nil), g.keyVals...)
+		for _, a := range p.Aggs {
+			switch a.Func {
+			case exec.Count:
+				rowOut = append(rowOut, keyenc.I64(int64(len(g.rows))))
+			case exec.Sum, exec.Avg:
+				sum := 0.0
+				for _, r := range g.rows {
+					sum += r[colIdx(a.Col)].Float()
+				}
+				if a.Func == exec.Sum {
+					rowOut = append(rowOut, keyenc.F64(sum))
+				} else {
+					rowOut = append(rowOut, keyenc.F64(sum/float64(len(g.rows))))
+				}
+			case exec.Min, exec.Max:
+				best := g.rows[0][colIdx(a.Col)]
+				for _, r := range g.rows[1:] {
+					v := r[colIdx(a.Col)]
+					if (a.Func == exec.Min) == (keyenc.Compare(v, best) < 0) && keyenc.Compare(v, best) != 0 {
+						best = v
+					}
+				}
+				rowOut = append(rowOut, best)
+			}
+		}
+		out = append(out, rowOut)
+	}
+	if p.Limit > 0 && len(out) > p.Limit {
+		out = out[:p.Limit]
+	}
+	return out
+}
+
+func executeEquivalence(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const devices, msgs = 6, 9
+
+	single := newTestEngine(t, nil)
+	sharded := newTestShardedEngine(t, 4, nil)
+
+	// The model: newest row per primary key, split into the groomed part
+	// (committed at or before the last groom) and the live part. Per
+	// groom round a copy of the groomed model is kept so historical
+	// boundaries can be checked.
+	groomedModel := map[string]Row{}
+	liveModel := map[string]Row{}
+	var boundaries []types.TS
+	var history []map[string]Row
+
+	visibleRows := func(m ...map[string]Row) []Row {
+		merged := map[string]Row{}
+		for _, mm := range m {
+			for k, v := range mm {
+				merged[k] = v
+			}
+		}
+		out := make([]Row, 0, len(merged))
+		for _, r := range merged {
+			out = append(out, r)
+		}
+		return out
+	}
+
+	td := iotTable()
+	checkPlan := func(p exec.Plan, rf refFilter, opts QueryOptions, visible []Row, label string) {
+		t.Helper()
+		want := naiveExecute(td, p, rf, visible)
+		for _, eng := range []struct {
+			name string
+			run  func() (*exec.Result, error)
+		}{
+			{"single", func() (*exec.Result, error) { return single.Execute(p, opts) }},
+			{"sharded", func() (*exec.Result, error) { return sharded.Execute(p, opts) }},
+		} {
+			got, err := eng.run()
+			if err != nil {
+				t.Fatalf("%s %s: %v", label, eng.name, err)
+			}
+			if len(got.Rows) != len(want) {
+				t.Fatalf("%s %s: %d rows, reference %d\nplan: %+v\ngot:  %v\nwant: %v",
+					label, eng.name, len(got.Rows), len(want), p, got.Rows, want)
+			}
+			for i := range want {
+				if len(got.Rows[i]) != len(want[i]) {
+					t.Fatalf("%s %s row %d: arity %d vs %d", label, eng.name, i, len(got.Rows[i]), len(want[i]))
+				}
+				for c := range want[i] {
+					if keyenc.Compare(got.Rows[i][c], want[i][c]) != 0 {
+						t.Fatalf("%s %s row %d col %d: %v, reference %v\nplan: %+v\ngot:  %v\nwant: %v",
+							label, eng.name, i, c, got.Rows[i][c], want[i][c], p, got.Rows, want)
+					}
+				}
+			}
+		}
+	}
+
+	for round := 0; round < 24; round++ {
+		// Groom what the previous round left live (lockstep on both
+		// sides), recording the boundary and the model snapshot.
+		if _, err := single.GroomCount(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.GroomCount(); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range liveModel {
+			groomedModel[k] = v
+		}
+		liveModel = map[string]Row{}
+		if single.LastGroomTS() != sharded.SnapshotTS() {
+			t.Fatalf("round %d: boundaries diverged: %v vs %v", round, single.LastGroomTS(), sharded.SnapshotTS())
+		}
+		boundaries = append(boundaries, single.LastGroomTS())
+		snap := make(map[string]Row, len(groomedModel))
+		for k, v := range groomedModel {
+			snap[k] = v
+		}
+		history = append(history, snap)
+
+		if rng.Intn(3) == 0 {
+			if _, err := single.PostGroom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := single.SyncIndex(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.PostGroom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.SyncIndex(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// New committed-but-ungroomed rows; updates and inserts mix, so
+		// some keys have a groomed version shadowed by a live one.
+		n := 1 + rng.Intn(12)
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = row(rng.Int63n(devices), rng.Int63n(msgs), float64(rng.Int63n(1000)), 100+rng.Int63n(3))
+		}
+		replica := rng.Intn(2)
+		if err := single.UpsertRows(replica, rows...); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.UpsertRows(replica, rows...); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			liveModel[td.pkEncoding(r)] = r
+		}
+
+		if round%3 != 2 {
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			p, rf := genPlan(rng, devices, msgs)
+			checkPlan(p, rf, QueryOptions{}, visibleRows(groomedModel),
+				fmt.Sprintf("round %d q%d groomed", round, q))
+			checkPlan(p, rf, QueryOptions{IncludeLive: true}, visibleRows(groomedModel, liveModel),
+				fmt.Sprintf("round %d q%d live", round, q))
+			if len(boundaries) > 1 {
+				b := rng.Intn(len(boundaries))
+				checkPlan(p, rf, QueryOptions{TS: boundaries[b]}, visibleRows(history[b]),
+					fmt.Sprintf("round %d q%d boundary %d", round, q, b))
+			}
+		}
+	}
+}

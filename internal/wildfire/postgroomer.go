@@ -41,24 +41,17 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 		return 0, err
 	}
 
+	// The batch is a snapshot of pending, consumed only at commit: a
+	// post-groom that fails partway leaves pending untouched and the
+	// next operation retries the same batch. Grooms append to pending
+	// concurrently; those blocks are not part of this batch and survive
+	// the commit's prefix removal.
 	e.pendingMu.Lock()
-	blocks := e.pending
-	e.pending = nil
+	blocks := append([]uint64(nil), e.pending...)
 	e.pendingMu.Unlock()
 	if len(blocks) == 0 {
 		return 0, nil
 	}
-	// If the operation fails partway, the drained blocks go back to the
-	// front of the pending queue so the next post-groom retries them.
-	committed := false
-	defer func() {
-		if committed {
-			return
-		}
-		e.pendingMu.Lock()
-		e.pending = append(append([]uint64(nil), blocks...), e.pending...)
-		e.pendingMu.Unlock()
-	}()
 	lo, hi := blocks[0], blocks[len(blocks)-1]
 
 	psn := types.PSN(e.maxPSN.Load() + 1)
@@ -190,7 +183,20 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 		return 0, err
 	}
 	e.maxPSN.Store(uint64(psn))
-	committed = true
+	// Commit for the analytical executor: publish the written post
+	// blocks first, then consume the migrated groomed blocks from
+	// pending. The executor snapshots pending before postBlocks, so
+	// with this write order a snapshot that misses the batch in pending
+	// is guaranteed to find it in postBlocks — seen at least once,
+	// transiently possibly twice, and the duplicate is harmless: both
+	// copies of a version carry the same key and beginTS and reconcile
+	// identically in the executor's winner map.
+	e.postListMu.Lock()
+	e.postBlocks = append(e.postBlocks, writtenIDs...)
+	e.postListMu.Unlock()
+	e.pendingMu.Lock()
+	e.pending = e.pending[len(blocks):]
+	e.pendingMu.Unlock()
 	return psn, nil
 }
 

@@ -24,6 +24,12 @@ type QueryOptions struct {
 	// trading latency for freshness. Live records have no final beginTS
 	// yet, so they are only consulted for reads at the newest snapshot.
 	IncludeLive bool
+	// Limit stops a scan after this many rows; 0 means unlimited. The
+	// sharded layer pushes the limit into every shard and stops its
+	// k-way merge after emitting Limit rows, so no shard materializes
+	// more than Limit rows for a limited scan. Execute honors it too
+	// (the tighter of Limit and the plan's own limit wins).
+	Limit int
 }
 
 func (e *Engine) resolveTS(opts QueryOptions) types.TS {
@@ -98,6 +104,7 @@ func (e *Engine) Scan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value, opts Que
 		SortHi:   sortHi,
 		TS:       ts,
 		Method:   core.MethodPQ,
+		Limit:    opts.Limit,
 	})
 	if err != nil {
 		return nil, err
@@ -130,6 +137,7 @@ func (e *Engine) IndexOnlyScan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value,
 		SortHi:   sortHi,
 		TS:       e.resolveTS(opts),
 		Method:   core.MethodPQ,
+		Limit:    opts.Limit,
 	})
 	if err != nil {
 		return nil, err

@@ -514,7 +514,10 @@ func (s *ShardedEngine) Scan(eq, sortLo, sortHi []keyenc.Value, opts QueryOption
 		return parts[0], nil
 	}
 	// Sort-merge: each shard's results are already ordered on the sort
-	// key, so a streaming k-way merge restores global order.
+	// key, so a streaming k-way merge restores global order. Each shard
+	// already honored opts.Limit (limit pushdown), so the global first
+	// Limit rows are within the union and the merge stops as soon as it
+	// has emitted them.
 	keys := make([][][]byte, len(parts))
 	total := 0
 	for i, p := range parts {
@@ -524,6 +527,9 @@ func (s *ShardedEngine) Scan(eq, sortLo, sortHi []keyenc.Value, opts QueryOption
 		}
 		total += len(p)
 	}
+	if opts.Limit > 0 && total > opts.Limit {
+		total = opts.Limit
+	}
 	out := make([]Record, 0, total)
 	it := newMergeIter(keys)
 	for {
@@ -532,6 +538,9 @@ func (s *ShardedEngine) Scan(eq, sortLo, sortHi []keyenc.Value, opts QueryOption
 			return out, nil
 		}
 		out = append(out, parts[shard][pos])
+		if opts.Limit > 0 && len(out) == opts.Limit {
+			return out, nil
+		}
 	}
 }
 
@@ -549,6 +558,9 @@ func (s *ShardedEngine) ScanUnordered(eq, sortLo, sortHi []keyenc.Value, opts Qu
 	var out []Record
 	for _, p := range parts {
 		out = append(out, p...)
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			return out[:opts.Limit], nil
+		}
 	}
 	return out, nil
 }
@@ -615,6 +627,9 @@ func (s *ShardedEngine) IndexOnlyScan(eq, sortLo, sortHi []keyenc.Value, opts Qu
 		}
 		total += len(p)
 	}
+	if opts.Limit > 0 && total > opts.Limit {
+		total = opts.Limit
+	}
 	out := make([][]keyenc.Value, 0, total)
 	it := newMergeIter(keys)
 	for {
@@ -623,5 +638,8 @@ func (s *ShardedEngine) IndexOnlyScan(eq, sortLo, sortHi []keyenc.Value, opts Qu
 			return out, nil
 		}
 		out = append(out, parts[shard][pos])
+		if opts.Limit > 0 && len(out) == opts.Limit {
+			return out, nil
+		}
 	}
 }

@@ -41,8 +41,10 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 		{"examples/htap", nil, ""},
 		{"examples/recovery", nil, ""},
 		{"examples/sharded", []string{"-rows", "20000", "-shards", "4"}, "global id order verified"},
+		{"examples/analytics", []string{"-rows", "20000", "-shards", "4"}, "pushdown verified against client-side aggregation"},
 		{"cmd/umzi-bench", []string{"-list"}, "available figures"},
 		{"cmd/umzi-bench", []string{"-figure", "s1", "-scale", "tiny"}, "Figure S1"},
+		{"cmd/umzi-bench", []string{"-figure", "a7", "-scale", "tiny"}, "Ablation A7"},
 		{"cmd/umzi-inspect", []string{"-store", dir}, ""},
 	}
 

@@ -38,6 +38,7 @@ package umzi
 
 import (
 	"umzi/internal/core"
+	"umzi/internal/exec"
 	"umzi/internal/keyenc"
 	"umzi/internal/run"
 	"umzi/internal/storage"
@@ -221,3 +222,77 @@ type (
 func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 	return wildfire.NewShardedEngine(cfg)
 }
+
+// Analytical query executor (internal/exec): predicates, projection and
+// aggregation evaluated block-at-a-time over the columnar zones, with
+// block skipping by min/max synopses and partial-aggregate merging
+// across shards. Build a Plan, then run it with Engine.Execute (one
+// shard) or ShardedEngine.Execute (pushdown into every shard):
+//
+//	res, err := eng.Execute(umzi.Plan{
+//	    Filter:  umzi.Ge("amount", umzi.F64(100)),
+//	    GroupBy: []string{"region"},
+//	    Aggs:    []umzi.Agg{{Func: umzi.AggCount}, {Func: umzi.AggSum, Col: "amount"}},
+//	}, umzi.QueryOptions{IncludeLive: true})
+type (
+	// Plan is one analytical query: filter, projection or aggregation
+	// with optional GROUP BY, and a result limit.
+	Plan = exec.Plan
+	// Expr is a predicate over table rows; build with Eq/Ne/Lt/Le/Gt/Ge
+	// and combine with And/Or.
+	Expr = exec.Expr
+	// CmpOp is a comparison operator (for building predicates with Cmp).
+	CmpOp = exec.CmpOp
+	// Agg requests one aggregate (function, column, output name).
+	Agg = exec.Agg
+	// AggFunc enumerates the aggregate functions.
+	AggFunc = exec.AggFunc
+	// QueryResult is a finalized analytical result: column names + rows.
+	QueryResult = exec.Result
+)
+
+// Aggregate functions.
+const (
+	AggCount = exec.Count
+	AggSum   = exec.Sum
+	AggMin   = exec.Min
+	AggMax   = exec.Max
+	AggAvg   = exec.Avg
+)
+
+// Comparison operators (for Cmp; the shorthands below cover common use).
+const (
+	OpEq = exec.OpEq
+	OpNe = exec.OpNe
+	OpLt = exec.OpLt
+	OpLe = exec.OpLe
+	OpGt = exec.OpGt
+	OpGe = exec.OpGe
+)
+
+// Cmp builds the comparison <column> <op> <constant>.
+func Cmp(col string, op CmpOp, v Value) Expr { return exec.Cmp(col, op, v) }
+
+// Eq builds column == value.
+func Eq(col string, v Value) Expr { return exec.Eq(col, v) }
+
+// Ne builds column != value.
+func Ne(col string, v Value) Expr { return exec.Ne(col, v) }
+
+// Lt builds column < value.
+func Lt(col string, v Value) Expr { return exec.Lt(col, v) }
+
+// Le builds column <= value.
+func Le(col string, v Value) Expr { return exec.Le(col, v) }
+
+// Gt builds column > value.
+func Gt(col string, v Value) Expr { return exec.Gt(col, v) }
+
+// Ge builds column >= value.
+func Ge(col string, v Value) Expr { return exec.Ge(col, v) }
+
+// And builds the conjunction of the operands.
+func And(kids ...Expr) Expr { return exec.And(kids...) }
+
+// Or builds the disjunction of the operands.
+func Or(kids ...Expr) Expr { return exec.Or(kids...) }
