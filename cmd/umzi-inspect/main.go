@@ -7,8 +7,14 @@
 //
 // Usage:
 //
-//	umzi-inspect -store /path/to/store            # list everything
-//	umzi-inspect -store /path/to/store -runs idx  # decode run headers under prefix
+//	umzi-inspect -store /path/to/store               # list everything
+//	umzi-inspect -store /path/to/store -runs idx     # decode run headers under prefix
+//	umzi-inspect -store /path/to/store -table orders # the table's whole index set
+//
+// The -table mode reads the persisted index catalog and prints every
+// index of the table — primary and secondaries — with its declared
+// definition, evolve watermark (IndexedPSN, max covered groomed block)
+// and per-zone run counts.
 package main
 
 import (
@@ -17,23 +23,34 @@ import (
 	"os"
 	"strings"
 
+	"umzi/internal/core"
 	"umzi/internal/run"
 	"umzi/internal/storage"
+	"umzi/internal/types"
+	"umzi/internal/wildfire"
 )
 
 func main() {
 	dir := flag.String("store", "", "filesystem shared-storage directory")
 	runPrefix := flag.String("runs", "", "decode run headers under this object prefix")
+	table := flag.String("table", "", "print the index set of this table")
 	flag.Parse()
 
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: umzi-inspect -store <dir> [-runs <prefix>]")
+		fmt.Fprintln(os.Stderr, "usage: umzi-inspect -store <dir> [-runs <prefix>] [-table <name>]")
 		os.Exit(2)
 	}
 	store, err := storage.NewFSStore(*dir, storage.LatencyModel{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *table != "" {
+		if err := inspectTable(store, *table); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	names, err := store.List(*runPrefix)
@@ -63,6 +80,64 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// inspectTable prints the full index set of one table: the catalog's
+// declared definitions plus, per index, the evolve watermark and the
+// per-zone run inventory — everything reconstructed from shared storage
+// alone, like the recovery procedure of §5.5.
+func inspectTable(store storage.ObjectStore, table string) error {
+	catalog, _, err := wildfire.LoadIndexCatalog(store, table)
+	if err != nil {
+		return err
+	}
+	if catalog == nil {
+		return fmt.Errorf("table %q has no index catalog in this store", table)
+	}
+	fmt.Printf("table %s: %d indexes\n", table, len(catalog))
+	for _, entry := range catalog {
+		name := entry.Name
+		label := name
+		if label == "" {
+			label = "(primary)"
+		}
+		prefix := wildfire.IndexStoragePrefix(table, name)
+		fmt.Printf("\n%s\n", label)
+		fmt.Printf("  definition: equality=%v sort=%v included=%v hashbits=%d\n",
+			entry.Spec.Equality, entry.Spec.Sort, entry.Spec.Included, entry.Spec.HashBits)
+		if name != "" {
+			fmt.Printf("  (secondaries append the missing primary-key columns to the sort key as a uniquifier)\n")
+		}
+
+		maxCovered, psn, ok, err := core.InspectMeta(store, prefix)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Printf("  watermark:  IndexedPSN=%d maxCoveredGroomedBlock=%d\n", psn, maxCovered)
+		} else {
+			fmt.Printf("  watermark:  no meta record (no evolve applied yet)\n")
+		}
+
+		names, err := store.List(prefix + "/z")
+		if err != nil {
+			return err
+		}
+		counts := map[types.ZoneID]int{}
+		entriesPerZone := map[types.ZoneID]uint64{}
+		for _, n := range names {
+			h, err := run.LoadHeader(store, n)
+			if err != nil {
+				continue // meta records and interrupted writes
+			}
+			counts[h.Meta.Zone]++
+			entriesPerZone[h.Meta.Zone] += h.Entries
+		}
+		fmt.Printf("  runs:       groomed=%d (%d entries), post-groomed=%d (%d entries)\n",
+			counts[types.ZoneGroomed], entriesPerZone[types.ZoneGroomed],
+			counts[types.ZonePostGroomed], entriesPerZone[types.ZonePostGroomed])
+	}
+	return nil
 }
 
 func verboseSynopsis(h *run.Header) string {

@@ -143,6 +143,7 @@ func TestAblations(t *testing.T) {
 		"batch-sort":   AblationBatchSort,
 		"merge-policy": AblationMergePolicy,
 		"non-persist":  AblationNonPersisted,
+		"secondary":    AblationSecondaryIndex,
 	} {
 		res, err := f(s)
 		if err != nil {

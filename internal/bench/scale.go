@@ -48,29 +48,34 @@ type Scale struct {
 	// AggSelectivities sweeps the filter selectivity of the aggregation
 	// pushdown ablation (A7).
 	AggSelectivities []float64
+	// SecondaryCardinalities sweeps the secondary column's distinct-value
+	// count for the index-selection ablation (A8); selectivity of the
+	// equality query is 1/cardinality.
+	SecondaryCardinalities []int
 }
 
 // SmallScale returns the default laptop-scale configuration used by the
 // Go benchmarks and the quick CLI mode.
 func SmallScale() Scale {
 	return Scale{
-		Reps:             3,
-		RunSizes:         []int{1_000, 10_000, 100_000, 1_000_000},
-		LookupBatch:      1000,
-		MultiRunCount:    20,
-		MultiRunSize:     20_000,
-		BatchSweep:       []int{1, 10, 100, 1000, 10_000},
-		RunCountSweep:    []int{1, 10, 20, 40},
-		ScanRanges:       []int{1, 10, 100, 1_000, 10_000, 100_000},
-		Warmup:           8,
-		Cycles:           16,
-		RecordsPerCycle:  2_000,
-		PostGroomEvery:   4,
-		ReaderCounts:     []int{1, 2, 4, 8},
-		UpdateRates:      []int{0, 20, 40, 60, 80, 100},
-		ShardCounts:      []int{1, 2, 4, 8},
-		ShardScanRows:    16_000,
-		AggSelectivities: []float64{0.001, 0.01, 0.1, 1},
+		Reps:                   3,
+		RunSizes:               []int{1_000, 10_000, 100_000, 1_000_000},
+		LookupBatch:            1000,
+		MultiRunCount:          20,
+		MultiRunSize:           20_000,
+		BatchSweep:             []int{1, 10, 100, 1000, 10_000},
+		RunCountSweep:          []int{1, 10, 20, 40},
+		ScanRanges:             []int{1, 10, 100, 1_000, 10_000, 100_000},
+		Warmup:                 8,
+		Cycles:                 16,
+		RecordsPerCycle:        2_000,
+		PostGroomEvery:         4,
+		ReaderCounts:           []int{1, 2, 4, 8},
+		UpdateRates:            []int{0, 20, 40, 60, 80, 100},
+		ShardCounts:            []int{1, 2, 4, 8},
+		ShardScanRows:          16_000,
+		AggSelectivities:       []float64{0.001, 0.01, 0.1, 1},
+		SecondaryCardinalities: []int{4, 16, 64, 256},
 	}
 }
 
@@ -81,43 +86,45 @@ func PaperScale() Scale {
 		Reps:     3,
 		RunSizes: []int{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 20_000_000, 40_000_000, 60_000_000, 80_000_000, 100_000_000},
 
-		LookupBatch:      1000,
-		MultiRunCount:    20,
-		MultiRunSize:     100_000,
-		BatchSweep:       []int{1, 10, 100, 1000, 10_000},
-		RunCountSweep:    []int{1, 10, 20, 40, 60, 80, 100},
-		ScanRanges:       []int{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000},
-		Warmup:           20,
-		Cycles:           100,
-		RecordsPerCycle:  100_000,
-		PostGroomEvery:   20,
-		ReaderCounts:     []int{1, 4, 16, 28, 40, 52},
-		UpdateRates:      []int{0, 20, 40, 60, 80, 100},
-		ShardCounts:      []int{1, 2, 4, 8, 16},
-		ShardScanRows:    200_000,
-		AggSelectivities: []float64{0.0001, 0.001, 0.01, 0.1, 1},
+		LookupBatch:            1000,
+		MultiRunCount:          20,
+		MultiRunSize:           100_000,
+		BatchSweep:             []int{1, 10, 100, 1000, 10_000},
+		RunCountSweep:          []int{1, 10, 20, 40, 60, 80, 100},
+		ScanRanges:             []int{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000},
+		Warmup:                 20,
+		Cycles:                 100,
+		RecordsPerCycle:        100_000,
+		PostGroomEvery:         20,
+		ReaderCounts:           []int{1, 4, 16, 28, 40, 52},
+		UpdateRates:            []int{0, 20, 40, 60, 80, 100},
+		ShardCounts:            []int{1, 2, 4, 8, 16},
+		ShardScanRows:          200_000,
+		AggSelectivities:       []float64{0.0001, 0.001, 0.01, 0.1, 1},
+		SecondaryCardinalities: []int{4, 16, 64, 256, 1024},
 	}
 }
 
 // TinyScale is for unit tests of the harness itself.
 func TinyScale() Scale {
 	return Scale{
-		Reps:             1,
-		RunSizes:         []int{500, 1000},
-		LookupBatch:      64,
-		MultiRunCount:    4,
-		MultiRunSize:     2_000,
-		BatchSweep:       []int{1, 256},
-		RunCountSweep:    []int{1, 4},
-		ScanRanges:       []int{1, 64},
-		Warmup:           2,
-		Cycles:           6,
-		RecordsPerCycle:  400,
-		PostGroomEvery:   2,
-		ReaderCounts:     []int{1, 2},
-		UpdateRates:      []int{0, 100},
-		ShardCounts:      []int{1, 2},
-		ShardScanRows:    2_000,
-		AggSelectivities: []float64{0.01, 1},
+		Reps:                   1,
+		RunSizes:               []int{500, 1000},
+		LookupBatch:            64,
+		MultiRunCount:          4,
+		MultiRunSize:           2_000,
+		BatchSweep:             []int{1, 256},
+		RunCountSweep:          []int{1, 4},
+		ScanRanges:             []int{1, 64},
+		Warmup:                 2,
+		Cycles:                 6,
+		RecordsPerCycle:        400,
+		PostGroomEvery:         2,
+		ReaderCounts:           []int{1, 2},
+		UpdateRates:            []int{0, 100},
+		ShardCounts:            []int{1, 2},
+		ShardScanRows:          2_000,
+		AggSelectivities:       []float64{0.01, 1},
+		SecondaryCardinalities: []int{4, 64},
 	}
 }

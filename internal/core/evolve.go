@@ -73,6 +73,87 @@ func (ix *Index) Evolve(psn types.PSN, entries []run.Entry, blocks types.BlockRa
 	return nil
 }
 
+// BootstrapPostZone initializes a freshly created index's post-groomed
+// zone from already-post-groomed data: one run holding the entries of
+// every record version currently in the post-groomed zone, covering the
+// groomed block IDs [0, coveredMax], with the evolve watermark
+// fast-forwarded to psn so subsequent evolve operations continue from
+// the engine's published PSN. This is the CREATE INDEX backfill path —
+// a new secondary adopts the table's post-groomed history wholesale
+// instead of replaying every evolve — and it is only valid on an empty
+// index.
+func (ix *Index) BootstrapPostZone(psn types.PSN, entries []run.Entry, coveredMax uint64) error {
+	if ix.closed.Load() {
+		return fmt.Errorf("core: index closed")
+	}
+	ix.maintMu.Lock()
+	defer ix.maintMu.Unlock()
+	if ix.groomed.len() != 0 || ix.post.len() != 0 || ix.indexedPSN.Load() != 0 {
+		return fmt.Errorf("core: BootstrapPostZone on a non-empty index")
+	}
+	if len(entries) > 0 {
+		meta := run.Meta{
+			Zone:   types.ZonePostGroomed,
+			Level:  uint16(ix.post.baseLevel),
+			Blocks: types.BlockRange{Min: 0, Max: coveredMax},
+			PSN:    psn,
+		}
+		ref, err := ix.buildAndPersist(entries, meta, true)
+		if err != nil {
+			return fmt.Errorf("core: bootstrap post zone: %w", err)
+		}
+		ix.post.prepend(ref)
+	}
+	if coveredMax > ix.maxCovered.Load() {
+		ix.maxCovered.Store(coveredMax)
+	}
+	ix.indexedPSN.Store(uint64(psn))
+	if err := ix.writeMeta(); err != nil {
+		return fmt.Errorf("core: bootstrap meta: %w", err)
+	}
+	return nil
+}
+
+// RebuildGroomedRun re-creates a lost level-0 groomed run from re-derived
+// entries. Engine recovery uses it when a crash hit a groom between
+// writing the data block and persisting every index's run (§5.5: no run
+// is normally rebuilt from data blocks; this is the exception that heals
+// the window). The run is inserted at its recency position rather than
+// the head, because later grooms may already have persisted runs. Only
+// safe during recovery, before maintenance and queries start.
+func (ix *Index) RebuildGroomedRun(entries []run.Entry, blocks types.BlockRange) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	meta := run.Meta{Zone: types.ZoneGroomed, Level: 0, Blocks: blocks}
+	ref, err := ix.buildAndPersist(entries, meta, true)
+	if err != nil {
+		return err
+	}
+	ix.groomed.insertOrdered(ref)
+	ix.stats.Builds.Add(1)
+	return nil
+}
+
+// CoversGroomedBlock reports whether the index holds entries for the
+// given groomed block ID — through the evolve watermark (the block's
+// versions migrated to the post-groomed zone) or through a groomed run
+// whose range contains it. Engine recovery uses it to detect groom
+// operations whose data block persisted but whose run build was lost.
+func (ix *Index) CoversGroomedBlock(id uint64) bool {
+	if id <= ix.maxCovered.Load() {
+		return true
+	}
+	refs, release := ix.groomed.snapshot()
+	defer release()
+	for _, r := range refs {
+		if b := r.blocks(); b.Min <= id && id <= b.Max {
+			return true
+		}
+	}
+	return false
+}
+
 // gcCoveredGroomedRuns removes groomed runs whose whole block range is
 // covered by the post-groomed list. Their storage objects are deleted once
 // in-flight readers drain (reference counting); ancestors of non-persisted

@@ -103,6 +103,31 @@ func (z *zoneList) prepend(ref *runRef) {
 	z.mu.Unlock()
 }
 
+// insertOrdered links ref at its invariant position: after every run of
+// a lower level or (within the level) a newer block range, before the
+// rest. Recovery uses it to rebuild runs whose natural prepend slot has
+// already been taken by later runs; it is not safe against concurrent
+// list maintenance beyond the zone lock it takes.
+func (z *zoneList) insertOrdered(ref *runRef) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	var pred *runRef
+	for cur := z.head.Load(); cur != nil; cur = cur.next.Load() {
+		if cur.level() > ref.level() ||
+			(cur.level() == ref.level() && cur.blocks().Max < ref.blocks().Min) {
+			break
+		}
+		pred = cur
+	}
+	if pred == nil {
+		ref.next.Store(z.head.Load())
+		z.head.Store(ref)
+		return
+	}
+	ref.next.Store(pred.next.Load())
+	pred.next.Store(ref)
+}
+
 // snapshot acquires every live run in list order (newest first). If a node
 // dies between being observed and acquired, the walk restarts from the
 // head; GC is rare so retries are too. The returned release function drops

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"umzi/internal/storage"
 )
 
 // Index meta records persist the evolve watermark — maxCoveredGroomedID
@@ -41,20 +43,20 @@ func (ix *Index) writeMeta() error {
 	return nil
 }
 
-// readMeta loads the most recent meta record, returning ok=false when the
-// index has never written one.
-func (ix *Index) readMeta() (maxCovered, indexedPSN uint64, seq uint64, ok bool, err error) {
-	names, err := ix.store.List(ix.cfg.Name + "/meta/")
+// newestMeta walks the meta records under prefix newest to oldest (in
+// case the newest is an unreadable interrupted write) and decodes the
+// first valid one, including its sequence number. ok is false when no
+// valid record exists. Both the recovery path (readMeta) and offline
+// tooling (InspectMeta) parse the record format through this one
+// function.
+func newestMeta(store storage.ObjectStore, prefix string) (maxCovered, indexedPSN, seq uint64, ok bool, err error) {
+	names, err := store.List(prefix + "/meta/")
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
-	if len(names) == 0 {
-		return 0, 0, 0, false, nil
-	}
 	sort.Strings(names)
-	// Walk newest to oldest in case the newest is unreadable.
 	for i := len(names) - 1; i >= 0; i-- {
-		data, err := ix.store.Get(names[i])
+		data, err := store.Get(names[i])
 		if err != nil {
 			continue
 		}
@@ -62,8 +64,24 @@ func (ix *Index) readMeta() (maxCovered, indexedPSN uint64, seq uint64, ok bool,
 			continue
 		}
 		var s uint64
-		fmt.Sscanf(strings.TrimPrefix(names[i], ix.cfg.Name+"/meta/"), "%d", &s)
+		fmt.Sscanf(strings.TrimPrefix(names[i], prefix+"/meta/"), "%d", &s)
 		return binary.BigEndian.Uint64(data[8:16]), binary.BigEndian.Uint64(data[16:24]), s, true, nil
 	}
 	return 0, 0, 0, false, nil
+}
+
+// InspectMeta reads the newest meta record of the index stored under
+// prefix without opening (and thereby repairing) the index: the evolve
+// watermark pair (maxCoveredGroomedID, IndexedPSN). ok is false when the
+// index has never persisted a meta record. Offline tooling
+// (cmd/umzi-inspect) uses it; engines use Open.
+func InspectMeta(store storage.ObjectStore, prefix string) (maxCovered, indexedPSN uint64, ok bool, err error) {
+	maxCovered, indexedPSN, _, ok, err = newestMeta(store, prefix)
+	return maxCovered, indexedPSN, ok, err
+}
+
+// readMeta loads the most recent meta record, returning ok=false when the
+// index has never written one.
+func (ix *Index) readMeta() (maxCovered, indexedPSN uint64, seq uint64, ok bool, err error) {
+	return newestMeta(ix.store, ix.cfg.Name)
 }

@@ -117,6 +117,8 @@ type boundExpr interface {
 	// given per-column min/max synopses could satisfy the predicate. ok is
 	// false when the block has no synopsis for the column (empty block).
 	canMatch(minmax func(col int) (min, max keyenc.Value, ok bool)) bool
+	// columns reports every column ordinal the predicate reads.
+	columns(add func(col int))
 }
 
 type boundCmp struct {
@@ -183,8 +185,22 @@ func (b boundCmp) canMatch(minmax func(col int) (min, max keyenc.Value, ok bool)
 	}
 }
 
+func (b boundCmp) columns(add func(int)) { add(b.col) }
+
 type boundAnd struct{ kids []boundExpr }
 type boundOr struct{ kids []boundExpr }
+
+func (b boundAnd) columns(add func(int)) {
+	for _, k := range b.kids {
+		k.columns(add)
+	}
+}
+
+func (b boundOr) columns(add func(int)) {
+	for _, k := range b.kids {
+		k.columns(add)
+	}
+}
 
 func bindKids(kids []Expr, cols []columnar.Column, what string) ([]boundExpr, error) {
 	if len(kids) == 0 {

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sort"
+
+	"umzi/internal/keyenc"
+)
+
+// Index-selection support: the executor's simple access-path rule works
+// on per-column constraints extracted from a plan's filter. Extraction
+// is purely syntactic — it succeeds only for conjunctive predicates
+// (comparison leaves combined with AND), because a disjunction cannot be
+// served by one index range without a union plan. The extracted bounds
+// are an inclusive superset of the predicate (strict comparisons widen
+// to inclusive ones), so a caller driving an index scan with them must
+// still re-apply the full filter to every fetched row.
+
+// IndexConstraints are the per-column constraints of a conjunctive
+// predicate: exact-match values and inclusive range bounds, keyed by
+// column name.
+type IndexConstraints struct {
+	Eq map[string]keyenc.Value
+	Lo map[string]keyenc.Value // inclusive lower bounds (Gt widens to Ge)
+	Hi map[string]keyenc.Value // inclusive upper bounds (Lt widens to Le)
+}
+
+// ExtractConstraints derives the per-column constraints of a filter
+// expression. ok is false when the expression is not a conjunction of
+// comparisons (any OR anywhere disqualifies it); a nil filter yields
+// empty constraints. Ne leaves contribute nothing. Conflicting Eq
+// constraints keep the first value — the residual filter rejects every
+// row anyway.
+func ExtractConstraints(e Expr) (IndexConstraints, bool) {
+	c := IndexConstraints{
+		Eq: map[string]keyenc.Value{},
+		Lo: map[string]keyenc.Value{},
+		Hi: map[string]keyenc.Value{},
+	}
+	if e == nil {
+		return c, true
+	}
+	return c, collectConstraints(e, &c)
+}
+
+func collectConstraints(e Expr, c *IndexConstraints) bool {
+	switch x := e.(type) {
+	case cmpExpr:
+		switch x.op {
+		case OpEq:
+			if _, dup := c.Eq[x.col]; !dup {
+				c.Eq[x.col] = x.val
+			}
+		case OpGt, OpGe:
+			if cur, ok := c.Lo[x.col]; !ok || keyenc.Compare(x.val, cur) > 0 {
+				c.Lo[x.col] = x.val
+			}
+		case OpLt, OpLe:
+			if cur, ok := c.Hi[x.col]; !ok || keyenc.Compare(x.val, cur) < 0 {
+				c.Hi[x.col] = x.val
+			}
+		}
+		return true
+	case andExpr:
+		for _, k := range x.kids {
+			if !collectConstraints(k, c) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// ReferencedOrdinals returns the table-column ordinals the plan touches
+// anywhere — filter, projection, grouping and aggregate inputs — in
+// ascending order. An access path that can produce all of them (e.g. a
+// covering index) can evaluate the plan without materializing rows.
+func (b *BoundPlan) ReferencedOrdinals() []int {
+	seen := make(map[int]bool)
+	add := func(c int) {
+		if c >= 0 {
+			seen[c] = true
+		}
+	}
+	if b.filter != nil {
+		b.filter.columns(add)
+	}
+	for _, c := range b.project {
+		add(c)
+	}
+	for _, c := range b.groupBy {
+		add(c)
+	}
+	for _, a := range b.aggs {
+		add(a.col)
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out) // deterministic for callers that cache or log the set
+	return out
+}

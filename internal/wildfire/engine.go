@@ -15,6 +15,12 @@ import (
 type Config struct {
 	Table TableDef
 	Index IndexSpec
+	// Secondaries declares secondary indexes maintained alongside the
+	// primary through the whole groom/post-groom/evolve pipeline. On a
+	// recovered table, declarations already in the stored index catalog
+	// are reopened (their specs must match); new names are built online
+	// from the existing zones (CREATE INDEX backfill).
+	Secondaries []SecondaryIndexSpec
 	// Store is the shared storage backend for data blocks, index runs and
 	// engine metadata.
 	Store storage.ObjectStore
@@ -25,9 +31,9 @@ type Config struct {
 	// Partitions is the number of partition-key buckets the post-groomer
 	// writes (default 4; ignored without a partition key).
 	Partitions int
-	// IndexTuning forwards merge-policy and level-assignment knobs to the
-	// Umzi index; zero values keep core defaults. Name/Def/Store/Cache
-	// are managed by the engine and ignored here.
+	// IndexTuning forwards merge-policy and level-assignment knobs to
+	// every Umzi index of the table; zero values keep core defaults.
+	// Name/Def/Store/Cache are managed by the engine and ignored here.
 	IndexTuning core.Config
 }
 
@@ -38,9 +44,18 @@ type Engine struct {
 	ixSpec     IndexSpec
 	store      storage.ObjectStore
 	cache      *storage.SSDCache
-	idx        *core.Index
+	tuning     core.Config
 	replicas   []*replica
 	partitions int
+
+	// idx is the primary index; indexes is the full set (element 0 is
+	// the primary), immutable slices swapped copy-on-write so queries
+	// load it without locks. indexMu serializes set changes and catalog
+	// writes.
+	idx        *core.Index
+	indexes    atomic.Pointer[[]*tableIndex]
+	indexMu    sync.Mutex
+	catalogSeq atomic.Uint64
 
 	// commitSeq is the global tentative-commit clock; the groomer merges
 	// replica logs in this order (§2.1 "merges, in the time order,
@@ -55,6 +70,9 @@ type Engine struct {
 	// maxPSN is the post-groomer's published watermark; the indexer polls
 	// it (Figure 5).
 	maxPSN atomic.Uint64
+	// consumedHi is the highest groomed block ID consumed by a published
+	// post-groom — the boundary between pending and deprecated blocks.
+	consumedHi atomic.Uint64
 	// postBlockSeq numbers post-groomed blocks.
 	postBlockSeq atomic.Uint64
 
@@ -73,9 +91,12 @@ type Engine struct {
 	postListMu sync.Mutex
 	postBlocks []uint64
 
-	// groomMu serializes groom operations; postMu serializes post-grooms.
+	// groomMu serializes groom operations; postMu serializes post-grooms;
+	// syncMu serializes index-evolve passes (the indexer daemon and the
+	// post-groomer both drive SyncIndex).
 	groomMu sync.Mutex
 	postMu  sync.Mutex
+	syncMu  sync.Mutex
 
 	// endTS overlays replaced versions: RID -> endTS. Maintained by the
 	// post-groomer; persisted as sidecar objects because shared storage
@@ -97,25 +118,40 @@ type Engine struct {
 	retireMu    sync.Mutex
 	retireQueue []retireItem
 
-	// deprecated lists groomed block IDs consumed by post-grooms whose
-	// data blocks cannot be deleted yet because a (partially covered)
-	// groomed run still references them.
+	// deprecated holds groomed block IDs consumed by post-grooms whose
+	// data blocks cannot be deleted yet: reclamation is gated on the
+	// watermark of EVERY index of the set — a block is deleted only once
+	// no index (primary or secondary) can hand out RIDs into it.
 	deprecateMu sync.Mutex
-	deprecated  []uint64
+	deprecated  map[uint64]struct{}
 
-	stopCh chan struct{}
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
+	started    atomic.Bool
+	maintEvery time.Duration
+	closed     atomic.Bool
 }
 
-// NewEngine creates a fresh engine with an empty index. Storage must not
-// already contain this table.
+// NewEngine creates a fresh engine, or recovers one when storage already
+// holds the table. The index set is restored from the persisted catalog;
+// Config.Secondaries not yet in the catalog are built online from the
+// existing zones.
 func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Table.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Index.Validate(cfg.Table); err != nil {
 		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, s := range cfg.Secondaries {
+		if err := s.Validate(cfg.Table); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("wildfire: duplicate secondary index %q", s.Name)
+		}
+		seen[s.Name] = true
 	}
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("wildfire: Config.Store is required")
@@ -127,39 +163,106 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.Partitions = 4
 	}
 
-	ixCfg := cfg.IndexTuning
-	ixCfg.Name = "tbl/" + cfg.Table.Name + "/idx"
-	ixCfg.Def = indexDefFor(cfg.Table, cfg.Index)
-	ixCfg.Store = cfg.Store
-	ixCfg.Cache = cfg.Cache
-	idx, err := core.Open(ixCfg) // Open handles both fresh and recovery
-	if err != nil {
-		return nil, err
-	}
-
 	e := &Engine{
 		table:      cfg.Table,
 		ixSpec:     cfg.Index,
 		store:      cfg.Store,
 		cache:      cfg.Cache,
-		idx:        idx,
+		tuning:     cfg.IndexTuning,
 		endTS:      make(map[types.RID]types.TS),
 		blockCache: make(map[string]*blockEntry),
+		deprecated: make(map[uint64]struct{}),
 		stopCh:     make(chan struct{}),
 	}
 	e.partitions = cfg.Partitions
 	for i := 0; i < cfg.Replicas; i++ {
 		e.replicas = append(e.replicas, &replica{id: i})
 	}
-	if err := e.recoverState(); err != nil {
-		idx.Close()
+
+	// The catalog is the authoritative index set; a table without one
+	// (fresh, or created before catalogs existed) starts primary-only and
+	// every declared secondary goes through the backfill path below.
+	catalog, seq, err := LoadIndexCatalog(cfg.Store, cfg.Table.Name)
+	if err != nil {
 		return nil, err
+	}
+	e.catalogSeq.Store(seq)
+	catalogMissing := catalog == nil
+	if catalogMissing {
+		catalog = []IndexCatalogEntry{{Name: "", Spec: cfg.Index}}
+	} else if !specEqual(catalog[0].Spec, cfg.Index) {
+		return nil, fmt.Errorf("wildfire: table %s: primary index spec differs from the stored catalog", cfg.Table.Name)
+	}
+	var set []*tableIndex
+	closeAll := func() {
+		for _, ti := range set {
+			ti.idx.Close()
+		}
+	}
+	for i, entry := range catalog {
+		if i > 0 {
+			if entry.Name == "" {
+				closeAll()
+				return nil, fmt.Errorf("wildfire: table %s: catalog names a second primary", cfg.Table.Name)
+			}
+			if decl, ok := declaredSecondary(cfg.Secondaries, entry.Name); ok && !specEqual(decl, entry.Spec) {
+				closeAll()
+				return nil, fmt.Errorf("wildfire: secondary index %q: declared spec differs from the stored catalog", entry.Name)
+			}
+		}
+		ti, err := e.openTableIndex(entry.Name, entry.Spec)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		set = append(set, ti)
+	}
+	e.idx = set[0].idx
+	e.indexes.Store(&set)
+	if catalogMissing {
+		// Persist the catalog even for primary-only tables (fresh, or
+		// created before catalogs existed), so the index set is always
+		// reconstructable — and inspectable — from storage alone.
+		e.indexMu.Lock()
+		err := e.writeCatalogLocked()
+		e.indexMu.Unlock()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	if err := e.recoverState(); err != nil {
+		closeAll()
+		return nil, err
+	}
+	// Secondaries declared in the config but absent from the catalog:
+	// online backfill (on a fresh table this is a no-op build).
+	for _, s := range cfg.Secondaries {
+		if _, err := e.lookupIndex(s.Name); err == nil {
+			continue
+		}
+		if err := e.CreateIndex(s); err != nil {
+			for _, ti := range e.indexSet() {
+				ti.idx.Close()
+			}
+			return nil, err
+		}
 	}
 	return e, nil
 }
 
-// Index exposes the underlying Umzi index (benchmarks tune and inspect
-// it directly).
+func declaredSecondary(specs []SecondaryIndexSpec, name string) (IndexSpec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s.IndexSpec, true
+		}
+	}
+	return IndexSpec{}, false
+}
+
+// Index exposes the underlying primary Umzi index (benchmarks tune and
+// inspect it directly).
 func (e *Engine) Index() *core.Index { return e.idx }
 
 // Table returns the table definition.
@@ -175,13 +278,28 @@ func (e *Engine) MaxPSN() types.PSN { return types.PSN(e.maxPSN.Load()) }
 
 // Start launches the background daemons: the groomer (every groomEvery),
 // the post-groomer (every postGroomEvery) and the indexer poller, plus
-// the index's own per-level maintenance workers.
+// every index's own per-level maintenance workers.
 func (e *Engine) Start(groomEvery, postGroomEvery time.Duration) {
-	e.idx.Start(groomEvery)
+	e.startIndexMaintenance(groomEvery)
 	e.wg.Add(3)
 	go e.loop(groomEvery, func() { _ = e.Groom() })
 	go e.loop(postGroomEvery, func() { _, _ = e.PostGroom() })
 	go e.loop(groomEvery, func() { _ = e.SyncIndex() })
+}
+
+// startIndexMaintenance launches every index's per-level maintenance
+// workers and records the cadence so indexes created later start theirs
+// too. The sharded layer calls this directly: it replaces the per-engine
+// groom/post-groom daemons with lockstep rounds but still needs the full
+// index set maintained per shard.
+func (e *Engine) startIndexMaintenance(every time.Duration) {
+	e.indexMu.Lock()
+	defer e.indexMu.Unlock()
+	e.maintEvery = every
+	e.started.Store(true)
+	for _, ti := range e.indexSet() {
+		ti.idx.Start(every)
+	}
 }
 
 func (e *Engine) loop(every time.Duration, f func()) {
@@ -198,32 +316,107 @@ func (e *Engine) loop(every time.Duration, f func()) {
 	}
 }
 
-// Close stops the daemons and the index.
+// Close stops the daemons and the index set. The teardown holds
+// indexMu so it serializes against an in-flight CreateIndex: either the
+// create publishes first (and its index is closed here) or it observes
+// closed under the lock and aborts — a created index can never outlive
+// Close with running maintenance workers.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(e.stopCh)
 	e.wg.Wait()
-	return e.idx.Close()
+	e.indexMu.Lock()
+	defer e.indexMu.Unlock()
+	var first error
+	for _, ti := range e.indexSet() {
+		if err := ti.idx.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// safeReclaimBoundary returns the smallest groomed block ID that may
+// still be referenced by any index of the set: the minimum over all
+// indexes of their evolve watermark and their oldest live groomed run.
+// Deprecated blocks below the boundary are unreachable from every index
+// and safe to delete (§5.4, generalized to N indexes).
+func (e *Engine) safeReclaimBoundary() uint64 {
+	safe := ^uint64(0)
+	for _, ti := range e.indexSet() {
+		s := ti.idx.MaxCoveredGroomedID() + 1
+		if min, ok := ti.idx.MinLiveGroomedBlock(); ok && min < s {
+			s = min
+		}
+		if s < safe {
+			safe = s
+		}
+	}
+	return safe
 }
 
 // recoverState rebuilds engine counters from storage after a restart:
-// the groom cycle from groomed/post block listings, PSN from psn metas,
-// the pending groomed blocks (those not covered by the index watermark),
-// and the endTS overlay from the sidecar objects.
+// PSN and the consumed-block boundary from the psn metas, the groom
+// cycle and the pending/deprecated split from the groomed block listing,
+// the endTS overlay from the sidecar objects — and any index run a crash
+// lost between a groom's block write and its per-index run builds.
 func (e *Engine) recoverState() error {
 	prefix := "tbl/" + e.table.Name
+
+	// PSN metas first: they are the truth of what post-grooming consumed
+	// (groomed side) and published (post-groomed side).
+	psnNames, err := e.store.List(prefix + "/psn/")
+	if err != nil {
+		return err
+	}
+	var maxPSN, consumedHi uint64
+	for _, n := range psnNames {
+		var id uint64
+		if _, err := fmt.Sscanf(n, prefix+"/psn/%d", &id); err != nil {
+			continue
+		}
+		if id > maxPSN {
+			maxPSN = id
+		}
+		// Published post blocks come from the PSN metas, not the raw post/
+		// listing: a post-groom that failed after writing some blocks
+		// leaves orphans that no meta (and no index run) references, and
+		// the executor must not scan them. A meta that exists but does
+		// not decode is a hard error — silently skipping it would leave
+		// the executor's block list incomplete while the index still
+		// serves the rows (the indexer treats the same failure as fatal).
+		meta, err := e.store.Get(n)
+		if err != nil {
+			return err
+		}
+		_, hi, blocks, err := decodePSNMeta(meta)
+		if err != nil {
+			return fmt.Errorf("wildfire: recovering PSN meta %s: %w", n, err)
+		}
+		if hi > consumedHi {
+			consumedHi = hi
+		}
+		e.postBlocks = append(e.postBlocks, blocks...)
+	}
+	e.maxPSN.Store(maxPSN)
+	e.consumedHi.Store(consumedHi)
+
+	// Groomed blocks: those beyond the consumed boundary go back into the
+	// pending queue; consumed ones are deprecated until every index of
+	// the set has passed them, and deleted once none can reference them.
 	names, err := e.store.List(prefix + "/groomed/")
 	if err != nil {
 		return err
 	}
-	var maxCycle uint64
-	covered := e.idx.MaxCoveredGroomedID()
-	safe := covered + 1
-	if min, ok := e.idx.MinLiveGroomedBlock(); ok && min < safe {
-		safe = min
-	}
+	// The groom clock must never run backwards: reclaimed blocks leave no
+	// storage object, so after a quiescent shutdown (everything consumed
+	// and deleted) the listing alone would restart the clock at 0 and new
+	// grooms would reuse block IDs and beginTS ranges below post-groomed
+	// versions. consumedHi floors it at the highest ID ever consumed.
+	maxCycle := consumedHi
+	safe := e.safeReclaimBoundary()
 	for _, n := range names {
 		var id uint64
 		if _, err := fmt.Sscanf(n, prefix+"/groomed/block-%d", &id); err != nil {
@@ -233,16 +426,17 @@ func (e *Engine) recoverState() error {
 			maxCycle = id
 		}
 		switch {
-		case id > covered:
+		case id > consumedHi:
 			// Not yet post-groomed: back into the pending queue.
 			e.pending = append(e.pending, id)
 		case id < safe:
-			// Deprecated and unreferenced: an interrupted deletion.
+			// Deprecated and unreferenced by every index: an interrupted
+			// deletion.
 			_ = e.store.Delete(n)
 		default:
-			// Deprecated but still referenced by a partially covered
-			// groomed run; retired by a later evolve.
-			e.deprecated = append(e.deprecated, id)
+			// Deprecated but still referenced by some index's groomed
+			// runs or lagging watermark; retired by a later evolve.
+			e.deprecated[id] = struct{}{}
 		}
 	}
 	e.groomCycle.Store(maxCycle)
@@ -264,38 +458,6 @@ func (e *Engine) recoverState() error {
 	}
 	e.postBlockSeq.Store(maxPost)
 
-	psnNames, err := e.store.List(prefix + "/psn/")
-	if err != nil {
-		return err
-	}
-	var maxPSN uint64
-	for _, n := range psnNames {
-		var id uint64
-		if _, err := fmt.Sscanf(n, prefix+"/psn/%d", &id); err != nil {
-			continue
-		}
-		if id > maxPSN {
-			maxPSN = id
-		}
-		// Published post blocks come from the PSN metas, not the raw post/
-		// listing: a post-groom that failed after writing some blocks
-		// leaves orphans that no meta (and no index run) references, and
-		// the executor must not scan them. A meta that exists but does
-		// not decode is a hard error — silently skipping it would leave
-		// the executor's block list incomplete while the index still
-		// serves the rows (the indexer treats the same failure as fatal).
-		meta, err := e.store.Get(n)
-		if err != nil {
-			return err
-		}
-		_, _, blocks, err := decodePSNMeta(meta)
-		if err != nil {
-			return fmt.Errorf("wildfire: recovering PSN meta %s: %w", n, err)
-		}
-		e.postBlocks = append(e.postBlocks, blocks...)
-	}
-	e.maxPSN.Store(maxPSN)
-
 	// Rebuild the endTS overlay from sidecars.
 	endNames, err := e.store.List(prefix + "/endts/")
 	if err != nil {
@@ -309,6 +471,31 @@ func (e *Engine) recoverState() error {
 		decodeEndTSSidecar(data, func(rid types.RID, ts types.TS) {
 			e.endTS[rid] = ts
 		})
+	}
+
+	// A groom writes its data block first and then builds one run per
+	// index; a crash in between leaves pending blocks some index has no
+	// run for. Re-derive the lost runs from the data blocks (§5.5's one
+	// exception to "no run is rebuilt from data blocks").
+	return e.rebuildLostRuns()
+}
+
+// rebuildLostRuns re-creates per-index runs for pending groomed blocks
+// an index does not cover.
+func (e *Engine) rebuildLostRuns() error {
+	for _, id := range e.pending {
+		for _, ti := range e.indexSet() {
+			if ti.idx.CoversGroomedBlock(id) {
+				continue
+			}
+			entries, err := e.entriesFromBlocks(ti, types.ZoneGroomed, []uint64{id})
+			if err != nil {
+				return err
+			}
+			if err := ti.idx.RebuildGroomedRun(entries, types.BlockRange{Min: id, Max: id}); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

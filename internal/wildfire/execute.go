@@ -30,7 +30,7 @@ func (e *Engine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	part, err := e.executeBound(bound, opts)
+	part, err := e.executePlan(bound, p.Filter, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +212,10 @@ func (s *ShardedEngine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, e
 	opts.TS = s.resolveTS(opts)
 	parts := make([]*exec.Partial, len(s.shards))
 	err = s.pool.each(len(s.shards), func(i int) error {
-		part, err := s.shards[i].executeBound(bound, opts)
+		// Index selection runs per shard: every shard holds the same
+		// index set, so the (deterministic) rule picks the same access
+		// path everywhere.
+		part, err := s.shards[i].executePlan(bound, p.Filter, opts)
 		parts[i] = part
 		return err
 	})

@@ -49,7 +49,14 @@ func (e *Engine) GroomCount() (int, error) {
 		return 0, err
 	}
 	builder := columnar.NewBuilder(schema)
-	entries := make([]run.Entry, 0, len(recs))
+	// One run per index per groom cycle (§5.2, fanned out to the set):
+	// every index — primary and secondaries — gets entries for every
+	// record of the cycle, so no index ever lags the groomed zone.
+	indexes := e.indexSet()
+	perIndex := make([][]run.Entry, len(indexes))
+	for x := range perIndex {
+		perIndex[x] = make([]run.Entry, 0, len(recs))
+	}
 
 	for i, rec := range recs {
 		if i >= 1<<24 {
@@ -69,11 +76,13 @@ func (e *Engine) GroomCount() (int, error) {
 			return 0, err
 		}
 
-		entry, err := e.entryForRow(rec.row, beginTS, rid)
-		if err != nil {
-			return 0, err
+		for x, ti := range indexes {
+			entry, err := ti.entryForRow(rec.row, beginTS, rid)
+			if err != nil {
+				return 0, err
+			}
+			perIndex[x] = append(perIndex[x], entry)
 		}
-		entries = append(entries, entry)
 	}
 
 	blk := builder.Build()
@@ -83,9 +92,13 @@ func (e *Engine) GroomCount() (int, error) {
 	}
 	e.cacheBlock(name, blk)
 
-	// The groomer also builds indexes over the groomed data (§2.1).
-	if err := e.idx.BuildRun(entries, types.BlockRange{Min: cycle, Max: cycle}); err != nil {
-		return 0, err
+	// The groomer also builds indexes over the groomed data (§2.1). A
+	// failure partway leaves some indexes without the run; recovery
+	// re-derives lost runs from the data block (rebuildLostRuns).
+	for x, ti := range indexes {
+		if err := ti.idx.BuildRun(perIndex[x], types.BlockRange{Min: cycle, Max: cycle}); err != nil {
+			return 0, err
+		}
 	}
 
 	e.pendingMu.Lock()
@@ -114,21 +127,4 @@ func (e *Engine) alignGroomCycle(cycle uint64) {
 	}
 	e.groomCycle.Store(cycle)
 	e.lastGroomTS.Store(uint64(types.MakeTS(cycle, 1<<24-1)))
-}
-
-// entryForRow builds the index entry of one record version.
-func (e *Engine) entryForRow(row Row, ts types.TS, rid types.RID) (run.Entry, error) {
-	eq := make([]keyenc.Value, len(e.ixSpec.Equality))
-	for i, c := range e.ixSpec.Equality {
-		eq[i] = row[e.table.colIndex(c)]
-	}
-	sortv := make([]keyenc.Value, len(e.ixSpec.Sort))
-	for i, c := range e.ixSpec.Sort {
-		sortv[i] = row[e.table.colIndex(c)]
-	}
-	incl := make([]keyenc.Value, len(e.ixSpec.Included))
-	for i, c := range e.ixSpec.Included {
-		incl[i] = row[e.table.colIndex(c)]
-	}
-	return e.idx.MakeEntry(eq, sortv, incl, ts, rid)
 }

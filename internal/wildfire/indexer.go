@@ -8,32 +8,42 @@ import (
 	"umzi/internal/types"
 )
 
-// The indexer side of Figure 5: the indexer tracks IndexedPSN and polls
-// the post-groomer's MaxPSN; whenever IndexedPSN < MaxPSN it performs an
-// index evolve operation for IndexedPSN+1, strictly in order, and lets
-// the index persist the new watermark. Asynchrony is safe because a
-// post-groom only copies data between zones — a query finds the same
-// record through either zone's RID until the groomed blocks are dropped.
+// The indexer side of Figure 5, generalized to the index set: each index
+// tracks its own IndexedPSN and the indexer polls the post-groomer's
+// MaxPSN; whenever an index lags it performs evolve operations for that
+// index strictly in PSN order and lets it persist its watermark.
+// Asynchrony is safe because a post-groom only copies data between zones
+// — a query finds the same record through either zone's RID until the
+// groomed blocks are dropped, and dropping is gated on EVERY index
+// having passed the block.
 
-// SyncIndex applies every published-but-unindexed post-groom operation.
-// It is the poll loop body; tests call it directly for determinism.
+// SyncIndex applies every published-but-unindexed post-groom operation
+// to every index of the set. It is the poll loop body; tests call it
+// directly for determinism.
 func (e *Engine) SyncIndex() error {
-	for {
-		indexed := uint64(e.idx.IndexedPSN())
-		max := e.maxPSN.Load()
-		if indexed >= max {
-			return nil
-		}
-		if err := e.evolveOne(types.PSN(indexed + 1)); err != nil {
-			return err
+	// Serialized: the indexer daemon and the post-groomer both drive
+	// this, and evolves of one index must arrive in PSN order.
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	for _, ti := range e.indexSet() {
+		for {
+			indexed := uint64(ti.idx.IndexedPSN())
+			max := e.maxPSN.Load()
+			if indexed >= max {
+				break
+			}
+			if err := e.evolveOne(ti, types.PSN(indexed+1)); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-// evolveOne builds the index entries for one post-groom operation and
-// hands them to the index's evolve, then deletes the deprecated groomed
-// blocks (they are no longer referenced once the evolve completes).
-func (e *Engine) evolveOne(psn types.PSN) error {
+// evolveOne builds one index's entries for one post-groom operation and
+// hands them to that index's evolve, then retires whatever deprecated
+// groomed blocks the whole set has passed.
+func (e *Engine) evolveOne(ti *tableIndex, psn types.PSN) error {
 	meta, err := e.store.Get(psnMetaName(e.table.Name, psn))
 	if err != nil {
 		return fmt.Errorf("wildfire: reading PSN %d meta: %w", psn, err)
@@ -57,7 +67,7 @@ func (e *Engine) evolveOne(psn types.PSN) error {
 			}
 			beginTS := types.TS(blk.Value(r, nUser).Uint())
 			rid := types.RID{Zone: types.ZonePostGroomed, Block: id, Offset: uint32(r)}
-			entry, err := e.entryForRow(row, beginTS, rid)
+			entry, err := ti.entryForRow(row, beginTS, rid)
 			if err != nil {
 				return err
 			}
@@ -65,49 +75,52 @@ func (e *Engine) evolveOne(psn types.PSN) error {
 		}
 	}
 
-	if err := e.idx.Evolve(psn, entries, types.BlockRange{Min: lo, Max: hi}); err != nil {
+	if err := ti.idx.Evolve(psn, entries, types.BlockRange{Min: lo, Max: hi}); err != nil {
 		return err
 	}
+	e.reclaimDeprecated(lo, hi)
+	return nil
+}
 
-	// Groomed blocks consumed by this post-groom are deprecated and
-	// eventually deleted (§5.4). "Eventually" has two conditions here:
-	//
-	//   - no live groomed run may still reference the block — merged runs
-	//     can span ranges evolve only partially covered, and their entries
-	//     hand out RIDs into low blocks until they are GC'd;
-	//   - in-flight queries that already resolved a groomed RID keep the
-	//     block readable through the engine block cache until their query
-	//     epoch drains (epoch-based reclamation).
+// reclaimDeprecated marks the groomed blocks a post-groom consumed as
+// deprecated and deletes every deprecated block the whole index set has
+// passed. "Deprecated and eventually deleted" (§5.4) has three
+// conditions here:
+//
+//   - every index's evolve watermark must cover the block — a lagging
+//     secondary still serves queries from its groomed runs over it;
+//   - no live groomed run of any index may still reference it — merged
+//     runs can span ranges evolve only partially covered, and their
+//     entries hand out RIDs into low blocks until they are GC'd;
+//   - in-flight queries that already resolved a groomed RID keep the
+//     block readable through the engine block cache until their query
+//     epoch drains (epoch-based reclamation).
+func (e *Engine) reclaimDeprecated(lo, hi uint64) {
 	e.deprecateMu.Lock()
 	for id := lo; id <= hi; id++ {
-		e.deprecated = append(e.deprecated, id)
+		e.deprecated[id] = struct{}{}
 	}
-	safe := e.idx.MaxCoveredGroomedID() + 1
-	if min, ok := e.idx.MinLiveGroomedBlock(); ok && min < safe {
-		safe = min
-	}
+	safe := e.safeReclaimBoundary()
 	var retire []string
-	keep := e.deprecated[:0]
-	for _, id := range e.deprecated {
+	for id := range e.deprecated {
 		if id < safe {
 			retire = append(retire, groomedBlockName(e.table.Name, id))
-		} else {
-			keep = append(keep, id)
+			delete(e.deprecated, id)
 		}
 	}
-	e.deprecated = keep
 	e.deprecateMu.Unlock()
+	if len(retire) == 0 {
+		return
+	}
 
 	// The storage objects can go immediately: current and future queries
-	// reach retired blocks only through the cache (the index no longer
-	// hands out their RIDs to queries starting after this point, and
-	// recovery cannot resurrect references to them thanks to the safe
-	// rule above).
+	// reach retired blocks only through the cache (no index hands out
+	// their RIDs to queries starting after this point, and recovery
+	// cannot resurrect references to them thanks to the safe rule above).
 	for _, name := range retire {
 		_ = e.store.Delete(name)
 	}
 	e.retireCacheEntries(retire)
-	return nil
 }
 
 // retireItem is one cached block awaiting query-epoch drain.

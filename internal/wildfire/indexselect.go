@@ -1,0 +1,441 @@
+package wildfire
+
+import (
+	"fmt"
+
+	"umzi/internal/core"
+	"umzi/internal/exec"
+	"umzi/internal/keyenc"
+)
+
+// Executor index selection: a plan whose (conjunctive) predicate pins
+// every equality column of some index runs as an index lookup — fetching
+// qualifying rows by RID, or answering covered plans straight from the
+// index's key and included columns — instead of scanning the columnar
+// zones. This is the classic HTAP access-path decision the multi-index
+// set exists for: a selective operational predicate on a non-key column
+// touches a handful of rows through its secondary while analytics keep
+// scanning, and both observe identical multi-version semantics.
+
+// indexPlanCandidateCap bounds how many index candidates an
+// index-selected plan may materialize before the executor abandons the
+// index and reverts to the zone scan. There are no table statistics, so
+// the selection rule is structural; this cap is the cost guard that
+// keeps a syntactic match on a low-cardinality column (half the table
+// behind one equality value) from turning the plan into millions of
+// per-candidate back-checks. The wasted work on fallback is one bounded
+// index scan. The A8 ablation sweeps the crossover this approximates.
+const indexPlanCandidateCap = 4096
+
+// errIndexPlanTooBroad reverts an index-selected plan to the zone scan.
+var errIndexPlanTooBroad = fmt.Errorf("wildfire: index plan exceeds the candidate cap")
+
+// executePlan evaluates a bound plan on this shard, routing through an
+// index when the selection rule finds one (and the caller didn't opt
+// out), falling back to the zone scan otherwise — including when the
+// index probe turns out too broad to beat the scan. filter is the
+// plan's original predicate expression (the bound plan cannot be
+// introspected syntactically).
+func (e *Engine) executePlan(bound *exec.BoundPlan, filter exec.Expr, opts QueryOptions) (*exec.Partial, error) {
+	if !opts.NoIndexSelection {
+		if ti, cons, ok := e.chooseIndex(filter); ok {
+			part, err := e.executeViaIndex(bound, ti, cons, opts)
+			if err != errIndexPlanTooBroad {
+				return part, err
+			}
+		}
+	}
+	return e.executeBound(bound, opts)
+}
+
+// chooseIndex applies the selection rule to the current index set: among
+// the indexes whose every equality column is pinned by an Eq constraint
+// (or, for pure range indexes, whose leading sort column is bounded on
+// both sides), pick the one matching the most key columns. Returns
+// ok=false when the predicate is not conjunctive or no index qualifies —
+// the plan then runs as a zone scan.
+func (e *Engine) chooseIndex(filter exec.Expr) (*tableIndex, exec.IndexConstraints, bool) {
+	if filter == nil {
+		return nil, exec.IndexConstraints{}, false
+	}
+	cons, ok := exec.ExtractConstraints(filter)
+	if !ok {
+		return nil, exec.IndexConstraints{}, false
+	}
+	var best *tableIndex
+	bestScore := -1
+	for _, ti := range e.indexSet() {
+		if score, ok := ti.matchScore(e.table, cons); ok && score > bestScore {
+			best, bestScore = ti, score
+		}
+	}
+	if best == nil {
+		return nil, exec.IndexConstraints{}, false
+	}
+	return best, cons, true
+}
+
+// kindCompatible reports whether a constraint value's encoding orders
+// consistently with a column of the given kind (bytes and strings share
+// an encoding; everything else must match exactly).
+func kindCompatible(got, want keyenc.Kind) bool {
+	if got == want {
+		return true
+	}
+	return (got == keyenc.KindBytes || got == keyenc.KindString) &&
+		(want == keyenc.KindBytes || want == keyenc.KindString)
+}
+
+// matchScore scores an index against extracted constraints. ok requires
+// every equality column pinned with a compatible value kind; pure range
+// indexes (no equality columns) additionally require the leading sort
+// column bounded on both sides, so an unbounded scan never masquerades
+// as an index lookup. The score prefers more pinned equality columns
+// and rewards a constrained leading sort column.
+func (ti *tableIndex) matchScore(t TableDef, cons exec.IndexConstraints) (int, bool) {
+	kindOf := func(col string) keyenc.Kind { return t.Columns[t.colIndex(col)].Kind }
+	for _, c := range ti.spec.Equality {
+		v, ok := cons.Eq[c]
+		if !ok || !kindCompatible(v.Kind(), kindOf(c)) {
+			return 0, false
+		}
+	}
+	score := 2 * len(ti.spec.Equality)
+	doubleBounded := false
+	if ti.userSort > 0 {
+		c := ti.spec.Sort[0]
+		want := kindOf(c)
+		if v, ok := cons.Eq[c]; ok && kindCompatible(v.Kind(), want) {
+			score++
+			doubleBounded = true
+		} else {
+			lo, hasLo := cons.Lo[c]
+			hi, hasHi := cons.Hi[c]
+			hasLo = hasLo && kindCompatible(lo.Kind(), want)
+			hasHi = hasHi && kindCompatible(hi.Kind(), want)
+			if hasLo || hasHi {
+				score++
+			}
+			doubleBounded = hasLo && hasHi
+		}
+	}
+	if len(ti.spec.Equality) == 0 && !doubleBounded {
+		return 0, false
+	}
+	return score, true
+}
+
+// indexScanBounds lowers constraints to the index's scan key: the
+// equality values plus inclusive bounds over the longest usable sort
+// prefix (a sort column extends the bound past itself only when pinned
+// to a single value). The bounds are a superset of the predicate; the
+// caller re-applies the full filter.
+func (ti *tableIndex) indexScanBounds(t TableDef, cons exec.IndexConstraints) (eq, sortLo, sortHi []keyenc.Value) {
+	eq = make([]keyenc.Value, len(ti.spec.Equality))
+	for i, c := range ti.spec.Equality {
+		eq[i] = cons.Eq[c]
+	}
+	kindOf := func(col string) keyenc.Kind { return t.Columns[t.colIndex(col)].Kind }
+	for i := 0; i < ti.userSort; i++ {
+		c := ti.spec.Sort[i]
+		want := kindOf(c)
+		if v, ok := cons.Eq[c]; ok && kindCompatible(v.Kind(), want) {
+			sortLo = append(sortLo, v)
+			sortHi = append(sortHi, v)
+			continue // pinned: deeper sort columns may constrain further
+		}
+		lo, hasLo := cons.Lo[c]
+		hi, hasHi := cons.Hi[c]
+		if hasLo && kindCompatible(lo.Kind(), want) {
+			sortLo = append(sortLo, lo)
+		}
+		if hasHi && kindCompatible(hi.Kind(), want) {
+			sortHi = append(sortHi, hi)
+		}
+		break
+	}
+	return eq, sortLo, sortHi
+}
+
+// executeViaIndex evaluates a bound plan through one index: a verified
+// range scan bounded by the extracted constraints, the full filter
+// re-applied per row, rows fed to the partial either straight from the
+// index (covered plans: every referenced column is an index column) or
+// by RID fetch. Multi-version semantics match executeBound: exactly the
+// newest visible version of each primary key qualifies, live records
+// (when requested at the newest snapshot) supersede indexed ones.
+func (e *Engine) executeViaIndex(bound *exec.BoundPlan, ti *tableIndex, cons exec.IndexConstraints, opts QueryOptions) (*exec.Partial, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ts := e.resolveTS(opts)
+
+	eq, sortLo, sortHi := ti.indexScanBounds(e.table, cons)
+	covered := ti.coversOrdinals(bound.ReferencedOrdinals())
+	// Live overlay: committed-but-ungroomed versions are newer than every
+	// indexed version of their key, so they suppress index results for
+	// the same primary key and contribute their own qualifying rows.
+	useLive := opts.IncludeLive && ts >= e.LastGroomTS()
+	// Probe with a candidate cap before paying for verification: a
+	// too-broad match reverts to the zone scan via errIndexPlanTooBroad.
+	entries, err := ti.idx.RangeScan(core.ScanOptions{
+		Equality: eq,
+		SortLo:   sortLo,
+		SortHi:   sortHi,
+		TS:       ts,
+		Method:   core.MethodPQ,
+		Limit:    indexPlanCandidateCap + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) > indexPlanCandidateCap {
+		return nil, errIndexPlanTooBroad
+	}
+	// Decoded values are needed to serve covered plans and to extract
+	// primary keys for live suppression; a non-covered primary-index
+	// plan with no live overlay fetches by RID and never reads them
+	// (secondaries always decode for the back-check).
+	ves, err := e.verifyEntries(ti, entries, ts, 0, covered || useLive)
+	if err != nil {
+		return nil, err
+	}
+	type liveBest struct {
+		row Row
+		seq uint64
+	}
+	var live map[string]liveBest
+	if useLive {
+		live = make(map[string]liveBest)
+		for _, rep := range e.replicas {
+			rep.scan(func(rec logRecord) {
+				pk := e.table.pkEncoding(rec.row)
+				if best, ok := live[pk]; !ok || rec.commitSeq >= best.seq {
+					live[pk] = liveBest{row: rec.row, seq: rec.commitSeq}
+				}
+			})
+		}
+	}
+
+	part := bound.NewPartial()
+	for _, ve := range ves {
+		if len(live) > 0 {
+			if _, shadowed := live[ti.pkEncodingFromFlat(ve.flat)]; shadowed {
+				continue
+			}
+		}
+		var view exec.RowView
+		if covered {
+			flat, pos := ve.flat, ti.valPos
+			view = func(c int) keyenc.Value { return flat[pos[c]] }
+		} else {
+			rec, err := e.Fetch(ve.entry.RID)
+			if err != nil {
+				return nil, err
+			}
+			row := rec.Row
+			view = func(c int) keyenc.Value { return row[c] }
+		}
+		if !bound.Matches(view) {
+			continue
+		}
+		part.Add(view)
+	}
+	for _, best := range live {
+		row := best.row
+		view := exec.RowView(func(c int) keyenc.Value { return row[c] })
+		if bound.Matches(view) {
+			part.Add(view)
+		}
+	}
+	return part, nil
+}
+
+// ---- Index-choice reads on the sharded engine ----------------------
+
+// secondaryMeta resolves the sharded layer's own metadata for a named
+// secondary (ordinals for routing and merge keys; idx is nil).
+func (s *ShardedEngine) secondaryMeta(name string) (*tableIndex, error) {
+	s.secMu.Lock()
+	defer s.secMu.Unlock()
+	ti, ok := s.secondaries[name]
+	if !ok {
+		return nil, fmt.Errorf("wildfire: table %s has no index %q", s.table.Name, name)
+	}
+	return ti, nil
+}
+
+// pinSecondary reports the single shard able to serve a secondary query
+// with the given equality values: every routing column must be one of
+// the index's equality columns. Otherwise the query scatters.
+func (s *ShardedEngine) pinSecondary(ti *tableIndex, eq []keyenc.Value) (int, bool) {
+	var vals []keyenc.Value
+	for _, rc := range s.router.cols {
+		found := -1
+		for i, c := range ti.spec.Equality {
+			if c == rc {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return 0, false
+		}
+		vals = append(vals, eq[found])
+	}
+	return int(keyenc.HashValues(vals) % uint64(s.router.n)), true
+}
+
+// CreateIndex builds a new secondary on every shard (backfill runs
+// per shard, online) and registers it for routing and merging.
+func (s *ShardedEngine) CreateIndex(spec SecondaryIndexSpec) error {
+	if s.closed.Load() {
+		return fmt.Errorf("wildfire: engine closed")
+	}
+	if err := spec.Validate(s.table); err != nil {
+		return err
+	}
+	// One CreateIndex at a time: without this, two concurrent calls with
+	// the same name but different specs could each win on different
+	// shards and permanently diverge the per-shard catalogs. secMu stays
+	// a short-hold map lock so queries never wait behind a backfill.
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	s.secMu.Lock()
+	if existing, ok := s.secondaries[spec.Name]; ok {
+		s.secMu.Unlock()
+		if specEqual(existing.declared, spec.IndexSpec) {
+			return nil
+		}
+		return fmt.Errorf("wildfire: table %s already has an index %q with a different spec", s.table.Name, spec.Name)
+	}
+	s.secMu.Unlock()
+	// Per-shard CreateIndex is idempotent on an identical spec, so a
+	// partial failure (some shards built, some not) is retryable: rerun
+	// and only the stragglers backfill.
+	err := s.pool.each(len(s.shards), func(i int) error {
+		return s.shards[i].CreateIndex(spec)
+	})
+	if err != nil {
+		return err
+	}
+	s.registerSecondary(spec)
+	return nil
+}
+
+// registerSecondary records a secondary's routing/merge metadata.
+func (s *ShardedEngine) registerSecondary(spec SecondaryIndexSpec) {
+	ti := newTableIndex(s.table, s.ixSpec, spec.Name, spec.IndexSpec, nil)
+	s.secMu.Lock()
+	s.secondaries[spec.Name] = ti
+	s.secMu.Unlock()
+}
+
+// GetOn is Engine.GetOn across shards: pinned when the sharding key is
+// bound by the index's equality columns, otherwise a scattered
+// first-match query.
+func (s *ShardedEngine) GetOn(index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	if index == "" {
+		return s.Get(eq, sortv, opts)
+	}
+	recs, err := s.ScanOn(index, eq, sortv, sortv, withLimit(opts, 1))
+	if err != nil || len(recs) == 0 {
+		return Record{}, false, err
+	}
+	return recs[0], true, nil
+}
+
+// ScanOn is Scan through a chosen index across shards: pin to one shard
+// when the sharding key is contained in the index's equality columns,
+// otherwise scatter to all shards and k-way merge the per-shard streams
+// on the index's effective sort columns (which embed the primary key,
+// so merge keys are unique across shards).
+func (s *ShardedEngine) ScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
+	if index == "" {
+		return s.Scan(eq, sortLo, sortHi, opts)
+	}
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	ti, err := s.secondaryMeta(index)
+	if err != nil {
+		return nil, err
+	}
+	if len(eq) != len(ti.spec.Equality) {
+		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
+			index, len(eq), len(ti.spec.Equality))
+	}
+	opts.TS = s.resolveTS(opts)
+	if shard, ok := s.pinSecondary(ti, eq); ok {
+		return s.shards[shard].ScanOn(index, eq, sortLo, sortHi, opts)
+	}
+	parts := make([][]Record, len(s.shards))
+	err = s.pool.each(len(s.shards), func(i int) error {
+		recs, err := s.shards[i].ScanOn(index, eq, sortLo, sortHi, opts)
+		parts[i] = recs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][][]byte, len(parts))
+	for i, p := range parts {
+		keys[i] = make([][]byte, len(p))
+		for j := range p {
+			keys[i][j] = sortKeyOfRecord(ti.sortIdx, &p[j])
+		}
+	}
+	out := make([]Record, 0, cappedTotal(parts, opts.Limit))
+	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
+		out = append(out, parts[shard][pos])
+	})
+	return out, nil
+}
+
+// IndexOnlyScanOn is ScanOn assembled entirely from the shards' chosen
+// indexes: scatter (or pin), then sort-merge the per-shard index-only
+// rows on the effective sort columns.
+func (s *ShardedEngine) IndexOnlyScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
+	if index == "" {
+		return s.IndexOnlyScan(eq, sortLo, sortHi, opts)
+	}
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	ti, err := s.secondaryMeta(index)
+	if err != nil {
+		return nil, err
+	}
+	if len(eq) != len(ti.spec.Equality) {
+		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
+			index, len(eq), len(ti.spec.Equality))
+	}
+	opts.TS = s.resolveTS(opts)
+	if shard, ok := s.pinSecondary(ti, eq); ok {
+		return s.shards[shard].IndexOnlyScanOn(index, eq, sortLo, sortHi, opts)
+	}
+	parts := make([][][]keyenc.Value, len(s.shards))
+	err = s.pool.each(len(s.shards), func(i int) error {
+		rows, err := s.shards[i].IndexOnlyScanOn(index, eq, sortLo, sortHi, opts)
+		parts[i] = rows
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	nEq, nSort := len(ti.spec.Equality), len(ti.spec.Sort)
+	keys := make([][][]byte, len(parts))
+	for i, p := range parts {
+		keys[i] = make([][]byte, len(p))
+		for j := range p {
+			keys[i][j] = sortKeyOfIndexRow(nEq, nSort, p[j])
+		}
+	}
+	out := make([][]keyenc.Value, 0, cappedTotal(parts, opts.Limit))
+	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
+		out = append(out, parts[shard][pos])
+	})
+	return out, nil
+}

@@ -106,7 +106,9 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 
 	// Pass 2: resolve version chains. Versions of one key are in beginTS
 	// order within the batch (grooms assign monotonic beginTS and blocks
-	// were read oldest-first).
+	// were read oldest-first). prevRID lookups go through the primary
+	// index: only it maps a primary key to the row's post-groomed RID.
+	primary := e.indexSet()[0]
 	var endTSUpdates []endTSUpdate
 	for _, chain := range byKey {
 		sort.Slice(chain, func(i, j int) bool { return chain[i].beginTS < chain[j].beginTS })
@@ -122,7 +124,7 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 			if rv.beginTS == 0 {
 				continue
 			}
-			prev, found, err := e.idx.PointLookupPostGroomed(e.eqVals(rv.row), e.sortVals(rv.row), rv.beginTS-1)
+			prev, found, err := e.idx.PointLookupPostGroomed(primary.rowEq(rv.row), primary.rowSort(rv.row), rv.beginTS-1)
 			if err != nil {
 				return 0, err
 			}
@@ -183,6 +185,7 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 		return 0, err
 	}
 	e.maxPSN.Store(uint64(psn))
+	e.consumedHi.Store(hi)
 	// Commit for the analytical executor: publish the written post
 	// blocks first, then consume the migrated groomed blocks from
 	// pending. The executor snapshots pending before postBlocks, so
@@ -198,22 +201,6 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 	e.pending = e.pending[len(blocks):]
 	e.pendingMu.Unlock()
 	return psn, nil
-}
-
-func (e *Engine) eqVals(row Row) []keyenc.Value {
-	out := make([]keyenc.Value, len(e.ixSpec.Equality))
-	for i, c := range e.ixSpec.Equality {
-		out[i] = row[e.table.colIndex(c)]
-	}
-	return out
-}
-
-func (e *Engine) sortVals(row Row) []keyenc.Value {
-	out := make([]keyenc.Value, len(e.ixSpec.Sort))
-	for i, c := range e.ixSpec.Sort {
-		out[i] = row[e.table.colIndex(c)]
-	}
-	return out
 }
 
 // partitionOf buckets a row by its partition key (hash partitioning); a

@@ -1,10 +1,12 @@
 package wildfire
 
 import (
+	"bytes"
 	"fmt"
 
 	"umzi/internal/core"
 	"umzi/internal/keyenc"
+	"umzi/internal/run"
 	"umzi/internal/types"
 )
 
@@ -30,6 +32,9 @@ type QueryOptions struct {
 	// more than Limit rows for a limited scan. Execute honors it too
 	// (the tighter of Limit and the plan's own limit wins).
 	Limit int
+	// NoIndexSelection makes Execute evaluate its plan as a zone scan
+	// even when the filter matches an index (baselines, ablations).
+	NoIndexSelection bool
 }
 
 func (e *Engine) resolveTS(opts QueryOptions) types.TS {
@@ -67,17 +72,33 @@ func (e *Engine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool,
 
 // liveLookup scans the replicas' committed logs for the newest committed
 // version of the key. Linear in live-zone size, which the groomer keeps
-// small.
+// small. The target composite is encoded once; each live record is
+// compared column by column against the matching target segment through
+// a reusable scratch buffer, bailing at the first mismatch instead of
+// building a full composite (and an allocation) per record.
 func (e *Engine) liveLookup(eq, sortv []keyenc.Value) (Record, bool) {
-	target := string(keyenc.AppendComposite(keyenc.AppendComposite(nil, eq...), sortv...))
+	primary := e.indexSet()[0]
+	target := keyenc.AppendComposite(keyenc.AppendComposite(nil, eq...), sortv...)
+	keyOrds := make([]int, 0, len(primary.eqIdx)+len(primary.sortIdx))
+	keyOrds = append(keyOrds, primary.eqIdx...)
+	keyOrds = append(keyOrds, primary.sortIdx...)
+	var scratch []byte
 	var best Row
 	var bestSeq uint64
 	for _, r := range e.replicas {
 		r.scan(func(rec logRecord) {
-			key := string(keyenc.AppendComposite(
-				keyenc.AppendComposite(nil, e.eqVals(rec.row)...),
-				e.sortVals(rec.row)...))
-			if key == target && rec.commitSeq >= bestSeq {
+			scratch = scratch[:0]
+			for _, ord := range keyOrds {
+				prev := len(scratch)
+				scratch = keyenc.Append(scratch, rec.row[ord])
+				if len(scratch) > len(target) || !bytes.Equal(scratch[prev:], target[prev:len(scratch)]) {
+					return // this column already differs from the target
+				}
+			}
+			if len(scratch) != len(target) {
+				return
+			}
+			if rec.commitSeq >= bestSeq {
 				best = rec.row
 				bestSeq = rec.commitSeq
 			}
@@ -181,6 +202,181 @@ func (e *Engine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Record, [
 		out[i] = rec
 	}
 	return out, found, nil
+}
+
+// ---- Index-choice queries ------------------------------------------
+//
+// Get/Scan serve the primary key; the *On variants accept an index
+// choice ("" is the primary). A secondary query walks the chosen index
+// and re-validates every candidate against the primary at the query
+// timestamp (see indexset.go on the stale-entry problem), so its
+// results match what a scan-and-filter over the reconciled table would
+// produce for the indexed zones. Like Scan, the *On variants do not
+// consult the live zone.
+
+// verifiedEntry is one secondary-index candidate that survived the
+// primary back-check: the entry plus its decoded value layout
+// (equality ++ sort ++ included).
+type verifiedEntry struct {
+	entry run.Entry
+	flat  []keyenc.Value
+}
+
+// indexScanEntries runs a range scan on one index of the set and
+// returns the entries a caller may act on. For secondaries every entry
+// is decoded and back-checked against the primary: a candidate whose
+// beginTS is no longer the row's newest visible version at ts was
+// superseded under a different secondary key and is dropped. For the
+// primary, flat is decoded only when decode is set. limit counts
+// verified entries; 0 means unlimited. Callers hold a gate epoch.
+func (e *Engine) indexScanEntries(ti *tableIndex, eq, sortLo, sortHi []keyenc.Value, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
+	if len(eq) != len(ti.spec.Equality) {
+		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
+			ti.name, len(eq), len(ti.spec.Equality))
+	}
+	// The back-check may drop candidates, so a limited secondary scan
+	// over-fetches (4x) rather than materializing every match; if the
+	// drops eat the headroom, one retry rescans unbounded.
+	scanLimit := limit
+	if !ti.primary() && limit > 0 {
+		scanLimit = 4 * limit
+	}
+	for {
+		entries, err := ti.idx.RangeScan(core.ScanOptions{
+			Equality: eq,
+			SortLo:   sortLo,
+			SortHi:   sortHi,
+			TS:       ts,
+			Method:   core.MethodPQ,
+			Limit:    scanLimit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.verifyEntries(ti, entries, ts, limit, decode)
+		if err != nil {
+			return nil, err
+		}
+		if limit == 0 || len(out) >= limit || scanLimit == 0 || len(entries) < scanLimit {
+			return out, nil // limit reached, or the scan was exhaustive
+		}
+		scanLimit = 0
+	}
+}
+
+// verifyEntries runs the primary back-check (and optional decode) over
+// scanned entries, stopping after limit verified results (0 = all).
+func (e *Engine) verifyEntries(ti *tableIndex, entries []run.Entry, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
+	out := make([]verifiedEntry, 0, len(entries))
+	for _, entry := range entries {
+		ve := verifiedEntry{entry: entry}
+		var err error
+		if !ti.primary() || decode {
+			ve.flat, err = ti.decodeFlat(entry)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !ti.primary() {
+			pkEq, pkSort := ti.pkFromFlat(ve.flat)
+			pe, found, err := e.idx.PointLookup(pkEq, pkSort, ts)
+			if err != nil {
+				return nil, err
+			}
+			if !found || pe.BeginTS != entry.BeginTS {
+				continue // superseded under another secondary key
+			}
+		}
+		out = append(out, ve)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// GetOn is Get through a chosen index. For a secondary the key need not
+// be unique: eq and sortv cover the index's declared equality and sort
+// columns (not the primary-key uniquifier), and the newest visible
+// version of the first matching key in index order is returned.
+func (e *Engine) GetOn(index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	if index == "" {
+		return e.Get(eq, sortv, opts)
+	}
+	recs, err := e.ScanOn(index, eq, sortv, sortv, withLimit(opts, 1))
+	if err != nil || len(recs) == 0 {
+		return Record{}, false, err
+	}
+	return recs[0], true, nil
+}
+
+// withLimit tightens the options' row limit.
+func withLimit(opts QueryOptions, limit int) QueryOptions {
+	if opts.Limit == 0 || opts.Limit > limit {
+		opts.Limit = limit
+	}
+	return opts
+}
+
+// ScanOn is Scan through a chosen index: the newest visible version of
+// every key matching the equality values and the inclusive bounds on a
+// prefix of the index's sort columns, in index-key order. Secondary
+// results are verified against the primary before fetching.
+func (e *Engine) ScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
+	if index == "" {
+		return e.Scan(eq, sortLo, sortHi, opts)
+	}
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	ti, err := e.lookupIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ves, err := e.indexScanEntries(ti, eq, sortLo, sortHi, e.resolveTS(opts), opts.Limit, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, len(ves))
+	for _, ve := range ves {
+		rec, err := e.Fetch(ve.entry.RID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// IndexOnlyScanOn is ScanOn without fetching records: result rows are
+// assembled entirely from the chosen index, in its effective column
+// order (equality, sort — including the primary-key uniquifier —
+// then included columns). Verification still runs, but touches only
+// the primary index, never a data block.
+func (e *Engine) IndexOnlyScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
+	if index == "" {
+		return e.IndexOnlyScan(eq, sortLo, sortHi, opts)
+	}
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	ti, err := e.lookupIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ves, err := e.indexScanEntries(ti, eq, sortLo, sortHi, e.resolveTS(opts), opts.Limit, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]keyenc.Value, 0, len(ves))
+	for _, ve := range ves {
+		out = append(out, ve.flat)
+	}
+	return out, nil
 }
 
 // History walks the version chain of a key backwards from its newest

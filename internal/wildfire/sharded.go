@@ -35,6 +35,9 @@ import (
 type ShardedConfig struct {
 	Table TableDef
 	Index IndexSpec
+	// Secondaries declares secondary indexes; every shard maintains its
+	// own instance of each (see Config.Secondaries).
+	Secondaries []SecondaryIndexSpec
 	// Shards is the number of hash partitions (default 4).
 	Shards int
 	// Parallelism bounds the scatter-gather worker pool shared by all
@@ -72,6 +75,13 @@ type ShardedEngine struct {
 	// sortIdx are the spec sort columns' ordinals in the table row, for
 	// merge-key extraction.
 	sortIdx []int
+
+	// secondaries holds per-secondary routing/merge metadata (no index
+	// instance — those live in the shards); createMu serializes whole
+	// CreateIndex operations across callers.
+	secMu       sync.Mutex
+	createMu    sync.Mutex
+	secondaries map[string]*tableIndex
 
 	// groomMu serializes groom rounds so the lockstep cycle advance stays
 	// consistent.
@@ -112,11 +122,12 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 		return nil, err
 	}
 	s := &ShardedEngine{
-		table:  cfg.Table,
-		ixSpec: cfg.Index,
-		router: router,
-		pool:   newGatherPool(cfg.Parallelism),
-		stopCh: make(chan struct{}),
+		table:       cfg.Table,
+		ixSpec:      cfg.Index,
+		router:      router,
+		pool:        newGatherPool(cfg.Parallelism),
+		secondaries: make(map[string]*tableIndex),
+		stopCh:      make(chan struct{}),
 	}
 	for _, c := range cfg.Index.Sort {
 		s.sortIdx = append(s.sortIdx, cfg.Table.colIndex(c))
@@ -125,6 +136,7 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 		shardCfg := Config{
 			Table:       cfg.Table,
 			Index:       cfg.Index,
+			Secondaries: cfg.Secondaries,
 			Store:       cfg.Store,
 			Cache:       cfg.Cache,
 			Replicas:    cfg.Replicas,
@@ -154,6 +166,43 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 	}
 	for _, e := range s.shards {
 		e.alignGroomCycle(max)
+	}
+	// Register routing/merge metadata for every secondary the shards
+	// hold — declared ones plus any recovered from the shard catalogs.
+	// The union is taken across ALL shards and healed everywhere: a crash
+	// mid-CreateIndex can leave an index on a subset of shards, and
+	// per-shard CreateIndex is idempotent, so re-running it converges
+	// the stragglers (backfilling from their zones) instead of leaving
+	// scattered queries to fail on the shards that missed it.
+	var union []SecondaryIndexSpec
+	seen := map[string]IndexSpec{}
+	for i, e := range s.shards {
+		for _, spec := range e.SecondarySpecs() {
+			if prev, ok := seen[spec.Name]; ok {
+				if !specEqual(prev, spec.IndexSpec) {
+					s.Close()
+					return nil, fmt.Errorf("wildfire: shard %d recovered index %q with a conflicting spec", i, spec.Name)
+				}
+				continue
+			}
+			seen[spec.Name] = spec.IndexSpec
+			union = append(union, spec)
+		}
+	}
+	for _, spec := range union {
+		for i, e := range s.shards {
+			// Only the stragglers rebuild; a shard that recovered the
+			// index from its own catalog is left untouched (CreateIndex
+			// would be idempotent but rewrites the catalog).
+			if _, err := e.lookupIndex(spec.Name); err == nil {
+				continue
+			}
+			if err := e.CreateIndex(spec); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("wildfire: shard %d: healing index %q: %w", i, spec.Name, err)
+			}
+		}
+		s.registerSecondary(spec)
 	}
 	return s, nil
 }
@@ -196,7 +245,7 @@ func (s *ShardedEngine) resolveTS(opts QueryOptions) types.TS {
 // workers run per shard as usual.
 func (s *ShardedEngine) Start(groomEvery, postGroomEvery time.Duration) {
 	for _, e := range s.shards {
-		e.idx.Start(groomEvery)
+		e.startIndexMaintenance(groomEvery)
 	}
 	s.wg.Add(3)
 	go s.daemon(groomEvery, func() { _ = s.Groom() })
@@ -519,29 +568,17 @@ func (s *ShardedEngine) Scan(eq, sortLo, sortHi []keyenc.Value, opts QueryOption
 	// Limit rows are within the union and the merge stops as soon as it
 	// has emitted them.
 	keys := make([][][]byte, len(parts))
-	total := 0
 	for i, p := range parts {
 		keys[i] = make([][]byte, len(p))
 		for j := range p {
 			keys[i][j] = sortKeyOfRecord(s.sortIdx, &p[j])
 		}
-		total += len(p)
 	}
-	if opts.Limit > 0 && total > opts.Limit {
-		total = opts.Limit
-	}
-	out := make([]Record, 0, total)
-	it := newMergeIter(keys)
-	for {
-		shard, pos, ok := it.Next()
-		if !ok {
-			return out, nil
-		}
+	out := make([]Record, 0, cappedTotal(parts, opts.Limit))
+	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
 		out = append(out, parts[shard][pos])
-		if opts.Limit > 0 && len(out) == opts.Limit {
-			return out, nil
-		}
-	}
+	})
+	return out, nil
 }
 
 // ScanUnordered is Scan without the sort-merge: per-shard results are
@@ -619,27 +656,15 @@ func (s *ShardedEngine) IndexOnlyScan(eq, sortLo, sortHi []keyenc.Value, opts Qu
 	}
 	nEq, nSort := len(s.ixSpec.Equality), len(s.ixSpec.Sort)
 	keys := make([][][]byte, len(parts))
-	total := 0
 	for i, p := range parts {
 		keys[i] = make([][]byte, len(p))
 		for j := range p {
 			keys[i][j] = sortKeyOfIndexRow(nEq, nSort, p[j])
 		}
-		total += len(p)
 	}
-	if opts.Limit > 0 && total > opts.Limit {
-		total = opts.Limit
-	}
-	out := make([][]keyenc.Value, 0, total)
-	it := newMergeIter(keys)
-	for {
-		shard, pos, ok := it.Next()
-		if !ok {
-			return out, nil
-		}
+	out := make([][]keyenc.Value, 0, cappedTotal(parts, opts.Limit))
+	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
 		out = append(out, parts[shard][pos])
-		if opts.Limit > 0 && len(out) == opts.Limit {
-			return out, nil
-		}
-	}
+	})
+	return out, nil
 }

@@ -123,6 +123,39 @@ func (it *mergeIter) Next() (shard, pos int, ok bool) {
 	return shard, pos, true
 }
 
+// mergeOrdered drains the k-way merge of per-shard key slices, calling
+// emit with each (shard, position) in global key order and stopping
+// after limit emissions (0 = all). Every sharded ordered-scan variant
+// funnels through this one loop.
+func mergeOrdered(keys [][][]byte, limit int, emit func(shard, pos int)) {
+	it := newMergeIter(keys)
+	n := 0
+	for {
+		shard, pos, ok := it.Next()
+		if !ok {
+			return
+		}
+		emit(shard, pos)
+		n++
+		if limit > 0 && n == limit {
+			return
+		}
+	}
+}
+
+// cappedTotal sizes a merge result: the sum of per-shard result counts,
+// capped at the limit when one is set.
+func cappedTotal[T any](parts [][]T, limit int) int {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	return total
+}
+
 // sortKeyOfRecord encodes the sort-column values of a record for merging,
 // using the spec's sort-column ordinals in the table row.
 func sortKeyOfRecord(sortIdx []int, rec *Record) []byte {

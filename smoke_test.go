@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"umzi"
 )
 
 // buildProgram compiles one main package into dir and returns the binary
@@ -42,9 +44,11 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 		{"examples/recovery", nil, ""},
 		{"examples/sharded", []string{"-rows", "20000", "-shards", "4"}, "global id order verified"},
 		{"examples/analytics", []string{"-rows", "20000", "-shards", "4"}, "pushdown verified against client-side aggregation"},
+		{"examples/secondary", []string{"-rows", "20000", "-customers", "128", "-shards", "4"}, "index plan, zone scan and covered scan agree"},
 		{"cmd/umzi-bench", []string{"-list"}, "available figures"},
 		{"cmd/umzi-bench", []string{"-figure", "s1", "-scale", "tiny"}, "Figure S1"},
 		{"cmd/umzi-bench", []string{"-figure", "a7", "-scale", "tiny"}, "Ablation A7"},
+		{"cmd/umzi-bench", []string{"-figure", "a8", "-scale", "tiny"}, "Ablation A8"},
 		{"cmd/umzi-inspect", []string{"-store", dir}, ""},
 	}
 
@@ -71,5 +75,67 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 				t.Fatalf("%s: output missing %q:\n%s", name, c.want, out)
 			}
 		})
+	}
+}
+
+// TestInspectTableSmoke materializes a table with a secondary index in a
+// filesystem store and checks umzi-inspect -table prints the whole index
+// set from shared storage alone.
+func TestInspectTableSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	store, err := umzi.NewFSStore(storeDir, umzi.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := umzi.NewEngine(umzi.EngineConfig{
+		Table: umzi.TableDef{
+			Name: "orders",
+			Columns: []umzi.TableColumn{
+				{Name: "id", Kind: umzi.KindInt64},
+				{Name: "region", Kind: umzi.KindString},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		Index: umzi.IndexSpec{Equality: []string{"id"}},
+		Secondaries: []umzi.SecondaryIndexSpec{{
+			Name:      "by_region",
+			IndexSpec: umzi.IndexSpec{Equality: []string{"region"}},
+		}},
+		Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := eng.UpsertRows(0, umzi.Row{umzi.I64(i), umzi.Str("r")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PostGroom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SyncIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildProgram(t, dir, "cmd/umzi-inspect")
+	out, err := exec.Command(bin, "-store", storeDir, "-table", "orders").CombinedOutput()
+	if err != nil {
+		t.Fatalf("umzi-inspect -table: %v\n%s", err, out)
+	}
+	for _, want := range []string{"2 indexes", "(primary)", "by_region", "IndexedPSN=1"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
 	}
 }

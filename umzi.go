@@ -187,6 +187,14 @@ type (
 	TableDef = wildfire.TableDef
 	// IndexSpec selects the index key layout over a table.
 	IndexSpec = wildfire.IndexSpec
+	// SecondaryIndexSpec declares a named secondary index over arbitrary
+	// table columns, maintained through the whole
+	// groom/post-groom/evolve pipeline alongside the primary. Pass in
+	// EngineConfig/ShardedConfig.Secondaries, or build online with
+	// Engine.CreateIndex / ShardedEngine.CreateIndex; query through
+	// GetOn/ScanOn/IndexOnlyScanOn, or let Execute pick the index
+	// automatically when a plan's predicate matches one.
+	SecondaryIndexSpec = wildfire.SecondaryIndexSpec
 	// Row is one table row.
 	Row = wildfire.Row
 	// Record is a resolved record version with its hidden columns.
