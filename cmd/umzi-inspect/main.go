@@ -1,28 +1,36 @@
-// Command umzi-inspect dumps the storage layout of an Umzi index or a
-// whole Wildfire table from a filesystem-backed shared-storage directory:
-// run headers (level, zone, groomed-block range, entry counts, synopsis),
-// meta records, and data-block inventories. It is the debugging companion
-// to the recovery procedure of §5.5 — everything it prints is
+// Command umzi-inspect dumps the storage layout of a whole database, a
+// table or an Umzi index from a filesystem-backed shared-storage
+// directory: the multi-table DB catalog, per-table index catalogs, run
+// headers (level, zone, groomed-block range, entry counts, synopsis),
+// meta records, and data-block inventories. It is the debugging
+// companion to the recovery procedure of §5.5 — everything it prints is
 // reconstructed from shared storage alone.
 //
 // Usage:
 //
-//	umzi-inspect -store /path/to/store               # list everything
+//	umzi-inspect -store /path/to/store               # the DB catalog: every table
+//	umzi-inspect -store /path/to/store -table orders # one table's whole index set
 //	umzi-inspect -store /path/to/store -runs idx     # decode run headers under prefix
-//	umzi-inspect -store /path/to/store -table orders # the table's whole index set
+//	umzi-inspect -store /path/to/store -objects      # raw object listing
 //
-// The -table mode reads the persisted index catalog and prints every
-// index of the table — primary and secondaries — with its declared
-// definition, evolve watermark (IndexedPSN, max covered groomed block)
-// and per-zone run counts.
+// The default mode reads the DB catalog written by umzi.OpenDB and
+// lists every table — name, shard count, index set and per-zone record
+// counts. The -table mode reads one table's persisted index catalog and
+// prints every index with its declared definition, evolve watermark
+// (IndexedPSN, max covered groomed block) and per-zone run counts; for
+// sharded tables created through the DB, per-shard tables are named
+// <table>/shard-NNN.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
+	"umzi"
+	"umzi/internal/columnar"
 	"umzi/internal/core"
 	"umzi/internal/run"
 	"umzi/internal/storage"
@@ -34,10 +42,11 @@ func main() {
 	dir := flag.String("store", "", "filesystem shared-storage directory")
 	runPrefix := flag.String("runs", "", "decode run headers under this object prefix")
 	table := flag.String("table", "", "print the index set of this table")
+	objects := flag.Bool("objects", false, "raw object listing instead of the DB catalog")
 	flag.Parse()
 
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: umzi-inspect -store <dir> [-runs <prefix>] [-table <name>]")
+		fmt.Fprintln(os.Stderr, "usage: umzi-inspect -store <dir> [-table <name>] [-runs <prefix>] [-objects]")
 		os.Exit(2)
 	}
 	store, err := storage.NewFSStore(*dir, storage.LatencyModel{})
@@ -51,6 +60,17 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if !*objects && *runPrefix == "" {
+		done, err := inspectDB(store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if done {
+			return
+		}
+		// No DB catalog in this store: fall through to the raw listing.
 	}
 
 	names, err := store.List(*runPrefix)
@@ -80,6 +100,88 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// inspectDB reads the multi-table DB catalog and lists every table:
+// name, shard count, index set and per-zone record counts summed over
+// the shards' data blocks. Returns done=false when the store holds no
+// DB catalog (the caller falls back to the raw object listing).
+func inspectDB(store storage.ObjectStore) (bool, error) {
+	tables, err := umzi.InspectDBCatalog(store)
+	if err != nil {
+		return false, err
+	}
+	if len(tables) == 0 {
+		return false, nil
+	}
+	fmt.Printf("db catalog: %d tables\n", len(tables))
+	for _, tbl := range tables {
+		fmt.Printf("\n%s (%d shards)\n", tbl.Def.Name, tbl.Shards)
+		var cols []string
+		for _, c := range tbl.Def.Columns {
+			cols = append(cols, fmt.Sprintf("%s:%v", c.Name, c.Kind))
+		}
+		fmt.Printf("  columns:     %s\n", strings.Join(cols, ", "))
+		fmt.Printf("  primary key: %v  shard key: %v", tbl.Def.PrimaryKey, tbl.Def.ShardKey)
+		if tbl.Def.PartitionKey != "" {
+			fmt.Printf("  partition key: %s", tbl.Def.PartitionKey)
+		}
+		fmt.Println()
+		fmt.Printf("  primary index: equality=%v sort=%v included=%v\n",
+			tbl.Index.Equality, tbl.Index.Sort, tbl.Index.Included)
+
+		// Index set and record counts, summed across the shards.
+		var groomedRows, postRows uint64
+		var groomedBlocks, postBlocks int
+		indexNames := map[string]bool{}
+		for shard := 0; shard < tbl.Shards; shard++ {
+			name := umzi.ShardTableName(tbl.Def.Name, tbl.Shards, shard)
+			catalog, _, err := wildfire.LoadIndexCatalog(store, name)
+			if err != nil {
+				return false, err
+			}
+			for _, e := range catalog {
+				if e.Name != "" {
+					indexNames[e.Name] = true
+				}
+			}
+			for _, zone := range []string{"groomed", "post"} {
+				blocks, err := store.List("tbl/" + name + "/" + zone + "/")
+				if err != nil {
+					return false, err
+				}
+				for _, b := range blocks {
+					data, err := store.Get(b)
+					if err != nil {
+						return false, err
+					}
+					blk, err := columnar.Unmarshal(data)
+					if err != nil {
+						continue // interrupted write
+					}
+					if zone == "groomed" {
+						groomedRows += uint64(blk.NumRows())
+						groomedBlocks++
+					} else {
+						postRows += uint64(blk.NumRows())
+						postBlocks++
+					}
+				}
+			}
+		}
+		var secondaries []string
+		for n := range indexNames {
+			secondaries = append(secondaries, n)
+		}
+		sort.Strings(secondaries)
+		if len(secondaries) > 0 {
+			fmt.Printf("  secondaries:   %s\n", strings.Join(secondaries, ", "))
+		}
+		fmt.Printf("  record versions: %d groomed (%d blocks, pending post-groom), %d post-groomed (%d blocks)\n",
+			groomedRows, groomedBlocks, postRows, postBlocks)
+	}
+	fmt.Println("\n(use -table <name> for one table's full index set; sharded tables are <name>/shard-NNN)")
+	return true, nil
 }
 
 // inspectTable prints the full index set of one table: the catalog's

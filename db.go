@@ -1,0 +1,486 @@
+package umzi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"umzi/internal/wildfire"
+)
+
+// The unified front end. Wildfire is a multi-table HTAP database; DB is
+// its handle: one shared store and SSD cache serving any number of
+// tables, each behind a *Table whose query surface is the fluent
+// builder (Table.Query) regardless of how many shards the table runs
+// on. The table set is persisted in a sequenced catalog under
+// db/catalog/, so OpenDB on an existing store recovers every table —
+// definitions, shard counts, primary and secondary indexes — in one
+// call, the multi-table generalization of the paper's §5.5 recovery
+// story.
+
+// DBConfig configures a DB.
+type DBConfig struct {
+	// Store is the shared storage backend all tables live in (required).
+	Store ObjectStore
+	// Cache is the local SSD block cache shared by every table; nil
+	// disables caching.
+	Cache *SSDCache
+	// GroomEvery / PostGroomEvery, when positive, auto-start the
+	// background daemons (groomer, post-groomer, indexer) of every
+	// table the DB opens or creates, at these cadences — the paper's
+	// 1s / 10min split, scaled to taste. Zero leaves daemons manual
+	// (Table.Start, Table.Groom, ...).
+	GroomEvery     time.Duration
+	PostGroomEvery time.Duration
+}
+
+// TableOptions configures one table at creation.
+type TableOptions struct {
+	// Shards is the number of hash partitions; 0 or 1 runs the table on
+	// a single engine, N>1 behind the scatter-gather sharding layer.
+	// The query surface is identical either way.
+	Shards int
+	// Index is the primary Umzi index layout. Zero value derives a
+	// default: the table's sharding key as equality columns and the
+	// remaining primary-key columns as sort columns.
+	Index IndexSpec
+	// Secondaries declares secondary indexes built with the table.
+	Secondaries []SecondaryIndexSpec
+	// Replicas is the number of multi-master replicas per shard.
+	Replicas int
+	// Partitions is the number of partition-key buckets per shard.
+	Partitions int
+	// Parallelism bounds the scatter-gather pool of a sharded table.
+	Parallelism int
+	// IndexTuning forwards merge-policy knobs to every Umzi instance.
+	IndexTuning Config
+}
+
+// DB is one Wildfire-style multi-table database over a shared store.
+type DB struct {
+	store          ObjectStore
+	cache          *SSDCache
+	groomEvery     time.Duration
+	postGroomEvery time.Duration
+
+	mu         sync.Mutex
+	tables     map[string]*Table
+	order      []string
+	catalogSeq uint64
+	closed     bool
+}
+
+// OpenDB opens (or initializes) a database on a shared store: the
+// persisted catalog is read and every table in it is recovered — its
+// engines, index sets and counters rebuilt from storage alone.
+func OpenDB(cfg DBConfig) (*DB, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("umzi: DBConfig.Store is required")
+	}
+	db := &DB{
+		store:          cfg.Store,
+		cache:          cfg.Cache,
+		groomEvery:     cfg.GroomEvery,
+		postGroomEvery: cfg.PostGroomEvery,
+		tables:         make(map[string]*Table),
+	}
+	entries, seq, err := loadDBCatalog(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	db.catalogSeq = seq
+	for _, e := range entries {
+		tbl, err := db.openTable(e)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("umzi: recovering table %s: %w", e.Def.Name, err)
+		}
+		db.tables[e.Def.Name] = tbl
+		db.order = append(db.order, e.Def.Name)
+	}
+	return db, nil
+}
+
+// CreateTable creates a table, persists it in the DB catalog and
+// returns its handle. The name must be new to this DB.
+func (db *DB) CreateTable(def TableDef, opts TableOptions) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("umzi: db closed")
+	}
+	if _, ok := db.tables[def.Name]; ok {
+		return nil, fmt.Errorf("umzi: table %q already exists", def.Name)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	entry := dbCatalogEntry{
+		Def:         def,
+		Index:       opts.Index,
+		Shards:      opts.Shards,
+		Replicas:    opts.Replicas,
+		Partitions:  opts.Partitions,
+		Parallelism: opts.Parallelism,
+	}
+	if specZero(entry.Index) {
+		entry.Index = defaultIndexSpec(def)
+	}
+	entry.tuning = opts.IndexTuning
+	tbl, err := db.openTable(entry)
+	if err != nil {
+		return nil, err
+	}
+	// Secondaries ride through the engine config only at creation; the
+	// per-table index catalog owns them from here (CreateIndex included),
+	// so the DB catalog needs just the table-level shape.
+	if len(opts.Secondaries) > 0 {
+		for _, s := range opts.Secondaries {
+			if err := tbl.topo.CreateIndex(s); err != nil {
+				tbl.topo.Close()
+				return nil, err
+			}
+		}
+	}
+	db.tables[def.Name] = tbl
+	db.order = append(db.order, def.Name)
+	if err := db.writeCatalogLocked(); err != nil {
+		delete(db.tables, def.Name)
+		db.order = db.order[:len(db.order)-1]
+		tbl.topo.Close()
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// openTable constructs one table's topology from a catalog entry.
+func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
+	var topo topology
+	if e.Shards > 1 {
+		eng, err := wildfire.NewShardedEngine(wildfire.ShardedConfig{
+			Table:       e.Def,
+			Index:       e.Index,
+			Shards:      e.Shards,
+			Parallelism: e.Parallelism,
+			Store:       db.store,
+			Cache:       db.cache,
+			Replicas:    e.Replicas,
+			Partitions:  e.Partitions,
+			IndexTuning: e.tuning,
+		})
+		if err != nil {
+			return nil, err
+		}
+		topo = shardedTopo{eng}
+	} else {
+		eng, err := wildfire.NewEngine(wildfire.Config{
+			Table:       e.Def,
+			Index:       e.Index,
+			Store:       db.store,
+			Cache:       db.cache,
+			Replicas:    e.Replicas,
+			Partitions:  e.Partitions,
+			IndexTuning: e.tuning,
+		})
+		if err != nil {
+			return nil, err
+		}
+		topo = singleTopo{eng}
+	}
+	if db.groomEvery > 0 {
+		post := db.postGroomEvery
+		if post <= 0 {
+			post = 5 * db.groomEvery
+		}
+		topo.Start(db.groomEvery, post)
+	}
+	return &Table{db: db, name: e.Def.Name, topo: topo, catalogEntry: e}, nil
+}
+
+// Table returns the handle of an open table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("umzi: no table %q (have %v)", name, db.order)
+	}
+	return tbl, nil
+}
+
+// Tables lists the open tables in creation order.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]string(nil), db.order...)
+}
+
+// Close stops every table's daemons and closes their engines.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	for _, name := range db.order {
+		if err := db.tables[name].topo.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// specZero reports whether an index spec was left at its zero value.
+func specZero(s IndexSpec) bool {
+	return len(s.Equality) == 0 && len(s.Sort) == 0 && len(s.Included) == 0 && s.HashBits == 0
+}
+
+// defaultIndexSpec derives the default primary index layout: the
+// sharding key as equality columns (point lookups and pinned scans hash
+// on it) and the remaining primary-key columns as sort columns.
+func defaultIndexSpec(def TableDef) IndexSpec {
+	spec := IndexSpec{Equality: append([]string(nil), def.ShardKey...)}
+	inEq := map[string]bool{}
+	for _, c := range spec.Equality {
+		inEq[c] = true
+	}
+	for _, c := range def.PrimaryKey {
+		if !inEq[c] {
+			spec.Sort = append(spec.Sort, c)
+		}
+	}
+	return spec
+}
+
+// ---- Multi-table transactions ----------------------------------------
+
+// Tx stages upserts across any tables of the DB; Commit routes them to
+// their tables (and, within a table, their shards). Like Wildfire's
+// multi-master shard commits, cross-table commits are not atomic: a
+// failure or cancellation mid-commit can leave a committed prefix.
+type Tx struct {
+	db      *DB
+	replica int
+	staged  map[string][]Row
+	order   []string
+	done    bool
+}
+
+// Begin starts a transaction. The context is consulted immediately and
+// again at Commit; a transaction carries no locks, so there is nothing
+// to time out in between.
+func (db *DB) Begin(ctx context.Context) (*Tx, error) {
+	db.mu.Lock()
+	closed := db.closed
+	db.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("umzi: db closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Tx{db: db, staged: make(map[string][]Row)}, nil
+}
+
+// WithReplica routes the transaction's commits through the given
+// multi-master replica ordinal (default 0).
+func (tx *Tx) WithReplica(replica int) *Tx {
+	tx.replica = replica
+	return tx
+}
+
+// Upsert stages rows into one table; validation happens eagerly.
+func (tx *Tx) Upsert(table string, rows ...Row) error {
+	if tx.done {
+		return fmt.Errorf("umzi: transaction already finished")
+	}
+	tbl, err := tx.db.Table(table)
+	if err != nil {
+		return err
+	}
+	def := tbl.Def()
+	for _, r := range rows {
+		if err := wildfire.ValidateRow(def, r); err != nil {
+			return err
+		}
+		cp := make(Row, len(r))
+		copy(cp, r)
+		if _, ok := tx.staged[table]; !ok {
+			tx.order = append(tx.order, table)
+		}
+		tx.staged[table] = append(tx.staged[table], cp)
+	}
+	return nil
+}
+
+// Commit publishes the staged rows table by table (and shard by shard
+// within a table). The context is checked before each table's commit.
+func (tx *Tx) Commit(ctx context.Context) error {
+	if tx.done {
+		return fmt.Errorf("umzi: transaction already finished")
+	}
+	tx.done = true
+	for _, name := range tx.order {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("umzi: commit interrupted before table %s (earlier tables are durable): %w", name, err)
+		}
+		tbl, err := tx.db.Table(name)
+		if err != nil {
+			return err
+		}
+		inner, err := tbl.topo.begin(tx.replica)
+		if err != nil {
+			return err
+		}
+		for _, r := range tx.staged[name] {
+			if err := inner.Upsert(r); err != nil {
+				inner.Abort()
+				return err
+			}
+		}
+		if err := inner.CommitContext(ctx); err != nil {
+			return err
+		}
+	}
+	tx.staged = nil
+	return nil
+}
+
+// Abort discards the staged rows.
+func (tx *Tx) Abort() {
+	tx.done = true
+	tx.staged = nil
+}
+
+// ---- Persisted DB catalog --------------------------------------------
+//
+// Sequenced records under db/catalog/, newest valid record wins —
+// shared storage has no in-place update — mirroring the per-table index
+// catalog. The record is JSON: it is tiny, written once per DDL, and
+// umzi-inspect prints it for humans.
+
+// dbCatalogEntry is one table of the catalog.
+type dbCatalogEntry struct {
+	Def         TableDef
+	Index       IndexSpec
+	Shards      int `json:",omitempty"`
+	Replicas    int `json:",omitempty"`
+	Partitions  int `json:",omitempty"`
+	Parallelism int `json:",omitempty"`
+
+	// tuning is carried in memory only (and never marshaled): core.Config
+	// holds live handles and tuning is a process-local concern.
+	tuning Config
+}
+
+// dbCatalogRecord is the stored record.
+type dbCatalogRecord struct {
+	Magic  string
+	Tables []dbCatalogEntry
+}
+
+const dbCatalogMagic = "UMZIDB1"
+
+func dbCatalogName(seq uint64) string {
+	return fmt.Sprintf("db/catalog/%012d", seq)
+}
+
+// DBCatalogPrefix is where the multi-table catalog lives in a store;
+// exported for inspection tooling.
+const DBCatalogPrefix = "db/catalog/"
+
+// loadDBCatalog reads the newest valid catalog record, returning
+// (nil, 0, nil) for a store that never had one.
+func loadDBCatalog(store ObjectStore) ([]dbCatalogEntry, uint64, error) {
+	names, err := store.List(DBCatalogPrefix)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(names) == 0 {
+		return nil, 0, nil
+	}
+	sort.Strings(names)
+	var maxSeq uint64
+	fmt.Sscanf(strings.TrimPrefix(names[len(names)-1], DBCatalogPrefix), "%d", &maxSeq)
+	// Newest to oldest: only a record that exists but does not decode is
+	// an interrupted write we may skip; a failing Get surfaces.
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := store.Get(names[i])
+		if err != nil {
+			return nil, 0, fmt.Errorf("umzi: reading db catalog record %s: %w", names[i], err)
+		}
+		var rec dbCatalogRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Magic != dbCatalogMagic {
+			continue
+		}
+		return rec.Tables, maxSeq, nil
+	}
+	return nil, maxSeq, fmt.Errorf("umzi: store has db catalog objects but no readable record")
+}
+
+// writeCatalogLocked persists the current table set as a fresh catalog
+// record and prunes old records. Callers hold db.mu.
+func (db *DB) writeCatalogLocked() error {
+	rec := dbCatalogRecord{Magic: dbCatalogMagic}
+	for _, name := range db.order {
+		rec.Tables = append(rec.Tables, db.tables[name].entry())
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	db.catalogSeq++
+	if err := db.store.Put(dbCatalogName(db.catalogSeq), data); err != nil {
+		return err
+	}
+	names, err := db.store.List(DBCatalogPrefix)
+	if err == nil && len(names) > 2 {
+		sort.Strings(names)
+		for _, n := range names[:len(names)-2] {
+			_ = db.store.Delete(n)
+		}
+	}
+	return nil
+}
+
+// InspectDBCatalog reads a store's multi-table catalog for tooling:
+// table definitions, shard counts and primary index specs, without
+// opening any engine.
+func InspectDBCatalog(store ObjectStore) ([]DBTableInfo, error) {
+	entries, _, err := loadDBCatalog(store)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DBTableInfo, 0, len(entries))
+	for _, e := range entries {
+		shards := e.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		out = append(out, DBTableInfo{Def: e.Def, Index: e.Index, Shards: shards})
+	}
+	return out, nil
+}
+
+// DBTableInfo is one table of a store's catalog, as seen by tooling.
+type DBTableInfo struct {
+	Def    TableDef
+	Index  IndexSpec
+	Shards int
+}
+
+// ShardTableName returns the storage-level table name of one shard of a
+// sharded table (shard 0 of a 1-shard table is the table itself); it is
+// what per-table storage prefixes ("tbl/<name>/...") are derived from.
+func ShardTableName(table string, shards, shard int) string {
+	if shards <= 1 {
+		return table
+	}
+	return wildfire.ShardTableName(table, shard)
+}

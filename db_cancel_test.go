@@ -1,0 +1,162 @@
+package umzi_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"umzi"
+)
+
+// Cancellation tests (run under -race in CI): cancelling a context
+// mid-scatter-gather must surface ctx.Err() promptly and leave no
+// goroutine behind — the per-shard stream workers are cancelled and
+// waited out by Rows.Close, so the goroutine count returns to its
+// pre-query baseline.
+
+// cancelTestTable builds an 8-shard table over a deliberately slow
+// store (per-op latency on every shared-storage read) so a full scan
+// takes long enough to cancel mid-flight.
+func cancelTestTable(t *testing.T, rows int) (*umzi.DB, *umzi.Table) {
+	t.Helper()
+	db, err := umzi.OpenDB(umzi.DBConfig{
+		Store: umzi.NewMemStore(umzi.LatencyModel{PerOp: 200 * time.Microsecond}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(umzi.TableDef{
+		Name: "ledger",
+		Columns: []umzi.TableColumn{
+			{Name: "id", Kind: umzi.KindInt64},
+			{Name: "amount", Kind: umzi.KindInt64},
+		},
+		PrimaryKey: []string{"id"},
+		ShardKey:   []string{"id"},
+	}, umzi.TableOptions{
+		Shards: 8,
+		Index:  umzi.IndexSpec{Sort: []string{"id"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	batch := make([]umzi.Row, 0, 256)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, umzi.Row{umzi.I64(int64(i)), umzi.I64(int64(i) % 97)})
+		if len(batch) == cap(batch) || i == rows-1 {
+			if err := tbl.Upsert(ctx, batch...); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+		if (i+1)%500 == 0 {
+			if err := tbl.Groom(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tbl.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (with a little scheduler slack) or the deadline passes.
+func waitGoroutines(t *testing.T, baseline int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("%s: %d goroutines still running (baseline %d):\n%s",
+				what, n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQueryCancellationMidScatterGather(t *testing.T) {
+	db, tbl := cancelTestTable(t, 4000)
+	defer db.Close()
+	baseline := runtime.NumGoroutine()
+
+	for iter := 0; iter < 10; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := tbl.Query().OrderBy("id").Run(ctx)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Pull a few rows so every shard worker is in flight, then
+		// cancel mid-stream.
+		for i := 0; i < 5 && rows.Next(); i++ {
+		}
+		start := time.Now()
+		cancel()
+		for rows.Next() { //nolint:revive // drain until the cancel lands
+		}
+		elapsed := time.Since(start)
+		if err := rows.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iter %d: Err() = %v, want context.Canceled", iter, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("iter %d: cancellation took %v to surface", iter, elapsed)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutines(t, baseline, "after cancel")
+	}
+}
+
+func TestQueryEarlyCloseStopsWorkers(t *testing.T) {
+	db, tbl := cancelTestTable(t, 4000)
+	defer db.Close()
+	baseline := runtime.NumGoroutine()
+
+	for iter := 0; iter < 10; iter++ {
+		rows, err := tbl.Query().OrderBy("id").Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3 && rows.Next(); i++ {
+		}
+		// Close with thousands of rows unread: workers must be cancelled
+		// and waited out, not left streaming into abandoned channels.
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutines(t, baseline, "after early close")
+	}
+}
+
+func TestQueryDeadlineExceeded(t *testing.T) {
+	db, tbl := cancelTestTable(t, 4000)
+	defer db.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	rows, err := tbl.Query().OrderBy("id").Run(ctx)
+	if err != nil {
+		// The deadline may already have fired during planning.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Run: %v", err)
+		}
+		return
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want context.DeadlineExceeded", err)
+	}
+	rows.Close()
+}

@@ -1,0 +1,342 @@
+package umzi_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"umzi"
+)
+
+// Property test: every Query() builder formulation returns results
+// identical to the legacy entry point it replaces — point get, primary
+// index scan, secondary scan, index-only scan, aggregate — on 1-shard
+// and 8-shard topologies. The builder table and the legacy engine
+// ingest the same row sequence (with key collisions, i.e. updates)
+// into separate stores and groom in lockstep, so every query must see
+// the same reconciled multi-version state.
+
+// legacyAPI is the deprecated query surface, satisfied by both Engine
+// and ShardedEngine.
+type legacyAPI interface {
+	Get(eq, sortv []umzi.Value, opts umzi.QueryOptions) (umzi.Record, bool, error)
+	ScanOn(index string, eq, sortLo, sortHi []umzi.Value, opts umzi.QueryOptions) ([]umzi.Record, error)
+	IndexOnlyScanOn(index string, eq, sortLo, sortHi []umzi.Value, opts umzi.QueryOptions) ([][]umzi.Value, error)
+	Execute(p umzi.Plan, opts umzi.QueryOptions) (*umzi.QueryResult, error)
+	UpsertRows(replicaID int, rows ...umzi.Row) error
+	Groom() error
+	SyncIndex() error
+	Close() error
+}
+
+func propTableDef() umzi.TableDef {
+	return umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "order_id", Kind: umzi.KindInt64},
+			{Name: "customer", Kind: umzi.KindInt64},
+			{Name: "amount", Kind: umzi.KindFloat64},
+			{Name: "region", Kind: umzi.KindString},
+		},
+		PrimaryKey: []string{"order_id"},
+		ShardKey:   []string{"order_id"},
+	}
+}
+
+var propIndex = umzi.IndexSpec{Sort: []string{"order_id"}, Included: []string{"region"}}
+var propSecondary = umzi.SecondaryIndexSpec{
+	Name:      "by_customer",
+	IndexSpec: umzi.IndexSpec{Equality: []string{"customer"}, Included: []string{"amount"}},
+}
+
+func valuesEqual(a, b []umzi.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if fmt.Sprint(a[i]) != fmt.Sprint(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func rowsEqualRecords(t *testing.T, what string, got [][]umzi.Value, want []umzi.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: builder returned %d rows, legacy %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if !valuesEqual(got[i], want[i].Row) {
+			t.Fatalf("%s: row %d: builder %v, legacy %v", what, i, got[i], want[i].Row)
+		}
+	}
+}
+
+func TestBuilderLegacyEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				testBuilderLegacyEquivalence(t, shards, seed)
+			})
+		}
+	}
+}
+
+func testBuilderLegacyEquivalence(t *testing.T, shards int, seed int64) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(propTableDef(), umzi.TableOptions{
+		Shards:      shards,
+		Index:       propIndex,
+		Secondaries: []umzi.SecondaryIndexSpec{propSecondary},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var legacy legacyAPI
+	var postGroom func() error
+	if shards == 1 {
+		eng, err := umzi.NewEngine(umzi.EngineConfig{
+			Table:       propTableDef(),
+			Index:       propIndex,
+			Secondaries: []umzi.SecondaryIndexSpec{propSecondary},
+			Store:       umzi.NewMemStore(umzi.LatencyModel{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy = eng
+		postGroom = func() error { _, err := eng.PostGroom(); return err }
+	} else {
+		eng, err := umzi.NewShardedEngine(umzi.ShardedConfig{
+			Table:       propTableDef(),
+			Index:       propIndex,
+			Secondaries: []umzi.SecondaryIndexSpec{propSecondary},
+			Shards:      shards,
+			Store:       umzi.NewMemStore(umzi.LatencyModel{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy = eng
+		postGroom = eng.PostGroom
+	}
+	defer legacy.Close()
+
+	// Identical ingest with updates, lockstep grooming, one post-groom
+	// mid-stream so the data straddles all three zones.
+	const keyspace, customers = 200, 12
+	regionsOf := []string{"amer", "emea", "apac", "latam"}
+	n := 400 + rng.Intn(200)
+	for i := 0; i < n; i++ {
+		id := int64(rng.Intn(keyspace))
+		row := umzi.Row{
+			umzi.I64(id),
+			umzi.I64(id % customers),
+			umzi.F64(float64(rng.Intn(1000))),
+			umzi.Str(regionsOf[rng.Intn(len(regionsOf))]),
+		}
+		if err := tbl.Upsert(ctx, row); err != nil {
+			t.Fatal(err)
+		}
+		if err := legacy.UpsertRows(0, row); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(60) == 0 {
+			if err := tbl.Groom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := legacy.Groom(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == n/2 {
+			if err := tbl.PostGroom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := postGroom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.SyncIndex(); err != nil {
+				t.Fatal(err)
+			}
+			if err := legacy.SyncIndex(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tbl.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	opts := umzi.QueryOptions{TS: umzi.MaxTS}
+
+	// Point gets (hits and misses) vs legacy Get.
+	for trial := 0; trial < 30; trial++ {
+		id := int64(rng.Intn(keyspace + 20))
+		row, found, err := tbl.Query().
+			Where(umzi.Eq("order_id", umzi.I64(id))).
+			At(umzi.MaxTS).
+			One(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, wantFound, err := legacy.Get(nil, []umzi.Value{umzi.I64(id)}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != wantFound {
+			t.Fatalf("point get %d: builder found=%v, legacy %v", id, found, wantFound)
+		}
+		if found && !valuesEqual(row, rec.Row) {
+			t.Fatalf("point get %d: builder %v, legacy %v", id, row, rec.Row)
+		}
+	}
+
+	// Primary ordered range scans (with and without limit) vs ScanOn("").
+	for trial := 0; trial < 15; trial++ {
+		lo := int64(rng.Intn(keyspace))
+		hi := lo + int64(rng.Intn(keyspace))
+		limit := 0
+		if trial%3 == 0 {
+			limit = 1 + rng.Intn(20)
+		}
+		got, err := tbl.Query().
+			Where(umzi.And(umzi.Ge("order_id", umzi.I64(lo)), umzi.Le("order_id", umzi.I64(hi)))).
+			OrderBy("order_id").
+			Limit(limit).
+			At(umzi.MaxTS).
+			All(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := legacy.ScanOn("", nil, []umzi.Value{umzi.I64(lo)}, []umzi.Value{umzi.I64(hi)},
+			umzi.QueryOptions{TS: umzi.MaxTS, Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsEqualRecords(t, fmt.Sprintf("range [%d,%d] limit %d", lo, hi, limit), got, want)
+	}
+
+	// Secondary scans via the forced index vs ScanOn.
+	for cust := int64(0); cust < customers; cust++ {
+		got, err := tbl.Query().
+			Where(umzi.Eq("customer", umzi.I64(cust))).
+			Via("by_customer").
+			At(umzi.MaxTS).
+			All(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := legacy.ScanOn("by_customer", []umzi.Value{umzi.I64(cust)}, nil, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsEqualRecords(t, fmt.Sprintf("secondary customer %d", cust), got, want)
+	}
+
+	// Covered (index-only) queries vs IndexOnlyScanOn: the secondary
+	// carries customer, order_id (uniquifier) and amount.
+	for cust := int64(0); cust < customers; cust++ {
+		got, err := tbl.Query().
+			Where(umzi.Eq("customer", umzi.I64(cust))).
+			Select("customer", "order_id", "amount").
+			Via("by_customer").
+			At(umzi.MaxTS).
+			All(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := legacy.IndexOnlyScanOn("by_customer", []umzi.Value{umzi.I64(cust)}, nil, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("index-only customer %d: builder %d rows, legacy %d", cust, len(got), len(want))
+		}
+		for i := range got {
+			// Legacy layout: equality (customer), sort (order_id), included (amount).
+			if !valuesEqual(got[i], want[i]) {
+				t.Fatalf("index-only customer %d row %d: builder %v, legacy %v", cust, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Aggregates vs Execute: filtered GROUP BY, both index-selected and
+	// forced zone scan.
+	for trial := 0; trial < 6; trial++ {
+		minAmount := float64(rng.Intn(900))
+		plan := umzi.Plan{
+			Filter:  umzi.Ge("amount", umzi.F64(minAmount)),
+			GroupBy: []string{"region"},
+			Aggs: []umzi.Agg{
+				{Func: umzi.AggCount},
+				{Func: umzi.AggSum, Col: "amount"},
+				{Func: umzi.AggMax, Col: "amount"},
+			},
+		}
+		q := tbl.Query().
+			Where(umzi.Ge("amount", umzi.F64(minAmount))).
+			GroupBy("region").
+			Aggs(umzi.Agg{Func: umzi.AggCount}, umzi.Agg{Func: umzi.AggSum, Col: "amount"}, umzi.Agg{Func: umzi.AggMax, Col: "amount"}).
+			At(umzi.MaxTS)
+		if trial%2 == 1 {
+			q = q.NoIndex()
+		}
+		got, err := q.All(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOpts := opts
+		wantOpts.NoIndexSelection = trial%2 == 1
+		want, err := legacy.Execute(plan, wantOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Rows) {
+			t.Fatalf("aggregate >= %v: builder %d groups, legacy %d", minAmount, len(got), len(want.Rows))
+		}
+		for i := range got {
+			if !valuesEqual(got[i], want.Rows[i]) {
+				t.Fatalf("aggregate >= %v group %d: builder %v, legacy %v", minAmount, i, got[i], want.Rows[i])
+			}
+		}
+	}
+
+	// Unordered row query vs Execute's row mode (deterministic encoded
+	// order on both sides).
+	sel, err := tbl.Query().
+		Where(umzi.Lt("amount", umzi.F64(500))).
+		Select("order_id", "amount").
+		At(umzi.MaxTS).
+		All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel, err := legacy.Execute(umzi.Plan{
+		Filter:  umzi.Lt("amount", umzi.F64(500)),
+		Columns: []string{"order_id", "amount"},
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(wantSel.Rows) {
+		t.Fatalf("row query: builder %d rows, legacy %d", len(sel), len(wantSel.Rows))
+	}
+	for i := range sel {
+		if !valuesEqual(sel[i], wantSel.Rows[i]) {
+			t.Fatalf("row query row %d: builder %v, legacy %v", i, sel[i], wantSel.Rows[i])
+		}
+	}
+}

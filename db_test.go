@@ -1,0 +1,327 @@
+package umzi_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"umzi"
+)
+
+func ordersDef(name string) umzi.TableDef {
+	return umzi.TableDef{
+		Name: name,
+		Columns: []umzi.TableColumn{
+			{Name: "order_id", Kind: umzi.KindInt64},
+			{Name: "customer", Kind: umzi.KindInt64},
+			{Name: "amount", Kind: umzi.KindFloat64},
+			{Name: "region", Kind: umzi.KindString},
+		},
+		PrimaryKey: []string{"order_id"},
+		ShardKey:   []string{"order_id"},
+	}
+}
+
+var regions = []string{"amer", "emea", "apac"}
+
+func fillOrders(t *testing.T, tbl *umzi.Table, n int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		err := tbl.Upsert(ctx, umzi.Row{
+			umzi.I64(int64(i)),
+			umzi.I64(int64(i % 10)),
+			umzi.F64(float64(i)),
+			umzi.Str(regions[i%len(regions)]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%64 == 0 {
+			if err := tbl.Groom(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tbl.Groom(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDBQuerySurface drives the whole builder surface on 1-shard and
+// 4-shard tables: point get, ordered scan, projection, aggregation,
+// limit, Via, Scan destinations.
+func TestDBQuerySurface(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "single", 4: "sharded"}[shards], func(t *testing.T) {
+			ctx := context.Background()
+			db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			tbl, err := db.CreateTable(ordersDef("orders"), umzi.TableOptions{
+				Shards: shards,
+				Index:  umzi.IndexSpec{Sort: []string{"order_id"}},
+				Secondaries: []umzi.SecondaryIndexSpec{{
+					Name:      "by_customer",
+					IndexSpec: umzi.IndexSpec{Equality: []string{"customer"}, Included: []string{"amount"}},
+				}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillOrders(t, tbl, 500)
+
+			// Point get: full primary key pinned.
+			row, found, err := tbl.Query().Where(umzi.Eq("order_id", umzi.I64(123))).One(ctx)
+			if err != nil || !found {
+				t.Fatalf("point get: found=%v err=%v", found, err)
+			}
+			if row[2].Float() != 123 {
+				t.Fatalf("point get amount = %v, want 123", row[2].Float())
+			}
+
+			// Ordered scan with bounds, projection and Scan destinations.
+			rows, err := tbl.Query().
+				Where(umzi.And(umzi.Ge("order_id", umzi.I64(100)), umzi.Le("order_id", umzi.I64(109)))).
+				Select("order_id", "amount").
+				OrderBy("order_id").
+				Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []int64
+			for rows.Next() {
+				var id int64
+				var amount float64
+				if err := rows.Scan(&id, &amount); err != nil {
+					t.Fatal(err)
+				}
+				if float64(id) != amount {
+					t.Fatalf("row %d has amount %v", id, amount)
+				}
+				got = append(got, id)
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			rows.Close()
+			if len(got) != 10 || got[0] != 100 || got[9] != 109 {
+				t.Fatalf("ordered scan ids = %v", got)
+			}
+
+			// Limit stops the stream early.
+			all, err := tbl.Query().OrderBy("order_id").Limit(7).All(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(all) != 7 || all[6][0].Int() != 6 {
+				t.Fatalf("limited scan = %d rows, last %v", len(all), all[len(all)-1])
+			}
+
+			// Aggregate with GROUP BY.
+			agg, err := tbl.Query().
+				Where(umzi.Lt("order_id", umzi.I64(300))).
+				GroupBy("region").
+				Aggs(umzi.Agg{Func: umzi.AggCount, As: "n"}, umzi.Agg{Func: umzi.AggSum, Col: "amount"}).
+				All(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(agg) != len(regions) {
+				t.Fatalf("aggregate groups = %d, want %d", len(agg), len(regions))
+			}
+			var n int64
+			for _, g := range agg {
+				n += g[1].Int()
+			}
+			if n != 300 {
+				t.Fatalf("aggregate total count = %d, want 300", n)
+			}
+
+			// Count convenience.
+			cnt, err := tbl.Query().Where(umzi.Eq("customer", umzi.I64(3))).Count(ctx)
+			if err != nil || cnt != 50 {
+				t.Fatalf("count = %d (err %v), want 50", cnt, err)
+			}
+
+			// Via forces the covered secondary; verified against the
+			// executor path.
+			viaRows, err := tbl.Query().
+				Where(umzi.Eq("customer", umzi.I64(3))).
+				Select("amount").
+				Via("by_customer").
+				All(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(viaRows)) != cnt {
+				t.Fatalf("via secondary returned %d rows, want %d", len(viaRows), cnt)
+			}
+		})
+	}
+}
+
+// TestDBRestart is the multi-table recovery story: OpenDB on an
+// existing store must bring back every table from the persisted db
+// catalog — shard counts, index sets and data — in one call.
+func TestDBRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	open := func() *umzi.DB {
+		store, err := umzi.NewFSStore(dir, umzi.LatencyModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := umzi.OpenDB(umzi.DBConfig{Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	ctx := context.Background()
+
+	db := open()
+	orders, err := db.CreateTable(ordersDef("orders"), umzi.TableOptions{
+		Shards:   3,
+		Replicas: 2,
+		Index:    umzi.IndexSpec{Sort: []string{"order_id"}},
+		Secondaries: []umzi.SecondaryIndexSpec{{
+			Name:      "by_customer",
+			IndexSpec: umzi.IndexSpec{Equality: []string{"customer"}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := db.CreateTable(umzi.TableDef{
+		Name: "events",
+		Columns: []umzi.TableColumn{
+			{Name: "stream", Kind: umzi.KindInt64},
+			{Name: "offset", Kind: umzi.KindInt64},
+		},
+		PrimaryKey: []string{"stream", "offset"},
+		ShardKey:   []string{"stream"},
+	}, umzi.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillOrders(t, orders, 200)
+	for i := 0; i < 50; i++ {
+		if err := events.Upsert(ctx, umzi.Row{umzi.I64(int64(i % 5)), umzi.I64(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := events.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.PostGroom(); err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.SyncIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: no CreateTable calls — everything must come back from
+	// the catalog.
+	db2 := open()
+	defer db2.Close()
+	names := db2.Tables()
+	if len(names) != 2 || names[0] != "orders" || names[1] != "events" {
+		t.Fatalf("recovered tables = %v", names)
+	}
+	orders2, err := db2.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders2.NumShards() != 3 {
+		t.Fatalf("orders recovered with %d shards, want 3", orders2.NumShards())
+	}
+	ix := orders2.Indexes()
+	if len(ix) != 1 || ix[0].Name != "by_customer" {
+		t.Fatalf("orders recovered secondaries = %v", ix)
+	}
+	cnt, err := orders2.Query().Count(ctx)
+	if err != nil || cnt != 200 {
+		t.Fatalf("orders count after restart = %d (err %v), want 200", cnt, err)
+	}
+	row, found, err := orders2.Query().Where(umzi.Eq("order_id", umzi.I64(42))).One(ctx)
+	if err != nil || !found || row[2].Float() != 42 {
+		t.Fatalf("point get after restart: row=%v found=%v err=%v", row, found, err)
+	}
+	// Table-level options beyond the topology must survive the restart
+	// too: the table was created with 2 multi-master replicas, so
+	// ingesting through replica 1 must still work.
+	if err := orders2.UpsertReplica(ctx, 1, umzi.Row{
+		umzi.I64(9999), umzi.I64(0), umzi.F64(1), umzi.Str("amer"),
+	}); err != nil {
+		t.Fatalf("replica 1 upsert after restart: %v", err)
+	}
+	events2, err := db2.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err = events2.Query().Where(umzi.Eq("stream", umzi.I64(2))).Count(ctx)
+	if err != nil || cnt != 10 {
+		t.Fatalf("events stream 2 count after restart = %d (err %v), want 10", cnt, err)
+	}
+}
+
+// TestDBMultiTableTx stages rows into two tables in one transaction.
+func TestDBMultiTableTx(t *testing.T) {
+	ctx := context.Background()
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	a, err := db.CreateTable(ordersDef("a"), umzi.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.CreateTable(ordersDef("b"), umzi.TableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		row := umzi.Row{umzi.I64(int64(i)), umzi.I64(0), umzi.F64(1), umzi.Str("amer")}
+		if err := tx.Upsert("a", row); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Upsert("b", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []*umzi.Table{a, b} {
+		if err := tbl.Groom(); err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := tbl.Query().Count(ctx)
+		if err != nil || cnt != 10 {
+			t.Fatalf("table %s count = %d (err %v), want 10", tbl.Name(), cnt, err)
+		}
+	}
+	// A cancelled context refuses the commit.
+	tx2, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Upsert("a", umzi.Row{umzi.I64(99), umzi.I64(0), umzi.F64(1), umzi.Str("amer")}); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := tx2.Commit(cancelled); err == nil {
+		t.Fatal("commit with cancelled context succeeded")
+	}
+}

@@ -1,18 +1,20 @@
 // Analytical queries over a sharded table: the workload Umzi's
 // analytical side exists for (paper §1, §7). An orders table is
-// hash-sharded by order id across 4 engines; the analytical executor
-// pushes a filtered GROUP-BY aggregation down into every shard, where
-// it runs block-at-a-time over the columnar groomed and post-groomed
-// blocks — skipping blocks whose min/max synopses rule them out — and
-// unions in the live zone, so orders committed after the last groom are
-// counted too. Only partial aggregates (per-group sum/count states)
-// travel back to the coordinator, never rows.
+// hash-sharded by order id across 4 engines; an aggregate query built
+// with the fluent builder compiles to a pushed-down executor plan that
+// runs block-at-a-time over the columnar groomed and post-groomed
+// blocks of every shard — skipping blocks whose min/max synopses rule
+// them out — and unions in the live zone (IncludeLive), so orders
+// committed after the last groom are counted too. Only partial
+// aggregates (per-group sum/count states) travel back to the
+// coordinator, never rows.
 //
-// The program verifies every executor result against a client-side
-// scan+aggregate of the same snapshot, then times both plans.
+// The program verifies every aggregate result against a client-side
+// aggregation over a row query of the same snapshot, then times both.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,26 +32,30 @@ func main() {
 	if *rows < 1 || *shards < 1 {
 		log.Fatalf("-rows (%d) and -shards (%d) must be at least 1", *rows, *shards)
 	}
+	ctx := context.Background()
 
-	eng, err := umzi.NewShardedEngine(umzi.ShardedConfig{
-		Table: umzi.TableDef{
-			Name: "orders",
-			Columns: []umzi.TableColumn{
-				{Name: "order_id", Kind: umzi.KindInt64},
-				{Name: "region", Kind: umzi.KindString},
-				{Name: "revenue", Kind: umzi.KindFloat64},
-			},
-			PrimaryKey: []string{"order_id"},
-			ShardKey:   []string{"order_id"},
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	orders, err := db.CreateTable(umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "order_id", Kind: umzi.KindInt64},
+			{Name: "region", Kind: umzi.KindString},
+			{Name: "revenue", Kind: umzi.KindFloat64},
 		},
-		Index:  umzi.IndexSpec{Sort: []string{"order_id"}},
+		PrimaryKey: []string{"order_id"},
+		ShardKey:   []string{"order_id"},
+	}, umzi.TableOptions{
 		Shards: *shards,
-		Store:  umzi.NewMemStore(umzi.LatencyModel{}),
+		Index:  umzi.IndexSpec{Sort: []string{"order_id"}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
 
 	// Ingest in groom rounds; the last 5% of orders stay in the live
 	// zone, so the analytical snapshot straddles the live/groomed
@@ -67,33 +73,31 @@ func main() {
 			umzi.Str(regions[i%len(regions)]),
 			umzi.F64(revenue),
 		}
-		if err := eng.UpsertRows(0, row); err != nil {
+		if err := orders.Upsert(ctx, row); err != nil {
 			log.Fatal(err)
 		}
 		if (i+1 < liveFrom && (i+1)%groomEvery == 0) || i+1 == liveFrom {
-			if err := eng.Groom(); err != nil {
+			if err := orders.Groom(); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	fmt.Printf("groomed snapshot %v, %d orders still live\n\n", eng.SnapshotTS(), eng.LiveCount())
+	fmt.Printf("groomed snapshot %v, %d orders still live\n\n", orders.SnapshotTS(), orders.LiveCount())
 
 	// The analytical query: revenue per region for big orders,
 	// including the not-yet-groomed tail.
 	const minRevenue = 500
-	plan := umzi.Plan{
-		Filter:  umzi.Ge("revenue", umzi.F64(minRevenue)),
-		GroupBy: []string{"region"},
-		Aggs: []umzi.Agg{
-			{Func: umzi.AggCount, As: "orders"},
-			{Func: umzi.AggSum, Col: "revenue", As: "revenue"},
-			{Func: umzi.AggAvg, Col: "revenue", As: "avg"},
-		},
-	}
-	opts := umzi.QueryOptions{IncludeLive: true}
-
 	start := time.Now()
-	res, err := eng.Execute(plan, opts)
+	res, err := orders.Query().
+		Where(umzi.Ge("revenue", umzi.F64(minRevenue))).
+		GroupBy("region").
+		Aggs(
+			umzi.Agg{Func: umzi.AggCount, As: "orders"},
+			umzi.Agg{Func: umzi.AggSum, Col: "revenue", As: "revenue"},
+			umzi.Agg{Func: umzi.AggAvg, Col: "revenue", As: "avg"},
+		).
+		IncludeLive().
+		All(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,18 +105,19 @@ func main() {
 
 	fmt.Printf("revenue per region, revenue >= %d (pushdown, %v):\n", minRevenue, pushdownTime.Round(time.Microsecond))
 	fmt.Printf("  %-8s %10s %14s %10s\n", "region", "orders", "revenue", "avg")
-	for _, r := range res.Rows {
+	for _, r := range res {
 		fmt.Printf("  %-8s %10d %14.0f %10.2f\n",
 			r[0].Bytes(), r[1].Int(), r[2].Float(), r[3].Float())
 	}
 
-	// Client-side reference: scatter-gather every record (same snapshot,
-	// live zone included via the executor's row mode is not needed —
-	// Scan covers the indexed zones, so replay the filter over an
-	// unfiltered pushdown row query instead) and aggregate at the
-	// coordinator.
+	// Client-side reference: stream every order of the same snapshot to
+	// the coordinator and aggregate there — the plan shape pushdown
+	// exists to avoid.
 	start = time.Now()
-	all, err := eng.Execute(umzi.Plan{}, opts)
+	stream, err := orders.Query().
+		Select("region", "revenue").
+		IncludeLive().
+		Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,25 +126,35 @@ func main() {
 		sum   float64
 	}
 	byRegion := map[string]*acc{}
-	for _, r := range all.Rows {
-		if r[2].Float() < minRevenue {
+	total := 0
+	for stream.Next() {
+		var region string
+		var revenue float64
+		if err := stream.Scan(&region, &revenue); err != nil {
+			log.Fatal(err)
+		}
+		total++
+		if revenue < minRevenue {
 			continue
 		}
-		key := string(r[1].Bytes())
-		a, ok := byRegion[key]
+		a, ok := byRegion[region]
 		if !ok {
 			a = &acc{}
-			byRegion[key] = a
+			byRegion[region] = a
 		}
 		a.count++
-		a.sum += r[2].Float()
+		a.sum += revenue
 	}
+	if err := stream.Err(); err != nil {
+		log.Fatal(err)
+	}
+	stream.Close()
 	clientTime := time.Since(start)
 
-	if len(byRegion) != len(res.Rows) {
-		log.Fatalf("client-side found %d regions, pushdown %d", len(byRegion), len(res.Rows))
+	if len(byRegion) != len(res) {
+		log.Fatalf("client-side found %d regions, pushdown %d", len(byRegion), len(res))
 	}
-	for _, r := range res.Rows {
+	for _, r := range res {
 		a := byRegion[string(r[0].Bytes())]
 		if a == nil || a.count != r[1].Int() || a.sum != r[2].Float() || a.sum/float64(a.count) != r[3].Float() {
 			log.Fatalf("region %s: pushdown %v disagrees with client-side (%d, %.0f)",
@@ -147,6 +162,6 @@ func main() {
 		}
 	}
 	fmt.Printf("\npushdown verified against client-side aggregation (%d rows shipped vs %d)\n",
-		len(res.Rows), len(all.Rows))
+		len(res), total)
 	fmt.Printf("pushdown %v vs client-side %v\n", pushdownTime.Round(time.Microsecond), clientTime.Round(time.Microsecond))
 }

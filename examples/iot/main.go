@@ -1,13 +1,14 @@
 // IoT telemetry: the paper's motivating scenario (§2.1, §4.1). Devices
 // stream readings into a Wildfire table sharded by device ID and
-// partitioned by day. The Umzi index uses deviceID as the equality column
-// and the message number as the sort column, so one index answers both
-// "latest reading of device 17" (point lookup) and "messages 100-200 of
-// device 17" (range scan), plus index-only aggregation over the included
-// reading column.
+// partitioned by day. The Umzi index uses deviceID as the equality
+// column and the message number as the sort column, so one fluent query
+// surface answers "latest reading of device 17" (compiled to a point
+// get), "messages 5-9 of device 3" (an ordered index scan) and a
+// per-device aggregate (an index-only plan over the included column).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,32 +16,39 @@ import (
 )
 
 func main() {
-	eng, err := umzi.NewEngine(umzi.EngineConfig{
-		Table: umzi.TableDef{
-			Name: "telemetry",
-			Columns: []umzi.TableColumn{
-				{Name: "device", Kind: umzi.KindInt64},
-				{Name: "msg", Kind: umzi.KindInt64},
-				{Name: "temp", Kind: umzi.KindFloat64},
-				{Name: "day", Kind: umzi.KindInt64},
-			},
-			PrimaryKey:   []string{"device", "msg"},
-			ShardKey:     []string{"device"},
-			PartitionKey: "day", // analytics-friendly organization (§2.1)
+	ctx := context.Background()
+
+	db, err := umzi.OpenDB(umzi.DBConfig{
+		Store: umzi.NewMemStore(umzi.LatencyModel{}),
+		Cache: umzi.NewSSDCache(0, umzi.LatencyModel{}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	telemetry, err := db.CreateTable(umzi.TableDef{
+		Name: "telemetry",
+		Columns: []umzi.TableColumn{
+			{Name: "device", Kind: umzi.KindInt64},
+			{Name: "msg", Kind: umzi.KindInt64},
+			{Name: "temp", Kind: umzi.KindFloat64},
+			{Name: "day", Kind: umzi.KindInt64},
 		},
+		PrimaryKey:   []string{"device", "msg"},
+		ShardKey:     []string{"device"},
+		PartitionKey: "day", // analytics-friendly organization (§2.1)
+	}, umzi.TableOptions{
 		Index: umzi.IndexSpec{
 			Equality: []string{"device"},
 			Sort:     []string{"msg"},
 			Included: []string{"temp"},
 		},
-		Store:    umzi.NewMemStore(umzi.LatencyModel{}),
-		Cache:    umzi.NewSSDCache(0, umzi.LatencyModel{}),
 		Replicas: 2, // multi-master shard replicas
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
 
 	// Stream 3 days of readings from 4 devices; groom once per "second"
 	// (here: one groom per day of data to keep the output readable).
@@ -55,72 +63,85 @@ func main() {
 					umzi.I64(day),
 				}
 				// Any replica can ingest (multi-master).
-				if err := eng.UpsertRows(int(dev)%2, row); err != nil {
+				if err := telemetry.UpsertReplica(ctx, int(dev)%2, row); err != nil {
 					log.Fatal(err)
 				}
 				msg[dev]++
 			}
 		}
-		if err := eng.Groom(); err != nil {
+		if err := telemetry.Groom(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("day %d groomed: lastGroomTS=%v live=%d\n", day, eng.LastGroomTS(), eng.LiveCount())
+		fmt.Printf("day %d groomed: snapshot=%v live=%d\n", day, telemetry.SnapshotTS(), telemetry.LiveCount())
 	}
 
-	// OLTP side: the latest reading of device 2.
-	rec, found, err := eng.Get([]umzi.Value{umzi.I64(2)}, []umzi.Value{umzi.I64(msg[2] - 1)}, umzi.QueryOptions{})
+	// OLTP side: the latest reading of device 2 — the full primary key
+	// is pinned, so this compiles to a point get.
+	row, found, err := telemetry.Query().
+		Where(umzi.And(umzi.Eq("device", umzi.I64(2)), umzi.Eq("msg", umzi.I64(msg[2]-1)))).
+		One(ctx)
 	if err != nil || !found {
 		log.Fatal(err, found)
 	}
-	fmt.Printf("\ndevice 2 latest reading: msg=%d temp=%.1f (from %v)\n",
-		rec.Row[1].Int(), rec.Row[2].Float(), rec.RID.Zone)
+	fmt.Printf("\ndevice 2 latest reading: msg=%d temp=%.1f\n", row[1].Int(), row[2].Float())
 
-	// OLAP side: post-groom re-organizes by day, then an index-only scan
-	// aggregates device 1's temperatures without touching data blocks.
-	if _, err := eng.PostGroom(); err != nil {
+	// OLAP side: post-groom re-organizes by day, the indexer evolves,
+	// then a covered aggregate runs without touching a data block (the
+	// index carries device, msg and temp).
+	if err := telemetry.PostGroom(); err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.SyncIndex(); err != nil {
+	if err := telemetry.SyncIndex(); err != nil {
 		log.Fatal(err)
 	}
-	g, p := eng.Index().RunCounts()
-	fmt.Printf("after post-groom + evolve: groomed runs=%d post runs=%d maxPSN=%d\n", g, p, eng.MaxPSN())
-
-	rows, err := eng.IndexOnlyScan([]umzi.Value{umzi.I64(1)}, nil, nil, umzi.QueryOptions{})
+	agg, err := telemetry.Query().
+		Where(umzi.Eq("device", umzi.I64(1))).
+		Aggs(
+			umzi.Agg{Func: umzi.AggCount, As: "readings"},
+			umzi.Agg{Func: umzi.AggAvg, Col: "temp", As: "avg_temp"},
+		).
+		All(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var sum float64
-	for _, r := range rows {
-		sum += r[2].Float() // equality, sort, then included columns
-	}
-	fmt.Printf("device 1: %d readings, avg temp %.2f (index-only plan)\n", len(rows), sum/float64(len(rows)))
+	fmt.Printf("device 1: %d readings, avg temp %.2f (index-only plan)\n",
+		agg[0][0].Int(), agg[0][1].Float())
 
-	// Range scan with bounds: messages 5..9 of device 3.
-	recs, err := eng.Scan(
-		[]umzi.Value{umzi.I64(3)},
-		[]umzi.Value{umzi.I64(5)},
-		[]umzi.Value{umzi.I64(9)},
-		umzi.QueryOptions{},
-	)
+	// Ordered range scan with bounds: messages 5..9 of device 3,
+	// streamed row by row.
+	rows, err := telemetry.Query().
+		Where(umzi.And(
+			umzi.Eq("device", umzi.I64(3)),
+			umzi.Ge("msg", umzi.I64(5)),
+			umzi.Le("msg", umzi.I64(9)),
+		)).
+		OrderBy("msg").
+		Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("device 3 msgs 5..9:\n")
-	for _, r := range recs {
-		fmt.Printf("  msg=%d temp=%.1f day=%d zone=%v\n",
-			r.Row[1].Int(), r.Row[2].Float(), r.Row[3].Int(), r.RID.Zone)
+	for rows.Next() {
+		r := rows.Values()
+		fmt.Printf("  msg=%d temp=%.1f day=%d\n", r[1].Int(), r[2].Float(), r[3].Int())
 	}
-
-	// Freshness read: a just-committed reading, visible before grooming.
-	if err := eng.UpsertRows(0, umzi.Row{umzi.I64(9), umzi.I64(0), umzi.F64(99.9), umzi.I64(3)}); err != nil {
+	if err := rows.Err(); err != nil {
 		log.Fatal(err)
 	}
-	rec, found, err = eng.Get([]umzi.Value{umzi.I64(9)}, []umzi.Value{umzi.I64(0)},
-		umzi.QueryOptions{IncludeLive: true})
+	rows.Close()
+
+	// Freshness read: a just-committed reading, visible before grooming
+	// through the live-zone union.
+	if err := telemetry.Upsert(ctx, umzi.Row{umzi.I64(9), umzi.I64(0), umzi.F64(99.9), umzi.I64(3)}); err != nil {
+		log.Fatal(err)
+	}
+	row, found, err = telemetry.Query().
+		Where(umzi.And(umzi.Eq("device", umzi.I64(9)), umzi.Eq("msg", umzi.I64(0)))).
+		IncludeLive().
+		One(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfresh (ungroomed) reading visible with IncludeLive: found=%v temp=%.1f\n",
-		found, rec.Row[2].Float())
+		found, row[2].Float())
 }

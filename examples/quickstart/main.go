@@ -1,10 +1,13 @@
-// Quickstart: the Umzi index API in isolation — define an index, build
-// runs (as the groomer would), run point lookups and range scans at
-// different snapshot timestamps, merge runs, and evolve entries into the
-// post-groomed zone.
+// Quickstart: the unified umzi.DB front end. One DB owns a shared
+// store, a multi-table catalog and any number of tables; every table —
+// sharded or not — is queried through the same fluent builder, which
+// the planner compiles into a point get, an index(-only) scan or a
+// pushed-down executor plan. Results stream through a Rows cursor and
+// every call takes a context.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,137 +15,134 @@ import (
 )
 
 func main() {
-	// An index over (customer; order) with the order total carried as an
-	// included column for index-only reads (§4.1 of the paper).
-	ix, err := umzi.New(umzi.Config{
-		Name: "orders",
-		Def: umzi.IndexDef{
-			Equality: []umzi.Column{{Name: "customer", Kind: umzi.KindInt64}},
-			Sort:     []umzi.Column{{Name: "order", Kind: umzi.KindInt64}},
-			Included: []umzi.Column{{Name: "total", Kind: umzi.KindFloat64}},
-		},
+	ctx := context.Background()
+
+	db, err := umzi.OpenDB(umzi.DBConfig{
 		Store: umzi.NewMemStore(umzi.LatencyModel{}),
 		Cache: umzi.NewSSDCache(0, umzi.LatencyModel{}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ix.Close()
+	defer db.Close()
 
-	// Three groom cycles, each producing one level-0 run. Cycle 2
-	// re-ingests order 100 of customer 7: an update, i.e. a new version.
-	cycles := []struct {
-		cycle  uint64
-		orders []struct {
-			customer, order int64
-			total           float64
-		}
-	}{
-		{1, []struct {
-			customer, order int64
-			total           float64
-		}{{7, 100, 19.99}, {7, 101, 5.00}, {9, 200, 120.00}}},
-		{2, []struct {
-			customer, order int64
-			total           float64
-		}{{7, 100, 24.99}, {9, 201, 60.00}}},
-		{3, []struct {
-			customer, order int64
-			total           float64
-		}{{7, 102, 9.50}}},
-	}
-	for _, c := range cycles {
-		var entries []umzi.Entry
-		for i, o := range c.orders {
-			e, err := ix.MakeEntry(
-				[]umzi.Value{umzi.I64(o.customer)},
-				[]umzi.Value{umzi.I64(o.order)},
-				[]umzi.Value{umzi.F64(o.total)},
-				umzi.MakeTS(c.cycle, uint32(i)),
-				umzi.RID{Zone: umzi.ZoneGroomed, Block: c.cycle, Offset: uint32(i)},
-			)
-			if err != nil {
-				log.Fatal(err)
-			}
-			entries = append(entries, e)
-		}
-		if err := ix.BuildRun(entries, umzi.BlockRange{Min: c.cycle, Max: c.cycle}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	g, p := ix.RunCounts()
-	fmt.Printf("after 3 grooms: %d groomed runs, %d post-groomed runs\n", g, p)
-
-	// Point lookup: newest version wins.
-	e, found, err := ix.PointLookup([]umzi.Value{umzi.I64(7)}, []umzi.Value{umzi.I64(100)}, umzi.MaxTS)
-	if err != nil || !found {
-		log.Fatal(err, found)
-	}
-	_, _, incl, _ := ix.DecodeEntry(e)
-	fmt.Printf("customer 7 order 100 (newest): total=%.2f beginTS=%v\n", incl[0].Float(), e.BeginTS)
-
-	// Time travel: the same key as of groom cycle 1.
-	e, found, _ = ix.PointLookup([]umzi.Value{umzi.I64(7)}, []umzi.Value{umzi.I64(100)}, umzi.MakeTS(1, 1<<20))
-	if found {
-		_, _, incl, _ = ix.DecodeEntry(e)
-		fmt.Printf("customer 7 order 100 (cycle 1):  total=%.2f\n", incl[0].Float())
-	}
-
-	// Range scan over one customer's orders.
-	matches, err := ix.RangeScan(umzi.ScanOptions{
-		Equality: []umzi.Value{umzi.I64(7)},
-		SortLo:   []umzi.Value{umzi.I64(100)},
-		SortHi:   []umzi.Value{umzi.I64(102)},
-		TS:       umzi.MaxTS,
+	// An orders table over (customer; order), hash-sharded by customer
+	// across 4 engines. The primary Umzi index serves "orders of
+	// customer 7" as a pinned single-shard scan and carries the total as
+	// an included column for index-only reads (§4.1 of the paper).
+	orders, err := db.CreateTable(umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "customer", Kind: umzi.KindInt64},
+			{Name: "order", Kind: umzi.KindInt64},
+			{Name: "total", Kind: umzi.KindFloat64},
+		},
+		PrimaryKey: []string{"customer", "order"},
+		ShardKey:   []string{"customer"},
+	}, umzi.TableOptions{
+		Shards: 4,
+		Index: umzi.IndexSpec{
+			Equality: []string{"customer"},
+			Sort:     []string{"order"},
+			Included: []string{"total"},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("customer 7 orders 100..102: %d matches\n", len(matches))
-	for _, m := range matches {
-		_, sortv, incl, _ := ix.DecodeEntry(m)
-		fmt.Printf("  order %d: total=%.2f rid=%v\n", sortv[0].Int(), incl[0].Float(), m.RID)
-	}
 
-	// Merge maintenance (§5.3).
-	if err := ix.Quiesce(); err != nil {
-		log.Fatal(err)
+	// Three groom cycles of ingest; cycle 2 re-ingests order 100 of
+	// customer 7 — an update, i.e. a new version.
+	cycles := [][]umzi.Row{
+		{
+			{umzi.I64(7), umzi.I64(100), umzi.F64(19.99)},
+			{umzi.I64(7), umzi.I64(101), umzi.F64(5.00)},
+			{umzi.I64(9), umzi.I64(200), umzi.F64(120.00)},
+		},
+		{
+			{umzi.I64(7), umzi.I64(100), umzi.F64(24.99)},
+			{umzi.I64(9), umzi.I64(201), umzi.F64(60.00)},
+		},
+		{
+			{umzi.I64(7), umzi.I64(102), umzi.F64(9.50)},
+		},
 	}
-	g, p = ix.RunCounts()
-	fmt.Printf("after maintenance: %d groomed runs, %d post-groomed runs\n", g, p)
-
-	// Evolve cycles 1-2 into the post-groomed zone (§5.4) — in Wildfire
-	// the post-groomer triggers this with new post-groomed RIDs.
-	var evolved []umzi.Entry
-	for _, c := range cycles[:2] {
-		for i, o := range c.orders {
-			e, err := ix.MakeEntry(
-				[]umzi.Value{umzi.I64(o.customer)},
-				[]umzi.Value{umzi.I64(o.order)},
-				[]umzi.Value{umzi.F64(o.total)},
-				umzi.MakeTS(c.cycle, uint32(i)),
-				umzi.RID{Zone: umzi.ZonePostGroomed, Block: 1, Offset: uint32(i)},
-			)
-			if err != nil {
-				log.Fatal(err)
-			}
-			evolved = append(evolved, e)
+	var cut umzi.TS // snapshot boundary after cycle 1, for time travel
+	for i, rows := range cycles {
+		if err := orders.Upsert(ctx, rows...); err != nil {
+			log.Fatal(err)
+		}
+		if err := orders.Groom(); err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			cut = orders.SnapshotTS()
 		}
 	}
-	if err := ix.Evolve(1, evolved, umzi.BlockRange{Min: 1, Max: 2}); err != nil {
+	fmt.Printf("tables: %v; orders runs on %d shards\n", db.Tables(), orders.NumShards())
+
+	// Point get: the filter pins the whole primary key, so the planner
+	// compiles one index lookup.
+	row, found, err := orders.Query().
+		Where(umzi.And(umzi.Eq("customer", umzi.I64(7)), umzi.Eq("order", umzi.I64(100)))).
+		One(ctx)
+	if err != nil || !found {
+		log.Fatal(err, found)
+	}
+	fmt.Printf("customer 7 order 100 (newest): total=%.2f\n", row[2].Float())
+
+	// Time travel: the same key as of the first groom cycle.
+	row, found, _ = orders.Query().
+		Where(umzi.And(umzi.Eq("customer", umzi.I64(7)), umzi.Eq("order", umzi.I64(100)))).
+		At(cut).
+		One(ctx)
+	if found {
+		fmt.Printf("customer 7 order 100 (cycle 1):  total=%.2f\n", row[2].Float())
+	}
+
+	// Ordered range scan, streamed: the scan pins to customer 7's shard
+	// and the Rows cursor fetches lazily.
+	rows, err := orders.Query().
+		Where(umzi.And(
+			umzi.Eq("customer", umzi.I64(7)),
+			umzi.Ge("order", umzi.I64(100)),
+			umzi.Le("order", umzi.I64(102)),
+		)).
+		Select("order", "total").
+		OrderBy("order").
+		Run(ctx)
+	if err != nil {
 		log.Fatal(err)
 	}
-	g, p = ix.RunCounts()
-	fmt.Printf("after evolve(PSN 1): %d groomed runs, %d post-groomed runs, covered=%d\n",
-		g, p, ix.MaxCoveredGroomedID())
+	fmt.Println("customer 7 orders 100..102:")
+	for rows.Next() {
+		var order int64
+		var total float64
+		if err := rows.Scan(&order, &total); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  order %d: total=%.2f\n", order, total)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
 
-	// Queries keep working across the zone boundary, de-duplicated.
-	matches, _ = ix.RangeScan(umzi.ScanOptions{
-		Equality: []umzi.Value{umzi.I64(7)},
-		TS:       umzi.MaxTS,
-	})
-	fmt.Printf("customer 7 all orders after evolve: %d matches\n", len(matches))
-	st := ix.Stats()
-	fmt.Printf("stats: queries=%d runsSearched=%d runsPruned=%d merges=%d evolves=%d\n",
-		st.Queries, st.RunsSearched, st.RunsPruned, st.Merges, st.Evolves)
+	// Analytics on the same table: a pushed-down aggregate. Each shard
+	// reduces its columnar blocks to partial aggregates; only those
+	// travel to the coordinator.
+	agg, err := orders.Query().
+		GroupBy("customer").
+		Aggs(
+			umzi.Agg{Func: umzi.AggCount, As: "orders"},
+			umzi.Agg{Func: umzi.AggSum, Col: "total", As: "revenue"},
+		).
+		All(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("revenue per customer:")
+	for _, g := range agg {
+		fmt.Printf("  customer %d: %d orders, %.2f total\n", g[0].Int(), g[1].Int(), g[2].Float())
+	}
 }

@@ -1,20 +1,24 @@
-// Recovery: Umzi's crash story (§5.5). The index lives in durable,
-// filesystem-backed shared storage; the process "crashes" (the instance
-// is dropped without cleanup) and a fresh instance recovers every run
-// list, the evolve watermark and the indexed PSN purely from storage —
-// then keeps ingesting as if nothing happened.
+// Recovery: the crash story (§5.5), generalized to the whole database.
+// A DB lives in durable, filesystem-backed shared storage: table
+// definitions and shard counts in the db catalog, each table's index
+// set in its own catalog, runs and data blocks as immutable objects.
+// The process "crashes" (the DB is dropped without cleanup) and one
+// OpenDB call recovers every table — a sharded orders table with a
+// secondary index, and an events table — purely from storage, then
+// keeps ingesting as if nothing happened.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
 	"umzi"
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "umzi-recovery-*")
 	if err != nil {
 		log.Fatal(err)
@@ -22,101 +26,137 @@ func main() {
 	defer os.RemoveAll(dir)
 	fmt.Printf("shared storage at %s\n\n", dir)
 
-	cfg := func() umzi.Config {
+	open := func() *umzi.DB {
 		store, err := umzi.NewFSStore(dir, umzi.LatencyModel{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return umzi.Config{
-			Name: "events",
-			Def: umzi.IndexDef{
-				Equality: []umzi.Column{{Name: "stream", Kind: umzi.KindInt64}},
-				Sort:     []umzi.Column{{Name: "offset", Kind: umzi.KindInt64}},
-			},
-			Store: store,
-			K:     2,
-		}
-	}
-
-	// Phase 1: ingest five groom cycles, merge, evolve two of them.
-	ix, err := umzi.New(cfg())
-	if err != nil {
-		log.Fatal(err)
-	}
-	build := func(ix *umzi.Index, cycle uint64, zone umzi.ZoneID) []umzi.Entry {
-		var entries []umzi.Entry
-		for i := uint32(0); i < 50; i++ {
-			e, err := ix.MakeEntry(
-				[]umzi.Value{umzi.I64(int64(i % 5))},
-				[]umzi.Value{umzi.I64(int64(cycle)*100 + int64(i))},
-				nil,
-				umzi.MakeTS(cycle, i),
-				umzi.RID{Zone: zone, Block: cycle, Offset: i},
-			)
-			if err != nil {
-				log.Fatal(err)
-			}
-			entries = append(entries, e)
-		}
-		return entries
-	}
-	for c := uint64(1); c <= 5; c++ {
-		if err := ix.BuildRun(build(ix, c, umzi.ZoneGroomed), umzi.BlockRange{Min: c, Max: c}); err != nil {
+		db, err := umzi.OpenDB(umzi.DBConfig{Store: store})
+		if err != nil {
 			log.Fatal(err)
 		}
+		return db
 	}
-	if err := ix.Quiesce(); err != nil {
-		log.Fatal(err)
-	}
-	evolved := append(build(ix, 1, umzi.ZonePostGroomed), build(ix, 2, umzi.ZonePostGroomed)...)
-	if err := ix.Evolve(1, evolved, umzi.BlockRange{Min: 1, Max: 2}); err != nil {
-		log.Fatal(err)
-	}
-	g, p := ix.RunCounts()
-	fmt.Printf("before crash: groomed=%d post=%d covered=%d psn=%d\n",
-		g, p, ix.MaxCoveredGroomedID(), ix.IndexedPSN())
-	count := countStream(ix, 3)
-	fmt.Printf("stream 3 has %d events\n\n", count)
 
-	// Phase 2: crash. No Close, no flush — the instance is just dropped.
-	ix = nil
-	fmt.Println("-- crash: process state lost; only shared storage survives --")
-	objects, _ := filepath.Glob(filepath.Join(dir, "events", "*", "*"))
-	fmt.Printf("storage holds %d objects\n\n", len(objects))
-
-	// Phase 3: recover from storage alone.
-	ix2, err := umzi.Open(cfg())
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ix2.Close()
-	g, p = ix2.RunCounts()
-	fmt.Printf("recovered: groomed=%d post=%d covered=%d psn=%d\n",
-		g, p, ix2.MaxCoveredGroomedID(), ix2.IndexedPSN())
-	if got := countStream(ix2, 3); got != count {
-		log.Fatalf("data lost in recovery: %d != %d", got, count)
-	}
-	fmt.Printf("stream 3 still has %d events — nothing lost\n\n", count)
-
-	// Phase 4: life goes on — new grooms and evolves on the recovered
-	// index.
-	if err := ix2.BuildRun(build(ix2, 6, umzi.ZoneGroomed), umzi.BlockRange{Min: 6, Max: 6}); err != nil {
-		log.Fatal(err)
-	}
-	if err := ix2.Evolve(2, build(ix2, 3, umzi.ZonePostGroomed), umzi.BlockRange{Min: 3, Max: 3}); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("post-recovery ingest + evolve: covered=%d psn=%d, stream 3 now %d events\n",
-		ix2.MaxCoveredGroomedID(), ix2.IndexedPSN(), countStream(ix2, 3))
-}
-
-func countStream(ix *umzi.Index, stream int64) int {
-	matches, err := ix.RangeScan(umzi.ScanOptions{
-		Equality: []umzi.Value{umzi.I64(stream)},
-		TS:       umzi.MaxTS,
+	// Phase 1: create two tables, ingest, run the pipeline.
+	db := open()
+	orders, err := db.CreateTable(umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "order_id", Kind: umzi.KindInt64},
+			{Name: "customer", Kind: umzi.KindInt64},
+			{Name: "amount", Kind: umzi.KindFloat64},
+		},
+		PrimaryKey: []string{"order_id"},
+		ShardKey:   []string{"order_id"},
+	}, umzi.TableOptions{
+		Shards: 3,
+		Index:  umzi.IndexSpec{Sort: []string{"order_id"}},
+		Secondaries: []umzi.SecondaryIndexSpec{{
+			Name:      "by_customer",
+			IndexSpec: umzi.IndexSpec{Equality: []string{"customer"}, Included: []string{"amount"}},
+		}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	return len(matches)
+	events, err := db.CreateTable(umzi.TableDef{
+		Name: "events",
+		Columns: []umzi.TableColumn{
+			{Name: "stream", Kind: umzi.KindInt64},
+			{Name: "offset", Kind: umzi.KindInt64},
+		},
+		PrimaryKey: []string{"stream", "offset"},
+		ShardKey:   []string{"stream"},
+	}, umzi.TableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < 300; i++ {
+		err := orders.Upsert(ctx, umzi.Row{
+			umzi.I64(int64(i)), umzi.I64(int64(i % 7)), umzi.F64(float64(i)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := events.Upsert(ctx, umzi.Row{umzi.I64(int64(i % 5)), umzi.I64(int64(i))}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if (i+1)%100 == 0 {
+			for _, t := range []*umzi.Table{orders, events} {
+				if err := t.Groom(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	// Push part of the data through post-groom + evolve so recovery has
+	// all three zones to rebuild.
+	if err := orders.PostGroom(); err != nil {
+		log.Fatal(err)
+	}
+	if err := orders.SyncIndex(); err != nil {
+		log.Fatal(err)
+	}
+
+	count3 := countCustomer(ctx, orders, 3)
+	fmt.Printf("before crash: tables=%v, orders(customer 3)=%d rows, events=%d streams\n",
+		db.Tables(), count3, 5)
+
+	// Phase 2: crash. No Close, no flush — the handles are just dropped.
+	db = nil
+	orders, events = nil, nil
+	fmt.Println("\n-- crash: process state lost; only shared storage survives --")
+
+	// Phase 3: one OpenDB recovers the whole database from the catalog.
+	db2 := open()
+	defer db2.Close()
+	fmt.Printf("\nrecovered tables: %v\n", db2.Tables())
+	orders2, err := db2.Table("orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("orders: %d shards, secondaries %v\n", orders2.NumShards(), indexNames(orders2))
+	if got := countCustomer(ctx, orders2, 3); got != count3 {
+		log.Fatalf("data lost in recovery: %d != %d", got, count3)
+	}
+	fmt.Printf("orders(customer 3) still %d rows — nothing lost\n", count3)
+
+	// Phase 4: life goes on — new ingest and queries on the recovered
+	// tables, including the recovered secondary index.
+	if err := orders2.Upsert(ctx, umzi.Row{umzi.I64(1000), umzi.I64(3), umzi.F64(1000)}); err != nil {
+		log.Fatal(err)
+	}
+	if err := orders2.Groom(); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := orders2.Query().
+		Where(umzi.Eq("customer", umzi.I64(3))).
+		Select("amount").
+		Via("by_customer").
+		All(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npost-recovery ingest: customer 3 now has %d orders (served via the recovered secondary)\n",
+		len(rows))
+}
+
+func countCustomer(ctx context.Context, tbl *umzi.Table, customer int64) int {
+	rows, err := tbl.Query().Where(umzi.Eq("customer", umzi.I64(customer))).All(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return len(rows)
+}
+
+func indexNames(tbl *umzi.Table) []string {
+	var out []string
+	for _, s := range tbl.Indexes() {
+		out = append(out, s.Name)
+	}
+	return out
 }

@@ -5,22 +5,24 @@
 //
 // An orders table is sharded by order id (the primary key) and carries
 // a covering secondary index on customer (equality column) with amount
-// included, so a per-customer revenue query is answered entirely from
-// the index — key plus included columns — without touching a data
-// block. While a writer keeps committing orders and the background
-// daemons groom, post-groom and evolve all indexes in lockstep, the
-// program repeatedly runs:
+// included. All three ways of asking "customer 7's revenue" go through
+// the one query builder:
 //
-//   - a covered index-only scan (ScanOn / IndexOnlyScanOn) for one
-//     customer's orders, and
-//   - an aggregate plan whose predicate the executor routes through the
-//     secondary automatically (compare QueryOptions.NoIndexSelection);
+//   - the default aggregate, whose predicate the planner's executor
+//     routes through the secondary automatically;
+//   - the same aggregate with NoIndex(), forced to scan the columnar
+//     zones;
+//   - a covered row query forced through the index with Via, answered
+//     entirely from index entries (key + included columns) without
+//     touching a data block;
 //
-// every result is verified against a forced zone scan of the same
-// snapshot.
+// while a writer keeps committing orders and the DB's background
+// daemons groom, post-groom and evolve all indexes in lockstep. Every
+// round pins one snapshot (At) and verifies the three answers agree.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,19 +41,33 @@ func main() {
 	if *rows < 1 || *customers < 1 || *shards < 1 {
 		log.Fatalf("-rows, -customers and -shards must be at least 1")
 	}
+	ctx := context.Background()
 
-	eng, err := umzi.NewShardedEngine(umzi.ShardedConfig{
-		Table: umzi.TableDef{
-			Name: "orders",
-			Columns: []umzi.TableColumn{
-				{Name: "order_id", Kind: umzi.KindInt64},
-				{Name: "customer", Kind: umzi.KindInt64},
-				{Name: "amount", Kind: umzi.KindInt64},
-			},
-			PrimaryKey: []string{"order_id"},
-			ShardKey:   []string{"order_id"},
+	// Background pipeline per table: groom fast, post-groom slower —
+	// the cadence of §2.1 — with the indexer evolving every index of
+	// the set.
+	db, err := umzi.OpenDB(umzi.DBConfig{
+		Store:          umzi.NewMemStore(umzi.LatencyModel{}),
+		GroomEvery:     5 * time.Millisecond,
+		PostGroomEvery: 25 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	orders, err := db.CreateTable(umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "order_id", Kind: umzi.KindInt64},
+			{Name: "customer", Kind: umzi.KindInt64},
+			{Name: "amount", Kind: umzi.KindInt64},
 		},
-		Index: umzi.IndexSpec{Equality: []string{"order_id"}},
+		PrimaryKey: []string{"order_id"},
+		ShardKey:   []string{"order_id"},
+	}, umzi.TableOptions{
+		Shards: *shards,
+		Index:  umzi.IndexSpec{Equality: []string{"order_id"}},
 		Secondaries: []umzi.SecondaryIndexSpec{{
 			Name: "by_customer",
 			IndexSpec: umzi.IndexSpec{
@@ -59,17 +75,10 @@ func main() {
 				Included: []string{"amount"},
 			},
 		}},
-		Shards: *shards,
-		Store:  umzi.NewMemStore(umzi.LatencyModel{}),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
-
-	// Background pipeline: groom fast, post-groom slower — the cadence
-	// of §2.1 — with the indexer evolving every index of the set.
-	eng.Start(5*time.Millisecond, 25*time.Millisecond)
 
 	// Writer: commit orders continuously; order i belongs to customer
 	// i % customers and is worth i.
@@ -84,7 +93,7 @@ func main() {
 				umzi.I64(int64(i % *customers)),
 				umzi.I64(int64(i)),
 			}
-			if err := eng.UpsertRows(0, row); err != nil {
+			if err := orders.Upsert(ctx, row); err != nil {
 				log.Fatal(err)
 			}
 			ingested.Add(1)
@@ -99,42 +108,54 @@ func main() {
 	customer := int64(7)
 	queries := 0
 	var lastCount, lastSum int64
+	revenueQuery := func() *umzi.Query {
+		return orders.Query().
+			Where(umzi.Eq("customer", umzi.I64(customer))).
+			Aggs(
+				umzi.Agg{Func: umzi.AggCount, As: "orders"},
+				umzi.Agg{Func: umzi.AggSum, Col: "amount", As: "revenue"},
+			)
+	}
 	for ingested.Load() < int64(*rows) || queries < 20 {
-		ts := eng.SnapshotTS() // one snapshot for all three plans
-		plan := umzi.Plan{
-			Filter: umzi.Eq("customer", umzi.I64(customer)),
-			Aggs: []umzi.Agg{
-				{Func: umzi.AggCount, As: "orders"},
-				{Func: umzi.AggSum, Col: "amount", As: "revenue"},
-			},
-		}
-		viaIndex, err := eng.Execute(plan, umzi.QueryOptions{TS: ts})
+		ts := orders.SnapshotTS() // one snapshot for all three plans
+		viaIndex, err := revenueQuery().At(ts).All(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		viaScan, err := eng.Execute(plan, umzi.QueryOptions{TS: ts, NoIndexSelection: true})
+		viaScan, err := revenueQuery().NoIndex().At(ts).All(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, err := eng.IndexOnlyScanOn("by_customer",
-			[]umzi.Value{umzi.I64(customer)}, nil, nil, umzi.QueryOptions{TS: ts})
+		covered, err := orders.Query().
+			Where(umzi.Eq("customer", umzi.I64(customer))).
+			Select("amount").
+			Via("by_customer").
+			At(ts).
+			Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Reconcile the three answers: covered scan rows (layout:
-		// customer, order_id, amount) vs both executor paths.
 		var count, sum int64
-		for _, r := range rows {
+		for covered.Next() {
+			var amount int64
+			if err := covered.Scan(&amount); err != nil {
+				log.Fatal(err)
+			}
 			count++
-			sum += r[2].Int()
+			sum += amount
 		}
+		if err := covered.Err(); err != nil {
+			log.Fatal(err)
+		}
+		covered.Close()
+
 		var ic, is int64
-		if len(viaIndex.Rows) > 0 {
-			ic, is = viaIndex.Rows[0][0].Int(), viaIndex.Rows[0][1].Int()
+		if len(viaIndex) > 0 {
+			ic, is = viaIndex[0][0].Int(), viaIndex[0][1].Int()
 		}
 		var sc, ss int64
-		if len(viaScan.Rows) > 0 {
-			sc, ss = viaScan.Rows[0][0].Int(), viaScan.Rows[0][1].Int()
+		if len(viaScan) > 0 {
+			sc, ss = viaScan[0][0].Int(), viaScan[0][1].Int()
 		}
 		if ic != sc || is != ss || ic != count || is != sum {
 			log.Fatalf("snapshot %d disagrees: index plan (%d, %d), zone scan (%d, %d), covered scan (%d, %d)",
@@ -147,29 +168,26 @@ func main() {
 	wg.Wait()
 
 	// Flush everything through the pipeline, then the final answer.
-	for eng.LiveCount() > 0 {
-		if err := eng.Groom(); err != nil {
+	for orders.LiveCount() > 0 {
+		if err := orders.Groom(); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := eng.PostGroom(); err != nil {
+	if err := orders.PostGroom(); err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.SyncIndex(); err != nil {
+	if err := orders.SyncIndex(); err != nil {
 		log.Fatal(err)
 	}
-	final, err := eng.Execute(umzi.Plan{
-		Filter: umzi.Eq("customer", umzi.I64(customer)),
-		Aggs:   []umzi.Agg{{Func: umzi.AggCount}, {Func: umzi.AggSum, Col: "amount"}},
-	}, umzi.QueryOptions{})
+	final, err := revenueQuery().All(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	wantCount := int64(*rows / *customers)
-	if int64(customer) < int64(*rows%*customers) {
+	if customer < int64(*rows%*customers) {
 		wantCount++
 	}
-	gotCount, gotSum := final.Rows[0][0].Int(), final.Rows[0][1].Int()
+	gotCount, gotSum := final[0][0].Int(), final[0][1].Int()
 	if gotCount != wantCount {
 		log.Fatalf("customer %d has %d orders, want %d", customer, gotCount, wantCount)
 	}

@@ -219,10 +219,29 @@ type Result struct {
 	Rows    [][]keyenc.Value
 }
 
-// Finalize merges the partials (the coordinator step: partial aggregates
-// in, no rows shipped) and lowers them to a Result. It consumes the
+// RowIter streams a finalized result one row at a time — the emission
+// half of Finalize, detached so a coordinator can hand rows to a cursor
+// without materializing the full result. The merge of the partials has
+// already happened by construction; what RowIter defers is the lowering
+// of each group's accumulators (aggregate queries) and the emission
+// itself, so an abandoned iterator skips that tail of the work.
+type RowIter struct {
+	cols []string
+	next func() ([]keyenc.Value, bool)
+}
+
+// Columns returns the output column names, in result-row order.
+func (it *RowIter) Columns() []string { return it.cols }
+
+// Next returns the next result row, or ok=false when the result is
+// exhausted.
+func (it *RowIter) Next() ([]keyenc.Value, bool) { return it.next() }
+
+// FinalizeIter merges the partials (the coordinator step: partial
+// aggregates in, no rows shipped) and returns a RowIter streaming the
+// finalized rows in the result's deterministic order. It consumes the
 // partials; nil entries — shards with nothing — are skipped.
-func (b *BoundPlan) Finalize(parts ...*Partial) *Result {
+func (b *BoundPlan) FinalizeIter(parts ...*Partial) *RowIter {
 	var merged *Partial
 	for _, p := range parts {
 		if p == nil {
@@ -237,35 +256,70 @@ func (b *BoundPlan) Finalize(parts ...*Partial) *Result {
 	if merged == nil {
 		merged = b.NewPartial()
 	}
-	res := &Result{Columns: b.outCols}
+	emitted := 0
+	capped := func(row []keyenc.Value, ok bool) ([]keyenc.Value, bool) {
+		if !ok || (b.limit > 0 && emitted >= b.limit) {
+			return nil, false
+		}
+		emitted++
+		return row, true
+	}
+	it := &RowIter{cols: b.outCols}
 	if b.Aggregating() {
 		keys := make([]string, 0, len(merged.groups))
 		for k := range merged.groups {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			g := merged.groups[k]
+		i := 0
+		it.next = func() ([]keyenc.Value, bool) {
+			if i >= len(keys) {
+				return nil, false
+			}
+			g := merged.groups[keys[i]]
+			i++
 			out := make([]keyenc.Value, 0, len(b.groupBy)+len(b.aggs))
 			out = append(out, g.keyVals...)
-			for i := range b.aggs {
-				out = append(out, g.accs[i].finalize(b.aggs[i].fn, b.aggs[i].kind))
+			for j := range b.aggs {
+				out = append(out, g.accs[j].finalize(b.aggs[j].fn, b.aggs[j].kind))
 			}
-			res.Rows = append(res.Rows, out)
+			return capped(out, true)
 		}
-	} else {
-		rows := merged.rows
-		keys := make([][]byte, len(rows))
-		for i, r := range rows {
-			keys[i] = keyenc.AppendComposite(nil, r...)
+		return it
+	}
+	rows := merged.rows
+	sorted := false
+	i := 0
+	it.next = func() ([]keyenc.Value, bool) {
+		if !sorted {
+			sorted = true
+			keys := make([][]byte, len(rows))
+			for j, r := range rows {
+				keys[j] = keyenc.AppendComposite(nil, r...)
+			}
+			sort.Sort(&rowSorter{rows: rows, keys: keys})
 		}
-		sort.Sort(&rowSorter{rows: rows, keys: keys})
-		res.Rows = rows
+		if i >= len(rows) {
+			return nil, false
+		}
+		row := rows[i]
+		i++
+		return capped(row, true)
 	}
-	if b.limit > 0 && len(res.Rows) > b.limit {
-		res.Rows = res.Rows[:b.limit]
+	return it
+}
+
+// Finalize is FinalizeIter drained into a materialized Result.
+func (b *BoundPlan) Finalize(parts ...*Partial) *Result {
+	it := b.FinalizeIter(parts...)
+	res := &Result{Columns: it.Columns()}
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return res
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	return res
 }
 
 // rowSorter orders row-query results by their composite encoding.

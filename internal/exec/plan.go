@@ -210,6 +210,11 @@ func (p Plan) Bind(cols []columnar.Column) (*BoundPlan, error) {
 // returning projected rows).
 func (b *BoundPlan) Aggregating() bool { return len(b.aggs) > 0 }
 
+// Projection returns a row query's projected column ordinals in output
+// order (empty for aggregate plans). The slice is the bound plan's own;
+// callers must not mutate it.
+func (b *BoundPlan) Projection() []int { return b.project }
+
 // Columns returns the output column names of the result, in result-row
 // order (group-by columns, then aggregates; or the projection).
 func (b *BoundPlan) Columns() []string { return b.outCols }

@@ -72,6 +72,76 @@ func collectConstraints(e Expr, c *IndexConstraints) bool {
 	}
 }
 
+// ExactConstraints reports whether a filter is EXACTLY its extracted
+// constraints: a conjunction of Eq / Ge / Le comparisons with no
+// conflicting equalities. Strict comparisons (widened to inclusive by
+// extraction), Ne (dropped) and OR (not extractable) all make the
+// extraction lossy — ok=false. When ok is true and a driver's scan
+// bounds absorb every constrained column, re-applying the filter per
+// row is a no-op, so the driver may, e.g., push a row limit into the
+// scan. A nil filter is exactly its (empty) constraints.
+func ExactConstraints(e Expr) (IndexConstraints, bool) {
+	c := IndexConstraints{
+		Eq: map[string]keyenc.Value{},
+		Lo: map[string]keyenc.Value{},
+		Hi: map[string]keyenc.Value{},
+	}
+	if e == nil {
+		return c, true
+	}
+	return c, collectExact(e, &c)
+}
+
+func collectExact(e Expr, c *IndexConstraints) bool {
+	switch x := e.(type) {
+	case cmpExpr:
+		switch x.op {
+		case OpEq:
+			if cur, dup := c.Eq[x.col]; dup {
+				return keyenc.Compare(x.val, cur) == 0
+			}
+			c.Eq[x.col] = x.val
+			return true
+		case OpGe:
+			if cur, ok := c.Lo[x.col]; !ok || keyenc.Compare(x.val, cur) > 0 {
+				c.Lo[x.col] = x.val
+			}
+			return true
+		case OpLe:
+			if cur, ok := c.Hi[x.col]; !ok || keyenc.Compare(x.val, cur) < 0 {
+				c.Hi[x.col] = x.val
+			}
+			return true
+		default:
+			return false
+		}
+	case andExpr:
+		for _, k := range x.kids {
+			if !collectExact(k, c) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Columns returns the set of constrained column names.
+func (c IndexConstraints) Columns() map[string]bool {
+	out := make(map[string]bool, len(c.Eq)+len(c.Lo)+len(c.Hi))
+	for col := range c.Eq {
+		out[col] = true
+	}
+	for col := range c.Lo {
+		out[col] = true
+	}
+	for col := range c.Hi {
+		out[col] = true
+	}
+	return out
+}
+
 // ReferencedOrdinals returns the table-column ordinals the plan touches
 // anywhere — filter, projection, grouping and aggregate inputs — in
 // ascending order. An access path that can produce all of them (e.g. a

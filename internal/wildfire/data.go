@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"fmt"
 
 	"umzi/internal/columnar"
@@ -16,14 +17,20 @@ type blockEntry struct {
 }
 
 // fetchBlock returns the parsed columnar block with the given object
-// name, reading through the block cache.
-func (e *Engine) fetchBlock(name string) (*columnar.Block, error) {
+// name, reading through the block cache. The context is checked before
+// paying for a shared-storage read, so cancelled queries stop at block
+// granularity — the unit of I/O — without a partial-parse state to
+// clean up.
+func (e *Engine) fetchBlock(ctx context.Context, name string) (*columnar.Block, error) {
 	e.blockMu.Lock()
 	if be, ok := e.blockCache[name]; ok {
 		e.blockMu.Unlock()
 		return be.blk, nil
 	}
 	e.blockMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	data, err := e.store.Get(name)
 	if err != nil {
@@ -63,6 +70,12 @@ type Record struct {
 // combination of zone, block ID and record offset). The endTS overlay
 // from post-groom sidecars is applied on the way out.
 func (e *Engine) Fetch(rid types.RID) (Record, error) {
+	return e.FetchContext(context.Background(), rid)
+}
+
+// FetchContext is Fetch honoring a context: a cancelled context stops
+// the block fetch before it reaches shared storage.
+func (e *Engine) FetchContext(ctx context.Context, rid types.RID) (Record, error) {
 	var name string
 	switch rid.Zone {
 	case types.ZoneGroomed:
@@ -72,7 +85,7 @@ func (e *Engine) Fetch(rid types.RID) (Record, error) {
 	default:
 		return Record{}, fmt.Errorf("wildfire: cannot fetch RID %v (live zone has no blocks)", rid)
 	}
-	blk, err := e.fetchBlock(name)
+	blk, err := e.fetchBlock(ctx, name)
 	if err != nil {
 		return Record{}, err
 	}

@@ -268,6 +268,9 @@ func (e *Engine) Index() *core.Index { return e.idx }
 // Table returns the table definition.
 func (e *Engine) Table() TableDef { return e.table }
 
+// IndexSpec returns the primary index's declared spec.
+func (e *Engine) IndexSpec() IndexSpec { return e.ixSpec }
+
 // LastGroomTS returns the snapshot boundary: the largest beginTS any
 // groomed version can carry. Queries at this timestamp see everything
 // groomed so far ("quorum-readable" content, §2.1).

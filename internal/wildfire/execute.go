@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"fmt"
 
 	"umzi/internal/columnar"
@@ -25,12 +26,18 @@ import (
 // committed-but-ungroomed records into the scan, and Limit caps the
 // result rows (the tighter of opts.Limit and Plan.Limit wins).
 func (e *Engine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, error) {
+	return e.ExecuteContext(context.Background(), p, opts)
+}
+
+// ExecuteContext is Execute honoring a context: cancellation stops the
+// block scan (checked per block, the unit of I/O) and index-probe work.
+func (e *Engine) ExecuteContext(ctx context.Context, p exec.Plan, opts QueryOptions) (*exec.Result, error) {
 	p.Limit = tightenLimit(p.Limit, opts.Limit)
 	bound, err := p.Bind(e.table.Columns)
 	if err != nil {
 		return nil, err
 	}
-	part, err := e.executePlan(bound, p.Filter, opts)
+	part, err := e.executePlan(ctx, bound, p.Filter, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +101,7 @@ type execCandidate struct {
 // key and beginTS columns only (its versions may still shadow older
 // versions of the same keys elsewhere), never materializing data
 // columns.
-func (e *Engine) executeBound(bound *exec.BoundPlan, opts QueryOptions) (*exec.Partial, error) {
+func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts QueryOptions) (*exec.Partial, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("wildfire: engine closed")
 	}
@@ -112,7 +119,7 @@ func (e *Engine) executeBound(bound *exec.BoundPlan, opts QueryOptions) (*exec.P
 
 	groomedIDs, postIDs := e.zoneSnapshot()
 	scanBlock := func(name string) error {
-		blk, err := e.fetchBlock(name)
+		blk, err := e.fetchBlock(ctx, name)
 		if err != nil {
 			return err
 		}
@@ -201,6 +208,12 @@ func (e *Engine) executeBound(bound *exec.BoundPlan, opts QueryOptions) (*exec.P
 // qualifying projected rows, concatenated and deterministically sorted
 // at finalize.
 func (s *ShardedEngine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, error) {
+	return s.ExecuteContext(context.Background(), p, opts)
+}
+
+// ExecuteContext is Execute honoring a context: cancellation aborts the
+// per-shard scatter and each shard's block scan.
+func (s *ShardedEngine) ExecuteContext(ctx context.Context, p exec.Plan, opts QueryOptions) (*exec.Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("wildfire: engine closed")
 	}
@@ -211,11 +224,11 @@ func (s *ShardedEngine) Execute(p exec.Plan, opts QueryOptions) (*exec.Result, e
 	}
 	opts.TS = s.resolveTS(opts)
 	parts := make([]*exec.Partial, len(s.shards))
-	err = s.pool.each(len(s.shards), func(i int) error {
+	err = s.pool.each(ctx, len(s.shards), func(i int) error {
 		// Index selection runs per shard: every shard holds the same
 		// index set, so the (deterministic) rule picks the same access
 		// path everywhere.
-		part, err := s.shards[i].executePlan(bound, p.Filter, opts)
+		part, err := s.shards[i].executePlan(ctx, bound, p.Filter, opts)
 		parts[i] = part
 		return err
 	})

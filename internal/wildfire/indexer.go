@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"fmt"
 
 	"umzi/internal/core"
@@ -56,7 +57,7 @@ func (e *Engine) evolveOne(ti *tableIndex, psn types.PSN) error {
 	var entries []run.Entry
 	nUser := len(e.table.Columns)
 	for _, id := range blockIDs {
-		blk, err := e.fetchBlock(postBlockName(e.table.Name, id))
+		blk, err := e.fetchBlock(context.Background(), postBlockName(e.table.Name, id))
 		if err != nil {
 			return fmt.Errorf("wildfire: evolve reading post block %d: %w", id, err)
 		}

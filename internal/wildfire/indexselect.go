@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"fmt"
 
 	"umzi/internal/core"
@@ -36,16 +37,16 @@ var errIndexPlanTooBroad = fmt.Errorf("wildfire: index plan exceeds the candidat
 // index probe turns out too broad to beat the scan. filter is the
 // plan's original predicate expression (the bound plan cannot be
 // introspected syntactically).
-func (e *Engine) executePlan(bound *exec.BoundPlan, filter exec.Expr, opts QueryOptions) (*exec.Partial, error) {
+func (e *Engine) executePlan(ctx context.Context, bound *exec.BoundPlan, filter exec.Expr, opts QueryOptions) (*exec.Partial, error) {
 	if !opts.NoIndexSelection {
 		if ti, cons, ok := e.chooseIndex(filter); ok {
-			part, err := e.executeViaIndex(bound, ti, cons, opts)
+			part, err := e.executeViaIndex(ctx, bound, ti, cons, opts)
 			if err != errIndexPlanTooBroad {
 				return part, err
 			}
 		}
 	}
-	return e.executeBound(bound, opts)
+	return e.executeBound(ctx, bound, opts)
 }
 
 // chooseIndex applies the selection rule to the current index set: among
@@ -129,11 +130,17 @@ func (ti *tableIndex) matchScore(t TableDef, cons exec.IndexConstraints) (int, b
 // equality values plus inclusive bounds over the longest usable sort
 // prefix (a sort column extends the bound past itself only when pinned
 // to a single value). The bounds are a superset of the predicate; the
-// caller re-applies the full filter.
-func (ti *tableIndex) indexScanBounds(t TableDef, cons exec.IndexConstraints) (eq, sortLo, sortHi []keyenc.Value) {
+// caller re-applies the full filter. consumed reports the columns whose
+// constraints the bounds absorbed completely — the equality columns,
+// pinned sort columns, and whichever inclusive bounds of the boundary
+// sort column were folded in (a constraint folded only partially, e.g.
+// a kind-incompatible value, is not consumed).
+func (ti *tableIndex) indexScanBounds(t TableDef, cons exec.IndexConstraints) (eq, sortLo, sortHi []keyenc.Value, consumed map[string]bool) {
+	consumed = make(map[string]bool, len(ti.spec.Equality)+ti.userSort)
 	eq = make([]keyenc.Value, len(ti.spec.Equality))
 	for i, c := range ti.spec.Equality {
 		eq[i] = cons.Eq[c]
+		consumed[c] = true
 	}
 	kindOf := func(col string) keyenc.Kind { return t.Columns[t.colIndex(col)].Kind }
 	for i := 0; i < ti.userSort; i++ {
@@ -142,19 +149,25 @@ func (ti *tableIndex) indexScanBounds(t TableDef, cons exec.IndexConstraints) (e
 		if v, ok := cons.Eq[c]; ok && kindCompatible(v.Kind(), want) {
 			sortLo = append(sortLo, v)
 			sortHi = append(sortHi, v)
+			consumed[c] = true
 			continue // pinned: deeper sort columns may constrain further
 		}
 		lo, hasLo := cons.Lo[c]
 		hi, hasHi := cons.Hi[c]
-		if hasLo && kindCompatible(lo.Kind(), want) {
+		okLo := hasLo && kindCompatible(lo.Kind(), want)
+		okHi := hasHi && kindCompatible(hi.Kind(), want)
+		if okLo {
 			sortLo = append(sortLo, lo)
 		}
-		if hasHi && kindCompatible(hi.Kind(), want) {
+		if okHi {
 			sortHi = append(sortHi, hi)
+		}
+		if okLo == hasLo && okHi == hasHi && (okLo || okHi) {
+			consumed[c] = true
 		}
 		break
 	}
-	return eq, sortLo, sortHi
+	return eq, sortLo, sortHi, consumed
 }
 
 // executeViaIndex evaluates a bound plan through one index: a verified
@@ -164,7 +177,7 @@ func (ti *tableIndex) indexScanBounds(t TableDef, cons exec.IndexConstraints) (e
 // by RID fetch. Multi-version semantics match executeBound: exactly the
 // newest visible version of each primary key qualifies, live records
 // (when requested at the newest snapshot) supersede indexed ones.
-func (e *Engine) executeViaIndex(bound *exec.BoundPlan, ti *tableIndex, cons exec.IndexConstraints, opts QueryOptions) (*exec.Partial, error) {
+func (e *Engine) executeViaIndex(ctx context.Context, bound *exec.BoundPlan, ti *tableIndex, cons exec.IndexConstraints, opts QueryOptions) (*exec.Partial, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("wildfire: engine closed")
 	}
@@ -172,7 +185,7 @@ func (e *Engine) executeViaIndex(bound *exec.BoundPlan, ti *tableIndex, cons exe
 	defer e.gate.exit(epoch)
 	ts := e.resolveTS(opts)
 
-	eq, sortLo, sortHi := ti.indexScanBounds(e.table, cons)
+	eq, sortLo, sortHi, _ := ti.indexScanBounds(e.table, cons)
 	covered := ti.coversOrdinals(bound.ReferencedOrdinals())
 	// Live overlay: committed-but-ungroomed versions are newer than every
 	// indexed version of their key, so they suppress index results for
@@ -198,7 +211,7 @@ func (e *Engine) executeViaIndex(bound *exec.BoundPlan, ti *tableIndex, cons exe
 	// primary keys for live suppression; a non-covered primary-index
 	// plan with no live overlay fetches by RID and never reads them
 	// (secondaries always decode for the back-check).
-	ves, err := e.verifyEntries(ti, entries, ts, 0, covered || useLive)
+	ves, err := e.verifyEntries(ctx, ti, entries, ts, 0, covered || useLive)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +244,7 @@ func (e *Engine) executeViaIndex(bound *exec.BoundPlan, ti *tableIndex, cons exe
 			flat, pos := ve.flat, ti.valPos
 			view = func(c int) keyenc.Value { return flat[pos[c]] }
 		} else {
-			rec, err := e.Fetch(ve.entry.RID)
+			rec, err := e.FetchContext(ctx, ve.entry.RID)
 			if err != nil {
 				return nil, err
 			}
@@ -315,7 +328,7 @@ func (s *ShardedEngine) CreateIndex(spec SecondaryIndexSpec) error {
 	// Per-shard CreateIndex is idempotent on an identical spec, so a
 	// partial failure (some shards built, some not) is retryable: rerun
 	// and only the stragglers backfill.
-	err := s.pool.each(len(s.shards), func(i int) error {
+	err := s.pool.each(context.Background(), len(s.shards), func(i int) error {
 		return s.shards[i].CreateIndex(spec)
 	})
 	if err != nil {
@@ -337,105 +350,29 @@ func (s *ShardedEngine) registerSecondary(spec SecondaryIndexSpec) {
 // bound by the index's equality columns, otherwise a scattered
 // first-match query.
 func (s *ShardedEngine) GetOn(index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	return s.GetOnContext(context.Background(), index, eq, sortv, opts)
+}
+
+// GetOnContext is GetOn honoring a context.
+func (s *ShardedEngine) GetOnContext(ctx context.Context, index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
 	if index == "" {
-		return s.Get(eq, sortv, opts)
+		return s.GetContext(ctx, eq, sortv, opts)
 	}
-	recs, err := s.ScanOn(index, eq, sortv, sortv, withLimit(opts, 1))
+	recs, err := drainCursor(s.ScanStreamOn(ctx, index, eq, sortv, sortv, withLimit(opts, 1)))
 	if err != nil || len(recs) == 0 {
 		return Record{}, false, err
 	}
 	return recs[0], true, nil
 }
 
-// ScanOn is Scan through a chosen index across shards: pin to one shard
-// when the sharding key is contained in the index's equality columns,
-// otherwise scatter to all shards and k-way merge the per-shard streams
-// on the index's effective sort columns (which embed the primary key,
-// so merge keys are unique across shards).
+// ScanOn is Scan through a chosen index across shards; it drains
+// ScanStreamOn (one scatter-gather code path, uniform Limit handling).
 func (s *ShardedEngine) ScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
-	if index == "" {
-		return s.Scan(eq, sortLo, sortHi, opts)
-	}
-	if s.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	ti, err := s.secondaryMeta(index)
-	if err != nil {
-		return nil, err
-	}
-	if len(eq) != len(ti.spec.Equality) {
-		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
-			index, len(eq), len(ti.spec.Equality))
-	}
-	opts.TS = s.resolveTS(opts)
-	if shard, ok := s.pinSecondary(ti, eq); ok {
-		return s.shards[shard].ScanOn(index, eq, sortLo, sortHi, opts)
-	}
-	parts := make([][]Record, len(s.shards))
-	err = s.pool.each(len(s.shards), func(i int) error {
-		recs, err := s.shards[i].ScanOn(index, eq, sortLo, sortHi, opts)
-		parts[i] = recs
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	keys := make([][][]byte, len(parts))
-	for i, p := range parts {
-		keys[i] = make([][]byte, len(p))
-		for j := range p {
-			keys[i][j] = sortKeyOfRecord(ti.sortIdx, &p[j])
-		}
-	}
-	out := make([]Record, 0, cappedTotal(parts, opts.Limit))
-	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
-		out = append(out, parts[shard][pos])
-	})
-	return out, nil
+	return drainCursor(s.ScanStreamOn(context.Background(), index, eq, sortLo, sortHi, opts))
 }
 
 // IndexOnlyScanOn is ScanOn assembled entirely from the shards' chosen
-// indexes: scatter (or pin), then sort-merge the per-shard index-only
-// rows on the effective sort columns.
+// indexes; it drains IndexOnlyStreamOn.
 func (s *ShardedEngine) IndexOnlyScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
-	if index == "" {
-		return s.IndexOnlyScan(eq, sortLo, sortHi, opts)
-	}
-	if s.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	ti, err := s.secondaryMeta(index)
-	if err != nil {
-		return nil, err
-	}
-	if len(eq) != len(ti.spec.Equality) {
-		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
-			index, len(eq), len(ti.spec.Equality))
-	}
-	opts.TS = s.resolveTS(opts)
-	if shard, ok := s.pinSecondary(ti, eq); ok {
-		return s.shards[shard].IndexOnlyScanOn(index, eq, sortLo, sortHi, opts)
-	}
-	parts := make([][][]keyenc.Value, len(s.shards))
-	err = s.pool.each(len(s.shards), func(i int) error {
-		rows, err := s.shards[i].IndexOnlyScanOn(index, eq, sortLo, sortHi, opts)
-		parts[i] = rows
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	nEq, nSort := len(ti.spec.Equality), len(ti.spec.Sort)
-	keys := make([][][]byte, len(parts))
-	for i, p := range parts {
-		keys[i] = make([][]byte, len(p))
-		for j := range p {
-			keys[i][j] = sortKeyOfIndexRow(nEq, nSort, p[j])
-		}
-	}
-	out := make([][]keyenc.Value, 0, cappedTotal(parts, opts.Limit))
-	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
-		out = append(out, parts[shard][pos])
-	})
-	return out, nil
+	return drainCursor(s.IndexOnlyStreamOn(context.Background(), index, eq, sortLo, sortHi, opts))
 }

@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -654,7 +655,7 @@ func (e *Engine) entriesFromBlocks(ti *tableIndex, zone types.ZoneID, blockIDs [
 		} else {
 			name = postBlockName(e.table.Name, id)
 		}
-		blk, err := e.fetchBlock(name)
+		blk, err := e.fetchBlock(context.Background(), name)
 		if err != nil {
 			return nil, fmt.Errorf("wildfire: indexing %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -99,8 +100,19 @@ func (tx *Txn) Upsert(row Row) error {
 // tentative commit times; the groomer later resets beginTS so the commit
 // effectively happens at groom time (§2.1).
 func (tx *Txn) Commit() error {
+	return tx.CommitContext(context.Background())
+}
+
+// CommitContext is Commit honoring a context: a cancelled context
+// aborts the transaction before anything becomes visible (the publish
+// itself is a single in-memory append and is not interruptible).
+func (tx *Txn) CommitContext(ctx context.Context) error {
 	if tx.done {
 		return fmt.Errorf("wildfire: transaction already finished")
+	}
+	if err := ctx.Err(); err != nil {
+		tx.Abort()
+		return err
 	}
 	tx.done = true
 	if len(tx.sidelog) == 0 {

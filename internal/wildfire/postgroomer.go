@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -70,7 +71,7 @@ func (e *Engine) PostGroom() (types.PSN, error) {
 	byKey := map[string][]*rowVersion{}
 
 	for _, id := range blocks {
-		blk, err := e.fetchBlock(groomedBlockName(e.table.Name, id))
+		blk, err := e.fetchBlock(context.Background(), groomedBlockName(e.table.Name, id))
 		if err != nil {
 			return 0, fmt.Errorf("wildfire: post-groom reading block %d: %w", id, err)
 		}

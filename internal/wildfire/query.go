@@ -2,6 +2,7 @@ package wildfire
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"umzi/internal/core"
@@ -15,6 +16,13 @@ import (
 // indexed zones are served by Umzi; the live zone — small by construction
 // because the groomer runs every second — is scanned directly when the
 // caller asks for it.
+//
+// Every read path exists in one implementation, the streaming one:
+// ScanStreamOn / IndexOnlyStreamOn return cursors that fetch data blocks
+// lazily and honor context cancellation, and the materialized []Record
+// entry points drain those cursors. QueryOptions.Limit therefore behaves
+// identically everywhere — it bounds the index scan, the verification
+// pass and the emission, on one shard or many.
 
 // QueryOptions control snapshot and freshness semantics.
 type QueryOptions struct {
@@ -47,8 +55,16 @@ func (e *Engine) resolveTS(opts QueryOptions) types.TS {
 // Get returns the newest visible version of the primary key assembled
 // from equality + sort column values.
 func (e *Engine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	return e.GetContext(context.Background(), eq, sortv, opts)
+}
+
+// GetContext is Get honoring a context.
+func (e *Engine) GetContext(ctx context.Context, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
 	if e.closed.Load() {
 		return Record{}, false, fmt.Errorf("wildfire: engine closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return Record{}, false, err
 	}
 	epoch := e.gate.enter()
 	defer e.gate.exit(epoch)
@@ -63,7 +79,7 @@ func (e *Engine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool,
 	if err != nil || !found {
 		return Record{}, false, err
 	}
-	rec, err := e.Fetch(entry.RID)
+	rec, err := e.FetchContext(ctx, entry.RID)
 	if err != nil {
 		return Record{}, false, err
 	}
@@ -113,32 +129,7 @@ func (e *Engine) liveLookup(eq, sortv []keyenc.Value) (Record, bool) {
 // Scan returns the newest visible version of every key matching the
 // equality values and the inclusive sort-column bounds, in key order.
 func (e *Engine) Scan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
-	if e.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	epoch := e.gate.enter()
-	defer e.gate.exit(epoch)
-	ts := e.resolveTS(opts)
-	entries, err := e.idx.RangeScan(core.ScanOptions{
-		Equality: eq,
-		SortLo:   sortLo,
-		SortHi:   sortHi,
-		TS:       ts,
-		Method:   core.MethodPQ,
-		Limit:    opts.Limit,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Record, 0, len(entries))
-	for _, entry := range entries {
-		rec, err := e.Fetch(entry.RID)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rec)
-	}
-	return out, nil
+	return drainCursor(e.ScanStreamOn(context.Background(), "", eq, sortLo, sortHi, opts))
 }
 
 // IndexOnlyScan is Scan without fetching records: the result rows are
@@ -147,40 +138,17 @@ func (e *Engine) Scan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value, opts Que
 // result carries only the indexed columns, in spec order
 // (equality, sort, included).
 func (e *Engine) IndexOnlyScan(eq []keyenc.Value, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
-	if e.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	epoch := e.gate.enter()
-	defer e.gate.exit(epoch)
-	entries, err := e.idx.RangeScan(core.ScanOptions{
-		Equality: eq,
-		SortLo:   sortLo,
-		SortHi:   sortHi,
-		TS:       e.resolveTS(opts),
-		Method:   core.MethodPQ,
-		Limit:    opts.Limit,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]keyenc.Value, 0, len(entries))
-	for _, entry := range entries {
-		eqv, sortv, incl, err := e.idx.DecodeEntry(entry)
-		if err != nil {
-			return nil, err
-		}
-		row := make([]keyenc.Value, 0, len(eqv)+len(sortv)+len(incl))
-		row = append(row, eqv...)
-		row = append(row, sortv...)
-		row = append(row, incl...)
-		out = append(out, row)
-	}
-	return out, nil
+	return drainCursor(e.IndexOnlyStreamOn(context.Background(), "", eq, sortLo, sortHi, opts))
 }
 
 // GetBatch resolves a batch of point lookups through the index's sorted
 // batch path (§7.2).
 func (e *Engine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Record, []bool, error) {
+	return e.GetBatchContext(context.Background(), keys, opts)
+}
+
+// GetBatchContext is GetBatch honoring a context.
+func (e *Engine) GetBatchContext(ctx context.Context, keys []core.LookupKey, opts QueryOptions) ([]Record, []bool, error) {
 	if e.closed.Load() {
 		return nil, nil, fmt.Errorf("wildfire: engine closed")
 	}
@@ -195,7 +163,7 @@ func (e *Engine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Record, [
 		if !found[i] {
 			continue
 		}
-		rec, err := e.Fetch(entries[i].RID)
+		rec, err := e.FetchContext(ctx, entries[i].RID)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -222,6 +190,10 @@ type verifiedEntry struct {
 	flat  []keyenc.Value
 }
 
+// verifyCheckEvery is how many entries a verification pass processes
+// between context checks.
+const verifyCheckEvery = 256
+
 // indexScanEntries runs a range scan on one index of the set and
 // returns the entries a caller may act on. For secondaries every entry
 // is decoded and back-checked against the primary: a candidate whose
@@ -229,7 +201,7 @@ type verifiedEntry struct {
 // superseded under a different secondary key and is dropped. For the
 // primary, flat is decoded only when decode is set. limit counts
 // verified entries; 0 means unlimited. Callers hold a gate epoch.
-func (e *Engine) indexScanEntries(ti *tableIndex, eq, sortLo, sortHi []keyenc.Value, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
+func (e *Engine) indexScanEntries(ctx context.Context, ti *tableIndex, eq, sortLo, sortHi []keyenc.Value, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
 	if len(eq) != len(ti.spec.Equality) {
 		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
 			ti.name, len(eq), len(ti.spec.Equality))
@@ -242,6 +214,9 @@ func (e *Engine) indexScanEntries(ti *tableIndex, eq, sortLo, sortHi []keyenc.Va
 		scanLimit = 4 * limit
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		entries, err := ti.idx.RangeScan(core.ScanOptions{
 			Equality: eq,
 			SortLo:   sortLo,
@@ -253,7 +228,7 @@ func (e *Engine) indexScanEntries(ti *tableIndex, eq, sortLo, sortHi []keyenc.Va
 		if err != nil {
 			return nil, err
 		}
-		out, err := e.verifyEntries(ti, entries, ts, limit, decode)
+		out, err := e.verifyEntries(ctx, ti, entries, ts, limit, decode)
 		if err != nil {
 			return nil, err
 		}
@@ -264,28 +239,49 @@ func (e *Engine) indexScanEntries(ti *tableIndex, eq, sortLo, sortHi []keyenc.Va
 	}
 }
 
+// verifyEntry runs the primary back-check (and optional decode) over
+// one scanned entry; ok=false means the candidate was superseded under
+// another secondary key and must be dropped.
+func (e *Engine) verifyEntry(ti *tableIndex, entry run.Entry, ts types.TS, decode bool) (verifiedEntry, bool, error) {
+	ve := verifiedEntry{entry: entry}
+	var err error
+	if !ti.primary() || decode {
+		ve.flat, err = ti.decodeFlat(entry)
+		if err != nil {
+			return ve, false, err
+		}
+	}
+	if !ti.primary() {
+		pkEq, pkSort := ti.pkFromFlat(ve.flat)
+		pe, found, err := e.idx.PointLookup(pkEq, pkSort, ts)
+		if err != nil {
+			return ve, false, err
+		}
+		if !found || pe.BeginTS != entry.BeginTS {
+			return ve, false, nil // superseded under another secondary key
+		}
+	}
+	return ve, true, nil
+}
+
 // verifyEntries runs the primary back-check (and optional decode) over
-// scanned entries, stopping after limit verified results (0 = all).
-func (e *Engine) verifyEntries(ti *tableIndex, entries []run.Entry, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
+// scanned entries, stopping after limit verified results (0 = all). The
+// context is checked every verifyCheckEvery entries so a cancelled
+// query abandons a large verification pass promptly.
+func (e *Engine) verifyEntries(ctx context.Context, ti *tableIndex, entries []run.Entry, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
 	out := make([]verifiedEntry, 0, len(entries))
-	for _, entry := range entries {
-		ve := verifiedEntry{entry: entry}
-		var err error
-		if !ti.primary() || decode {
-			ve.flat, err = ti.decodeFlat(entry)
-			if err != nil {
+	for i, entry := range entries {
+		if i%verifyCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if !ti.primary() {
-			pkEq, pkSort := ti.pkFromFlat(ve.flat)
-			pe, found, err := e.idx.PointLookup(pkEq, pkSort, ts)
-			if err != nil {
-				return nil, err
-			}
-			if !found || pe.BeginTS != entry.BeginTS {
-				continue // superseded under another secondary key
-			}
+		ve, ok, err := e.verifyEntry(ti, entry, ts, decode)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
 		}
 		out = append(out, ve)
 		if limit > 0 && len(out) >= limit {
@@ -295,15 +291,150 @@ func (e *Engine) verifyEntries(ti *tableIndex, entries []run.Entry, ts types.TS,
 	return out, nil
 }
 
+// ScanStreamOn streams the newest visible version of every key matching
+// the equality values and the inclusive bounds on a prefix of the
+// chosen index's sort columns, in index-key order ("" is the primary).
+// The raw index walk runs up front (bounded by opts.Limit when set);
+// data blocks — and, for unlimited scans, the per-entry verification
+// back-check — run lazily per Next, honoring the context. The cursor
+// holds a query-gate epoch until Close or exhaustion.
+func (e *Engine) ScanStreamOn(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) (*Cursor[Record], error) {
+	next, release, err := e.openIndexScan(ctx, index, eq, sortLo, sortHi, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	fetch := func() (Record, bool, error) {
+		ve, ok, err := next()
+		if err != nil || !ok {
+			return Record{}, false, err
+		}
+		rec, err := e.FetchContext(ctx, ve.entry.RID)
+		if err != nil {
+			return Record{}, false, err
+		}
+		return rec, true, nil
+	}
+	return newCursor(fetch, release), nil
+}
+
+// IndexOnlyStreamOn is ScanStreamOn without record fetches: result rows
+// are assembled entirely from the chosen index, in its effective column
+// order (equality, sort — including the primary-key uniquifier for
+// secondaries — then included columns). Verification still runs, but
+// touches only the primary index, never a data block.
+func (e *Engine) IndexOnlyStreamOn(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) (*Cursor[[]keyenc.Value], error) {
+	next, release, err := e.openIndexScan(ctx, index, eq, sortLo, sortHi, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	fetch := func() ([]keyenc.Value, bool, error) {
+		ve, ok, err := next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		return ve.flat, true, nil
+	}
+	return newCursor(fetch, release), nil
+}
+
+// openIndexScan is the shared front half of the streaming scans: enter
+// the query gate, resolve the index, run the raw index walk, and return
+// a pull function over verified entries. Limited scans verify eagerly —
+// the existing over-fetch/retry machinery bounds the work to ~4x the
+// limit. Unlimited scans verify LAZILY, one entry per pull: the raw
+// entries are materialized (that is the core index's scan contract),
+// but the expensive part — per-candidate decode and primary back-check
+// — happens only as the consumer advances, so an early Close abandons
+// it. The returned release func exits the gate epoch and must be called
+// exactly once (the cursors do this via Close).
+func (e *Engine) openIndexScan(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions, decode bool) (func() (verifiedEntry, bool, error), func(), error) {
+	if e.closed.Load() {
+		return nil, nil, fmt.Errorf("wildfire: engine closed")
+	}
+	ti, err := e.lookupIndex(index)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(eq) != len(ti.spec.Equality) {
+		return nil, nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
+			ti.name, len(eq), len(ti.spec.Equality))
+	}
+	ts := e.resolveTS(opts)
+	epoch := e.gate.enter()
+	release := func() { e.gate.exit(epoch) }
+
+	if opts.Limit > 0 {
+		ves, err := e.indexScanEntries(ctx, ti, eq, sortLo, sortHi, ts, opts.Limit, decode)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		i := 0
+		next := func() (verifiedEntry, bool, error) {
+			if err := ctx.Err(); err != nil {
+				return verifiedEntry{}, false, err
+			}
+			if i >= len(ves) {
+				return verifiedEntry{}, false, nil
+			}
+			ve := ves[i]
+			i++
+			return ve, true, nil
+		}
+		return next, release, nil
+	}
+
+	entries, err := ti.idx.RangeScan(core.ScanOptions{
+		Equality: eq,
+		SortLo:   sortLo,
+		SortHi:   sortHi,
+		TS:       ts,
+		Method:   core.MethodPQ,
+	})
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	i := 0
+	next := func() (verifiedEntry, bool, error) {
+		for {
+			if i%verifyCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return verifiedEntry{}, false, err
+				}
+			}
+			if i >= len(entries) {
+				return verifiedEntry{}, false, nil
+			}
+			entry := entries[i]
+			i++
+			ve, ok, err := e.verifyEntry(ti, entry, ts, decode)
+			if err != nil {
+				return verifiedEntry{}, false, err
+			}
+			if !ok {
+				continue
+			}
+			return ve, true, nil
+		}
+	}
+	return next, release, nil
+}
+
 // GetOn is Get through a chosen index. For a secondary the key need not
 // be unique: eq and sortv cover the index's declared equality and sort
 // columns (not the primary-key uniquifier), and the newest visible
 // version of the first matching key in index order is returned.
 func (e *Engine) GetOn(index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	return e.GetOnContext(context.Background(), index, eq, sortv, opts)
+}
+
+// GetOnContext is GetOn honoring a context.
+func (e *Engine) GetOnContext(ctx context.Context, index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
 	if index == "" {
-		return e.Get(eq, sortv, opts)
+		return e.GetContext(ctx, eq, sortv, opts)
 	}
-	recs, err := e.ScanOn(index, eq, sortv, sortv, withLimit(opts, 1))
+	recs, err := drainCursor(e.ScanStreamOn(ctx, index, eq, sortv, sortv, withLimit(opts, 1)))
 	if err != nil || len(recs) == 0 {
 		return Record{}, false, err
 	}
@@ -323,60 +454,13 @@ func withLimit(opts QueryOptions, limit int) QueryOptions {
 // prefix of the index's sort columns, in index-key order. Secondary
 // results are verified against the primary before fetching.
 func (e *Engine) ScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
-	if index == "" {
-		return e.Scan(eq, sortLo, sortHi, opts)
-	}
-	if e.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	ti, err := e.lookupIndex(index)
-	if err != nil {
-		return nil, err
-	}
-	epoch := e.gate.enter()
-	defer e.gate.exit(epoch)
-	ves, err := e.indexScanEntries(ti, eq, sortLo, sortHi, e.resolveTS(opts), opts.Limit, false)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Record, 0, len(ves))
-	for _, ve := range ves {
-		rec, err := e.Fetch(ve.entry.RID)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rec)
-	}
-	return out, nil
+	return drainCursor(e.ScanStreamOn(context.Background(), index, eq, sortLo, sortHi, opts))
 }
 
 // IndexOnlyScanOn is ScanOn without fetching records: result rows are
-// assembled entirely from the chosen index, in its effective column
-// order (equality, sort — including the primary-key uniquifier —
-// then included columns). Verification still runs, but touches only
-// the primary index, never a data block.
+// assembled entirely from the chosen index (see IndexOnlyStreamOn).
 func (e *Engine) IndexOnlyScanOn(index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
-	if index == "" {
-		return e.IndexOnlyScan(eq, sortLo, sortHi, opts)
-	}
-	if e.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	ti, err := e.lookupIndex(index)
-	if err != nil {
-		return nil, err
-	}
-	epoch := e.gate.enter()
-	defer e.gate.exit(epoch)
-	ves, err := e.indexScanEntries(ti, eq, sortLo, sortHi, e.resolveTS(opts), opts.Limit, true)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]keyenc.Value, 0, len(ves))
-	for _, ve := range ves {
-		out = append(out, ve.flat)
-	}
-	return out, nil
+	return drainCursor(e.IndexOnlyStreamOn(context.Background(), index, eq, sortLo, sortHi, opts))
 }
 
 // History walks the version chain of a key backwards from its newest

@@ -1,0 +1,496 @@
+package wildfire
+
+import (
+	"context"
+	"fmt"
+
+	"umzi/internal/exec"
+	"umzi/internal/keyenc"
+	"umzi/internal/types"
+)
+
+// The planner entry point behind the unified query surface. A QuerySpec
+// is the declarative form of one table query — what the DB layer's
+// fluent builder lowers to — and RunQuery compiles it into one of four
+// access paths, reusing the executor's constraint extraction and the
+// index set's own selection machinery:
+//
+//   - point get: the filter pins the whole primary key with equality
+//     constraints — one index lookup, one block fetch;
+//   - index scan: a forced (Via) or order-serving (OrderBy) index with
+//     its equality columns pinned — a verified streaming range scan,
+//     record fetches per row;
+//   - index-only scan: the same, when the index covers every referenced
+//     column — no data block is ever touched;
+//   - executor plan: everything else — aggregates, unordered row
+//     queries, non-conjunctive filters — evaluated block-at-a-time with
+//     the executor's own per-shard index selection (chooseIndex).
+//
+// Results stream: RunQuery returns a QueryRows whose cursor pulls rows
+// lazily and honors the context, so early close and cancellation
+// propagate into per-shard workers and block fetches.
+
+// QuerySpec is one declarative table query.
+type QuerySpec struct {
+	// Filter keeps the rows the predicate accepts; nil keeps everything.
+	Filter exec.Expr
+	// Columns projects a row query; empty selects all table columns.
+	// Must be empty for aggregate queries (use GroupBy).
+	Columns []string
+	// OrderBy asks for rows ordered by these columns. Order is served
+	// from an index whose sort columns start with OrderBy and whose
+	// equality columns the filter pins; compilation fails when no index
+	// qualifies. Empty leaves row queries in the executor's
+	// deterministic (encoded-value) order.
+	OrderBy []string
+	// GroupBy names the grouping columns of an aggregate query.
+	GroupBy []string
+	// Aggs requests aggregation; empty makes this a row query.
+	Aggs []exec.Agg
+	// Limit truncates the result; 0 means unlimited.
+	Limit int
+	// TS is the snapshot timestamp; zero selects the newest groomed
+	// snapshot.
+	TS types.TS
+	// IncludeLive unions committed-but-ungroomed records into point gets
+	// and executor plans (index scans serve the indexed zones only).
+	IncludeLive bool
+	// NoIndexSelection forces executor plans to scan the zones even when
+	// the filter matches an index (baselines, ablations).
+	NoIndexSelection bool
+	// Via forces the named index ("" is the primary) when ViaSet is
+	// true; the filter must pin the index's equality columns.
+	Via    string
+	ViaSet bool
+}
+
+// QueryRows is a streaming query result: output column names plus a
+// cursor of result rows, each aligned with Columns.
+type QueryRows struct {
+	Columns []string
+	Cursor  *Cursor[[]keyenc.Value]
+}
+
+// Close closes the underlying cursor.
+func (r *QueryRows) Close() error { return r.Cursor.Close() }
+
+// queryMode enumerates the compiled access paths.
+type queryMode int
+
+const (
+	modeExec queryMode = iota
+	modePointGet
+	modeIndexScan
+	modeIndexOnly
+)
+
+// compiledQuery is one QuerySpec lowered to an access path.
+type compiledQuery struct {
+	spec  QuerySpec
+	bound *exec.BoundPlan
+	mode  queryMode
+
+	// Index modes.
+	index      string
+	ti         *tableIndex
+	eq, lo, hi []keyenc.Value
+	project    []int // table-column ordinals of the output columns
+	// pushLimit is set when the scan bounds absorb the filter exactly,
+	// so the residual filter drops nothing and the row limit may be
+	// pushed into the index scan itself (every scanned row is an
+	// emitted row). Otherwise the limit counts emissions only.
+	pushLimit bool
+}
+
+// planQuery compiles a spec against a table and its index set. The
+// index set is planning metadata only — the sharded layer passes shard
+// 0's set (identical on every shard, like the executor's per-shard
+// chooseIndex relies on).
+func planQuery(t TableDef, indexes []*tableIndex, spec QuerySpec) (*compiledQuery, error) {
+	bound, err := exec.Plan{
+		Filter:  spec.Filter,
+		Columns: spec.Columns,
+		GroupBy: spec.GroupBy,
+		Aggs:    spec.Aggs,
+		Limit:   spec.Limit,
+	}.Bind(t.Columns)
+	if err != nil {
+		return nil, err
+	}
+	cq := &compiledQuery{spec: spec, bound: bound}
+
+	if len(spec.Aggs) > 0 {
+		if len(spec.OrderBy) > 0 {
+			return nil, fmt.Errorf("wildfire: OrderBy applies to row queries; aggregate results are ordered by group key")
+		}
+		if spec.ViaSet {
+			return nil, fmt.Errorf("wildfire: Via cannot combine with aggregates (the executor selects the index)")
+		}
+		cq.mode = modeExec
+		return cq, nil
+	}
+
+	// Row query: Bind already resolved the projection (defaulting to all
+	// table columns) to ordinals.
+	cq.project = bound.Projection()
+
+	cons, consOK := exec.ExtractConstraints(spec.Filter)
+	kindOf := func(col string) keyenc.Kind { return t.Columns[t.colIndex(col)].Kind }
+	pinned := func(col string) bool {
+		if !consOK {
+			return false
+		}
+		v, ok := cons.Eq[col]
+		return ok && kindCompatible(v.Kind(), kindOf(col))
+	}
+
+	switch {
+	case spec.ViaSet:
+		ti := findIndexMeta(indexes, spec.Via)
+		if ti == nil {
+			return nil, fmt.Errorf("wildfire: table %s has no index %q", t.Name, spec.Via)
+		}
+		if len(spec.OrderBy) > 0 && !servesOrder(ti, spec.OrderBy) {
+			return nil, fmt.Errorf("wildfire: index %q cannot serve ORDER BY %v (its sort columns are %v)",
+				spec.Via, spec.OrderBy, ti.spec.Sort[:ti.userSort])
+		}
+		if err := cq.bindIndexScan(t, ti, cons, pinned); err != nil {
+			return nil, err
+		}
+	case len(spec.OrderBy) > 0:
+		var ti *tableIndex
+		for _, cand := range indexes {
+			if servesOrder(cand, spec.OrderBy) && scannable(cand, pinned) {
+				ti = cand
+				break
+			}
+		}
+		if ti == nil {
+			return nil, fmt.Errorf("wildfire: no index of table %s can serve ORDER BY %v (need an index sorted on it with its equality columns pinned by the filter)", t.Name, spec.OrderBy)
+		}
+		if err := cq.bindIndexScan(t, ti, cons, pinned); err != nil {
+			return nil, err
+		}
+	default:
+		// Point get when the whole primary key is pinned; the executor
+		// otherwise (it performs its own index selection and unions the
+		// live zone).
+		primary := indexes[0]
+		full := true
+		for _, group := range [][]string{primary.spec.Equality, primary.spec.Sort} {
+			for _, c := range group {
+				if !pinned(c) {
+					full = false
+				}
+			}
+		}
+		if full && !spec.NoIndexSelection {
+			cq.mode = modePointGet
+			cq.ti = primary
+			for _, c := range primary.spec.Equality {
+				cq.eq = append(cq.eq, cons.Eq[c])
+			}
+			for _, c := range primary.spec.Sort {
+				cq.lo = append(cq.lo, cons.Eq[c])
+			}
+			return cq, nil
+		}
+		cq.mode = modeExec
+	}
+	return cq, nil
+}
+
+// bindIndexScan lowers a row query onto one index: scan bounds from the
+// constraints, covered test deciding index-only vs record fetches, and
+// the limit-pushdown decision (safe exactly when the bounds absorb the
+// whole filter, so the residual re-check drops nothing).
+func (cq *compiledQuery) bindIndexScan(t TableDef, ti *tableIndex, cons exec.IndexConstraints, pinned func(string) bool) error {
+	for _, c := range ti.spec.Equality {
+		if !pinned(c) {
+			return fmt.Errorf("wildfire: index %q needs the filter to pin equality column %q", ti.name, c)
+		}
+	}
+	cq.index = ti.name
+	cq.ti = ti
+	var consumed map[string]bool
+	cq.eq, cq.lo, cq.hi, consumed = ti.indexScanBounds(t, cons)
+	if ti.coversOrdinals(cq.bound.ReferencedOrdinals()) {
+		cq.mode = modeIndexOnly
+	} else {
+		cq.mode = modeIndexScan
+	}
+	cq.pushLimit = filterAbsorbed(cq.spec.Filter, consumed)
+	return nil
+}
+
+// filterAbsorbed reports whether scan bounds that consumed the listed
+// columns represent the filter exactly: the filter must be a lossless
+// conjunction of Eq/Ge/Le (exec.ExactConstraints), every constrained
+// column must be consumed, and no column's equality pin may contradict
+// its own range (the bounds keep the pin; the range would reject it).
+func filterAbsorbed(filter exec.Expr, consumed map[string]bool) bool {
+	cons, exact := exec.ExactConstraints(filter)
+	if !exact {
+		return false
+	}
+	for col := range cons.Columns() {
+		if !consumed[col] {
+			return false
+		}
+	}
+	for col, v := range cons.Eq {
+		if lo, ok := cons.Lo[col]; ok && keyenc.Compare(lo, v) > 0 {
+			return false
+		}
+		if hi, ok := cons.Hi[col]; ok && keyenc.Compare(hi, v) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// servesOrder reports whether an index's user-declared sort columns
+// start with the requested order.
+func servesOrder(ti *tableIndex, orderBy []string) bool {
+	if len(orderBy) > ti.userSort {
+		return false
+	}
+	for i, c := range orderBy {
+		if ti.spec.Sort[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// scannable reports whether a filter pins every equality column of the
+// index (trivially true for pure range indexes).
+func scannable(ti *tableIndex, pinned func(string) bool) bool {
+	for _, c := range ti.spec.Equality {
+		if !pinned(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// findIndexMeta resolves an index by name in a planning set.
+func findIndexMeta(indexes []*tableIndex, name string) *tableIndex {
+	for _, ti := range indexes {
+		if ti.name == name {
+			return ti
+		}
+	}
+	return nil
+}
+
+// queryOps is what the compiled-query runner needs from a topology —
+// Engine and ShardedEngine both satisfy it through thin adapters, which
+// is precisely the collapse of the single/sharded fork: one runner, two
+// fan-out strategies underneath.
+type queryOps interface {
+	getOn(ctx context.Context, index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error)
+	scanStream(ctx context.Context, index string, eq, lo, hi []keyenc.Value, opts QueryOptions) (*Cursor[Record], error)
+	indexOnlyStream(ctx context.Context, index string, eq, lo, hi []keyenc.Value, opts QueryOptions) (*Cursor[[]keyenc.Value], error)
+	execPartials(ctx context.Context, bound *exec.BoundPlan, filter exec.Expr, opts QueryOptions) ([]*exec.Partial, error)
+}
+
+// runCompiled executes a compiled query against one topology.
+func runCompiled(ctx context.Context, ops queryOps, cq *compiledQuery) (*QueryRows, error) {
+	spec := cq.spec
+	opts := QueryOptions{TS: spec.TS, IncludeLive: spec.IncludeLive, NoIndexSelection: spec.NoIndexSelection}
+
+	switch cq.mode {
+	case modePointGet:
+		rec, found, err := ops.getOn(ctx, "", cq.eq, cq.lo, opts)
+		if err != nil {
+			return nil, err
+		}
+		emitted := false
+		fetch := func() ([]keyenc.Value, bool, error) {
+			if emitted || !found {
+				return nil, false, ctx.Err()
+			}
+			emitted = true
+			row := rec.Row
+			if !cq.bound.Matches(func(c int) keyenc.Value { return row[c] }) {
+				return nil, false, ctx.Err()
+			}
+			return projectRow(row, cq.project), true, nil
+		}
+		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, nil)}, nil
+
+	case modeIndexScan:
+		// The scan limit is pushed down when the bounds absorb the
+		// filter exactly (pushLimit); a residual filter can drop scanned
+		// rows, so otherwise the limit counts emissions only — the
+		// stream stops pulling (and cancels shard workers) as soon as it
+		// has them.
+		scanOpts := opts
+		if cq.pushLimit {
+			scanOpts.Limit = spec.Limit
+		}
+		cur, err := ops.scanStream(ctx, cq.index, cq.eq, cq.lo, cq.hi, scanOpts)
+		if err != nil {
+			return nil, err
+		}
+		project := cq.project
+		fetch := limitedFetch(spec.Limit, func() ([]keyenc.Value, bool, error) {
+			for cur.Next() {
+				rec := cur.Value()
+				row := rec.Row
+				if !cq.bound.Matches(func(c int) keyenc.Value { return row[c] }) {
+					continue
+				}
+				return projectRow(row, project), true, nil
+			}
+			return nil, false, cur.Err()
+		})
+		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, func() { cur.Close() })}, nil
+
+	case modeIndexOnly:
+		scanOpts := opts
+		if cq.pushLimit {
+			scanOpts.Limit = spec.Limit
+		}
+		cur, err := ops.indexOnlyStream(ctx, cq.index, cq.eq, cq.lo, cq.hi, scanOpts)
+		if err != nil {
+			return nil, err
+		}
+		valPos, project := cq.ti.valPos, cq.project
+		fetch := limitedFetch(spec.Limit, func() ([]keyenc.Value, bool, error) {
+			for cur.Next() {
+				flat := cur.Value()
+				if !cq.bound.Matches(func(c int) keyenc.Value { return flat[valPos[c]] }) {
+					continue
+				}
+				out := make([]keyenc.Value, len(project))
+				for i, ord := range project {
+					out[i] = flat[valPos[ord]]
+				}
+				return out, true, nil
+			}
+			return nil, false, cur.Err()
+		})
+		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, func() { cur.Close() })}, nil
+
+	default: // modeExec
+		parts, err := ops.execPartials(ctx, cq.bound, spec.Filter, opts)
+		if err != nil {
+			return nil, err
+		}
+		it := cq.bound.FinalizeIter(parts...)
+		fetch := func() ([]keyenc.Value, bool, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			row, ok := it.Next()
+			return row, ok, nil
+		}
+		return &QueryRows{Columns: it.Columns(), Cursor: newCursor(fetch, nil)}, nil
+	}
+}
+
+// limitedFetch caps a fetch function at limit emissions (0 = no cap).
+func limitedFetch(limit int, fetch func() ([]keyenc.Value, bool, error)) func() ([]keyenc.Value, bool, error) {
+	if limit <= 0 {
+		return fetch
+	}
+	emitted := 0
+	return func() ([]keyenc.Value, bool, error) {
+		if emitted >= limit {
+			return nil, false, nil
+		}
+		row, ok, err := fetch()
+		if ok {
+			emitted++
+		}
+		return row, ok, err
+	}
+}
+
+func projectRow(row Row, ords []int) []keyenc.Value {
+	out := make([]keyenc.Value, len(ords))
+	for i, ord := range ords {
+		out[i] = row[ord]
+	}
+	return out
+}
+
+// ---- Engine adapter --------------------------------------------------
+
+type engineOps struct{ e *Engine }
+
+func (o engineOps) getOn(ctx context.Context, index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	return o.e.GetOnContext(ctx, index, eq, sortv, opts)
+}
+func (o engineOps) scanStream(ctx context.Context, index string, eq, lo, hi []keyenc.Value, opts QueryOptions) (*Cursor[Record], error) {
+	return o.e.ScanStreamOn(ctx, index, eq, lo, hi, opts)
+}
+func (o engineOps) indexOnlyStream(ctx context.Context, index string, eq, lo, hi []keyenc.Value, opts QueryOptions) (*Cursor[[]keyenc.Value], error) {
+	return o.e.IndexOnlyStreamOn(ctx, index, eq, lo, hi, opts)
+}
+func (o engineOps) execPartials(ctx context.Context, bound *exec.BoundPlan, filter exec.Expr, opts QueryOptions) ([]*exec.Partial, error) {
+	part, err := o.e.executePlan(ctx, bound, filter, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*exec.Partial{part}, nil
+}
+
+// RunQuery compiles and runs one declarative query on this table shard,
+// returning a streaming result.
+func (e *Engine) RunQuery(ctx context.Context, spec QuerySpec) (*QueryRows, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	cq, err := planQuery(e.table, e.indexSet(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return runCompiled(ctx, engineOps{e}, cq)
+}
+
+// ---- ShardedEngine adapter -------------------------------------------
+
+type shardedOps struct{ s *ShardedEngine }
+
+func (o shardedOps) getOn(ctx context.Context, index string, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	return o.s.GetOnContext(ctx, index, eq, sortv, opts)
+}
+func (o shardedOps) scanStream(ctx context.Context, index string, eq, lo, hi []keyenc.Value, opts QueryOptions) (*Cursor[Record], error) {
+	return o.s.ScanStreamOn(ctx, index, eq, lo, hi, opts)
+}
+func (o shardedOps) indexOnlyStream(ctx context.Context, index string, eq, lo, hi []keyenc.Value, opts QueryOptions) (*Cursor[[]keyenc.Value], error) {
+	return o.s.IndexOnlyStreamOn(ctx, index, eq, lo, hi, opts)
+}
+func (o shardedOps) execPartials(ctx context.Context, bound *exec.BoundPlan, filter exec.Expr, opts QueryOptions) ([]*exec.Partial, error) {
+	s := o.s
+	parts := make([]*exec.Partial, len(s.shards))
+	err := s.pool.each(ctx, len(s.shards), func(i int) error {
+		part, err := s.shards[i].executePlan(ctx, bound, filter, opts)
+		parts[i] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// RunQuery compiles and runs one declarative query across all shards,
+// returning a streaming result. Planning uses shard 0's index set —
+// identical on every shard by construction.
+func (s *ShardedEngine) RunQuery(ctx context.Context, spec QuerySpec) (*QueryRows, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	if spec.TS == 0 {
+		spec.TS = s.SnapshotTS()
+	}
+	cq, err := planQuery(s.table, s.shards[0].indexSet(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return runCompiled(ctx, shardedOps{s}, cq)
+}

@@ -1,6 +1,7 @@
 package wildfire
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -72,9 +73,10 @@ type ShardedEngine struct {
 	router *shardRouter
 	pool   *gatherPool
 
-	// sortIdx are the spec sort columns' ordinals in the table row, for
-	// merge-key extraction.
-	sortIdx []int
+	// primaryMeta is the primary index's routing/merge metadata (the
+	// sharded-level analogue of a shard's tableIndex, with no core index
+	// attached); merge-key extraction reads its sortIdx.
+	primaryMeta *tableIndex
 
 	// secondaries holds per-secondary routing/merge metadata (no index
 	// instance — those live in the shards); createMu serializes whole
@@ -98,6 +100,9 @@ type ShardedEngine struct {
 func shardTableName(base string, shard int) string {
 	return fmt.Sprintf("%s/shard-%03d", base, shard)
 }
+
+// ShardTableName exposes the shard naming scheme to storage tooling.
+func ShardTableName(base string, shard int) string { return shardTableName(base, shard) }
 
 // NewShardedEngine creates (or recovers, per shard) a sharded engine.
 func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
@@ -129,9 +134,7 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 		secondaries: make(map[string]*tableIndex),
 		stopCh:      make(chan struct{}),
 	}
-	for _, c := range cfg.Index.Sort {
-		s.sortIdx = append(s.sortIdx, cfg.Table.colIndex(c))
-	}
+	s.primaryMeta = newTableIndex(cfg.Table, cfg.Index, "", cfg.Index, nil)
 	for i := 0; i < cfg.Shards; i++ {
 		shardCfg := Config{
 			Table:       cfg.Table,
@@ -214,8 +217,17 @@ func (s *ShardedEngine) NumShards() int { return len(s.shards) }
 // directly; production code should not bypass routing).
 func (s *ShardedEngine) Shard(i int) *Engine { return s.shards[i] }
 
+// SecondarySpecs returns the declared spec of every secondary, in
+// creation order (every shard holds the same set; shard 0 answers).
+func (s *ShardedEngine) SecondarySpecs() []SecondaryIndexSpec {
+	return s.shards[0].SecondarySpecs()
+}
+
 // Table returns the table definition.
 func (s *ShardedEngine) Table() TableDef { return s.table }
+
+// IndexSpec returns the primary index's declared spec.
+func (s *ShardedEngine) IndexSpec() IndexSpec { return s.ixSpec }
 
 // SnapshotTS returns the default cross-shard read point: the minimum
 // groom boundary over all shards. Every shard shows a groomed prefix at
@@ -325,6 +337,15 @@ func (tx *ShardedTxn) Upsert(row Row) error {
 
 // Commit publishes the staged rows shard by shard.
 func (tx *ShardedTxn) Commit() error {
+	return tx.CommitContext(context.Background())
+}
+
+// CommitContext is Commit honoring a context. The context is checked
+// before every per-shard commit; per Wildfire's multi-master semantics a
+// cancellation between shards leaves the already-committed prefix
+// durable (cross-shard commits are not atomic) and the error reports
+// the cut.
+func (tx *ShardedTxn) CommitContext(ctx context.Context) error {
 	if tx.done {
 		return fmt.Errorf("wildfire: transaction already finished")
 	}
@@ -332,6 +353,9 @@ func (tx *ShardedTxn) Commit() error {
 	for shard, rows := range tx.perShard {
 		if len(rows) == 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("wildfire: commit interrupted before shard %d (earlier shards are durable): %w", shard, err)
 		}
 		stx, err := tx.eng.shards[shard].Begin(tx.replicaID)
 		if err != nil {
@@ -397,7 +421,7 @@ func (s *ShardedEngine) GroomCount() (int, error) {
 	s.groomMu.Lock()
 	defer s.groomMu.Unlock()
 	counts := make([]int, len(s.shards))
-	err := s.pool.each(len(s.shards), func(i int) error {
+	err := s.pool.each(context.Background(), len(s.shards), func(i int) error {
 		n, err := s.shards[i].GroomCount()
 		counts[i] = n
 		return err
@@ -426,7 +450,7 @@ func (s *ShardedEngine) PostGroom() error {
 	if s.closed.Load() {
 		return fmt.Errorf("wildfire: engine closed")
 	}
-	return s.pool.each(len(s.shards), func(i int) error {
+	return s.pool.each(context.Background(), len(s.shards), func(i int) error {
 		_, err := s.shards[i].PostGroom()
 		return err
 	})
@@ -437,7 +461,7 @@ func (s *ShardedEngine) SyncIndex() error {
 	if s.closed.Load() {
 		return fmt.Errorf("wildfire: engine closed")
 	}
-	return s.pool.each(len(s.shards), func(i int) error {
+	return s.pool.each(context.Background(), len(s.shards), func(i int) error {
 		return s.shards[i].SyncIndex()
 	})
 }
@@ -449,7 +473,7 @@ func (s *ShardedEngine) MaintainOnce() (bool, error) {
 		return false, fmt.Errorf("wildfire: engine closed")
 	}
 	did := make([]bool, len(s.shards))
-	err := s.pool.each(len(s.shards), func(i int) error {
+	err := s.pool.each(context.Background(), len(s.shards), func(i int) error {
 		d, err := s.shards[i].Index().MaintainOnce()
 		did[i] = d
 		return err
@@ -485,6 +509,11 @@ func (s *ShardedEngine) checkScanKey(eq []keyenc.Value) error {
 // Get returns the newest visible version of a key. The full key
 // determines the sharding key, so the lookup always pins to one shard.
 func (s *ShardedEngine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
+	return s.GetContext(context.Background(), eq, sortv, opts)
+}
+
+// GetContext is Get honoring a context.
+func (s *ShardedEngine) GetContext(ctx context.Context, eq, sortv []keyenc.Value, opts QueryOptions) (Record, bool, error) {
 	if s.closed.Load() {
 		return Record{}, false, fmt.Errorf("wildfire: engine closed")
 	}
@@ -492,7 +521,7 @@ func (s *ShardedEngine) Get(eq, sortv []keyenc.Value, opts QueryOptions) (Record
 		return Record{}, false, err
 	}
 	opts.TS = s.resolveTS(opts)
-	return s.shards[s.router.shardOfKey(eq, sortv)].Get(eq, sortv, opts)
+	return s.shards[s.router.shardOfKey(eq, sortv)].GetContext(ctx, eq, sortv, opts)
 }
 
 // History walks a key's version chain on its owning shard.
@@ -529,7 +558,7 @@ func (s *ShardedEngine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Re
 	found := make([]bool, len(keys))
 	// Each shard writes a disjoint set of positions, and pool.each's wait
 	// orders the writes before the return — no lock needed.
-	err := s.pool.each(len(s.shards), func(i int) error {
+	err := s.pool.each(context.Background(), len(s.shards), func(i int) error {
 		if len(perShard[i]) == 0 {
 			return nil
 		}
@@ -552,45 +581,35 @@ func (s *ShardedEngine) GetBatch(keys []core.LookupKey, opts QueryOptions) ([]Re
 // Scan returns the newest visible version of every key matching the
 // equality values and sort bounds, in global key order. When the
 // sharding key is contained in the equality columns the scan pins to one
-// shard; otherwise it scatters to all shards through the worker pool and
-// sort-merges the per-shard ordered streams.
+// shard; otherwise it scatters to all shards and sort-merges the
+// per-shard ordered streams (it drains ScanStreamOn — the streaming
+// merge is the only ordered scatter-gather code path).
 func (s *ShardedEngine) Scan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
-	parts, err := s.scatterScan(eq, sortLo, sortHi, opts)
-	if err != nil || parts == nil {
-		return nil, err
-	}
-	if len(parts) == 1 {
-		return parts[0], nil
-	}
-	// Sort-merge: each shard's results are already ordered on the sort
-	// key, so a streaming k-way merge restores global order. Each shard
-	// already honored opts.Limit (limit pushdown), so the global first
-	// Limit rows are within the union and the merge stops as soon as it
-	// has emitted them.
-	keys := make([][][]byte, len(parts))
-	for i, p := range parts {
-		keys[i] = make([][]byte, len(p))
-		for j := range p {
-			keys[i][j] = sortKeyOfRecord(s.sortIdx, &p[j])
-		}
-	}
-	out := make([]Record, 0, cappedTotal(parts, opts.Limit))
-	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
-		out = append(out, parts[shard][pos])
-	})
-	return out, nil
+	return drainCursor(s.ScanStreamOn(context.Background(), "", eq, sortLo, sortHi, opts))
 }
 
 // ScanUnordered is Scan without the sort-merge: per-shard results are
 // concatenated in shard order. Cheaper when the caller aggregates and
 // does not need global order.
 func (s *ShardedEngine) ScanUnordered(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([]Record, error) {
-	parts, err := s.scatterScan(eq, sortLo, sortHi, opts)
-	if err != nil || parts == nil {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	if err := s.checkScanKey(eq); err != nil {
 		return nil, err
 	}
-	if len(parts) == 1 {
-		return parts[0], nil
+	opts.TS = s.resolveTS(opts)
+	if shard, ok := s.router.pinScan(eq); ok {
+		return s.shards[shard].Scan(eq, sortLo, sortHi, opts)
+	}
+	parts := make([][]Record, len(s.shards))
+	err := s.pool.each(context.Background(), len(s.shards), func(i int) error {
+		recs, err := s.shards[i].Scan(eq, sortLo, sortHi, opts)
+		parts[i] = recs
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []Record
 	for _, p := range parts {
@@ -602,69 +621,89 @@ func (s *ShardedEngine) ScanUnordered(eq, sortLo, sortHi []keyenc.Value, opts Qu
 	return out, nil
 }
 
-// scatterScan runs the shard-local scans: one pinned shard when routing
-// allows it, otherwise all shards concurrently. It returns one result
-// slice per participating shard.
-func (s *ShardedEngine) scatterScan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]Record, error) {
-	if s.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
-	}
-	if err := s.checkScanKey(eq); err != nil {
-		return nil, err
-	}
-	opts.TS = s.resolveTS(opts)
-	if shard, ok := s.router.pinScan(eq); ok {
-		recs, err := s.shards[shard].Scan(eq, sortLo, sortHi, opts)
-		if err != nil {
-			return nil, err
-		}
-		return [][]Record{recs}, nil
-	}
-	parts := make([][]Record, len(s.shards))
-	err := s.pool.each(len(s.shards), func(i int) error {
-		recs, err := s.shards[i].Scan(eq, sortLo, sortHi, opts)
-		parts[i] = recs
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return parts, nil
+// IndexOnlyScan is Scan assembled entirely from the shards' indexes
+// (§4.1): scatter, then sort-merge the per-shard index-only streams.
+func (s *ShardedEngine) IndexOnlyScan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
+	return drainCursor(s.IndexOnlyStreamOn(context.Background(), "", eq, sortLo, sortHi, opts))
 }
 
-// IndexOnlyScan is Scan assembled entirely from the shards' indexes
-// (§4.1): scatter, then sort-merge the per-shard index-only rows.
-func (s *ShardedEngine) IndexOnlyScan(eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) ([][]keyenc.Value, error) {
-	if s.closed.Load() {
-		return nil, fmt.Errorf("wildfire: engine closed")
+// indexMeta resolves the sharded layer's routing/merge metadata for an
+// index choice ("" is the primary).
+func (s *ShardedEngine) indexMeta(index string) (*tableIndex, error) {
+	if index == "" {
+		return s.primaryMeta, nil
 	}
-	if err := s.checkScanKey(eq); err != nil {
-		return nil, err
+	return s.secondaryMeta(index)
+}
+
+// pinStream reports the single shard able to serve a scan on the chosen
+// index with the given equality values, or ok=false when it must
+// scatter.
+func (s *ShardedEngine) pinStream(ti *tableIndex, eq []keyenc.Value) (int, bool) {
+	if ti.primary() {
+		return s.router.pinScan(eq)
 	}
-	opts.TS = s.resolveTS(opts)
-	if shard, ok := s.router.pinScan(eq); ok {
-		return s.shards[shard].IndexOnlyScan(eq, sortLo, sortHi, opts)
-	}
-	parts := make([][][]keyenc.Value, len(s.shards))
-	err := s.pool.each(len(s.shards), func(i int) error {
-		rows, err := s.shards[i].IndexOnlyScan(eq, sortLo, sortHi, opts)
-		parts[i] = rows
-		return err
-	})
+	return s.pinSecondary(ti, eq)
+}
+
+// ScanStreamOn streams Scan through a chosen index across shards: pin
+// to one shard when the sharding key is contained in the index's
+// equality columns, otherwise scatter one worker per shard and k-way
+// merge the per-shard streams on the index's effective sort columns
+// (which embed the primary key for secondaries, so merge keys are
+// unique across shards). Closing the cursor early — or cancelling ctx —
+// stops the workers; they are waited out before Close returns.
+func (s *ShardedEngine) ScanStreamOn(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) (*Cursor[Record], error) {
+	ti, opts, err := s.openStream(index, eq, opts)
 	if err != nil {
 		return nil, err
 	}
-	nEq, nSort := len(s.ixSpec.Equality), len(s.ixSpec.Sort)
-	keys := make([][][]byte, len(parts))
-	for i, p := range parts {
-		keys[i] = make([][]byte, len(p))
-		for j := range p {
-			keys[i][j] = sortKeyOfIndexRow(nEq, nSort, p[j])
-		}
+	if shard, ok := s.pinStream(ti, eq); ok {
+		return s.shards[shard].ScanStreamOn(ctx, index, eq, sortLo, sortHi, opts)
 	}
-	out := make([][]keyenc.Value, 0, cappedTotal(parts, opts.Limit))
-	mergeOrdered(keys, opts.Limit, func(shard, pos int) {
-		out = append(out, parts[shard][pos])
-	})
-	return out, nil
+	sortIdx := ti.sortIdx
+	return scatterStream(ctx, s.pool, len(s.shards), opts.Limit,
+		func(ctx context.Context, shard int) (*Cursor[Record], error) {
+			return s.shards[shard].ScanStreamOn(ctx, index, eq, sortLo, sortHi, opts)
+		},
+		func(r Record) []byte { return sortKeyOfRecord(sortIdx, &r) },
+	), nil
+}
+
+// IndexOnlyStreamOn is ScanStreamOn assembled entirely from the shards'
+// chosen indexes: scatter (or pin), then sort-merge the per-shard
+// index-only streams on the effective sort columns.
+func (s *ShardedEngine) IndexOnlyStreamOn(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions) (*Cursor[[]keyenc.Value], error) {
+	ti, opts, err := s.openStream(index, eq, opts)
+	if err != nil {
+		return nil, err
+	}
+	if shard, ok := s.pinStream(ti, eq); ok {
+		return s.shards[shard].IndexOnlyStreamOn(ctx, index, eq, sortLo, sortHi, opts)
+	}
+	nEq, nSort := len(ti.spec.Equality), len(ti.spec.Sort)
+	return scatterStream(ctx, s.pool, len(s.shards), opts.Limit,
+		func(ctx context.Context, shard int) (*Cursor[[]keyenc.Value], error) {
+			return s.shards[shard].IndexOnlyStreamOn(ctx, index, eq, sortLo, sortHi, opts)
+		},
+		func(row []keyenc.Value) []byte { return sortKeyOfIndexRow(nEq, nSort, row) },
+	), nil
+}
+
+// openStream validates a streaming scan and resolves its index metadata
+// and timestamp.
+func (s *ShardedEngine) openStream(index string, eq []keyenc.Value, opts QueryOptions) (*tableIndex, QueryOptions, error) {
+	if s.closed.Load() {
+		return nil, opts, fmt.Errorf("wildfire: engine closed")
+	}
+	ti, err := s.indexMeta(index)
+	if err != nil {
+		return nil, opts, err
+	}
+	if len(eq) != len(ti.spec.Equality) {
+		return nil, opts, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
+			ti.name, len(eq), len(ti.spec.Equality))
+	}
+	opts.TS = s.resolveTS(opts)
+	return ti, opts, nil
 }

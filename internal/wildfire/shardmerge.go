@@ -1,20 +1,23 @@
 package wildfire
 
 import (
-	"bytes"
-	"container/heap"
+	"context"
 	"sync"
 
 	"umzi/internal/keyenc"
 )
 
 // Scatter-gather machinery of the sharding layer: a bounded worker pool
-// that fans a query out to every shard concurrently, and a streaming
-// k-way merge that reassembles the per-shard ordered results into one
-// globally ordered stream.
+// that fans a batch task out to every shard concurrently. Ordered
+// scatter-gather scans stream through scatterStream (stream.go) instead
+// — per-shard workers feeding a k-way merge — with their eager phase
+// (index walks, verification) admitted through this same pool, so the
+// pool bounds the heavy work of every path: grooming rounds, batched
+// lookups, unordered scans, pushed-down analytical plans and the
+// streaming scans' startup.
 
-// gatherPool bounds the number of per-shard query tasks running at once.
-// One pool is shared by every query of a ShardedEngine, so a burst of
+// gatherPool bounds the number of per-shard tasks running at once. One
+// pool is shared by every batch query of a ShardedEngine, so a burst of
 // concurrent scatter queries cannot spawn shards×queries goroutines.
 type gatherPool struct {
 	sem chan struct{}
@@ -28,20 +31,37 @@ func newGatherPool(limit int) *gatherPool {
 }
 
 // each runs f(0..n-1) on the pool and waits for all of them; the first
-// error (lowest index) wins. Task submission blocks while the pool is
-// saturated, which is what bounds concurrency.
-func (p *gatherPool) each(n int, f func(int) error) error {
+// error (lowest index) wins, and a context cancellation surfaces as the
+// context's error when no task failed on its own. Task submission blocks
+// while the pool is saturated, which is what bounds concurrency — a
+// cancelled context also unblocks submission, so a cancelled caller is
+// never stuck waiting for someone else's slots.
+func (p *gatherPool) each(ctx context.Context, n int, f func(int) error) error {
 	if n == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return f(0)
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		p.sem <- struct{}{}
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+		if errs[i] != nil {
+			break
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-p.sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = f(i)
 		}(i)
 	}
@@ -51,109 +71,7 @@ func (p *gatherPool) each(n int, f func(int) error) error {
 			return err
 		}
 	}
-	return nil
-}
-
-// shardStream is one shard's ordered result slice with its precomputed
-// merge keys (the encoded sort-column values of each item, which is the
-// order every per-shard scan already returns).
-type shardStream struct {
-	keys  [][]byte
-	pos   int
-	shard int
-}
-
-// mergeHeap orders streams by their current merge key; ties break by
-// shard ordinal for determinism (they cannot happen for scans, since a
-// scan key is unique across shards — each primary key lives on exactly
-// one shard).
-type mergeHeap []*shardStream
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if c := bytes.Compare(h[i].keys[h[i].pos], h[j].keys[h[j].pos]); c != 0 {
-		return c < 0
-	}
-	return h[i].shard < h[j].shard
-}
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*shardStream)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// mergeIter streams the k-way sort-merge of per-shard results: Next
-// yields (shard, position) pairs in global key order. The caller indexes
-// its own per-shard slices with them, so one iterator serves both Record
-// results and index-only value rows.
-type mergeIter struct {
-	h mergeHeap
-}
-
-// newMergeIter builds the merge over per-shard key slices. Shards with no
-// results are skipped.
-func newMergeIter(keys [][][]byte) *mergeIter {
-	it := &mergeIter{h: make(mergeHeap, 0, len(keys))}
-	for shard, ks := range keys {
-		if len(ks) > 0 {
-			it.h = append(it.h, &shardStream{keys: ks, shard: shard})
-		}
-	}
-	heap.Init(&it.h)
-	return it
-}
-
-// Next returns the next (shard, position) in global sort-key order.
-func (it *mergeIter) Next() (shard, pos int, ok bool) {
-	if len(it.h) == 0 {
-		return 0, 0, false
-	}
-	s := it.h[0]
-	shard, pos = s.shard, s.pos
-	s.pos++
-	if s.pos < len(s.keys) {
-		heap.Fix(&it.h, 0)
-	} else {
-		heap.Pop(&it.h)
-	}
-	return shard, pos, true
-}
-
-// mergeOrdered drains the k-way merge of per-shard key slices, calling
-// emit with each (shard, position) in global key order and stopping
-// after limit emissions (0 = all). Every sharded ordered-scan variant
-// funnels through this one loop.
-func mergeOrdered(keys [][][]byte, limit int, emit func(shard, pos int)) {
-	it := newMergeIter(keys)
-	n := 0
-	for {
-		shard, pos, ok := it.Next()
-		if !ok {
-			return
-		}
-		emit(shard, pos)
-		n++
-		if limit > 0 && n == limit {
-			return
-		}
-	}
-}
-
-// cappedTotal sizes a merge result: the sum of per-shard result counts,
-// capped at the limit when one is set.
-func cappedTotal[T any](parts [][]T, limit int) int {
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	if limit > 0 && total > limit {
-		total = limit
-	}
-	return total
+	return ctx.Err()
 }
 
 // sortKeyOfRecord encodes the sort-column values of a record for merging,

@@ -114,6 +114,10 @@ func (t TableDef) blockSchema() (*columnar.Schema, error) {
 // Row is one table row: values aligned with TableDef.Columns.
 type Row []keyenc.Value
 
+// ValidateRow checks arity and kinds against the table definition; the
+// DB layer validates staged rows eagerly with it.
+func ValidateRow(t TableDef, r Row) error { return t.validateRow(r) }
+
 // validateRow checks arity and kinds against the table definition.
 func (t TableDef) validateRow(r Row) error {
 	if len(r) != len(t.Columns) {

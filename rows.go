@@ -1,0 +1,152 @@
+package umzi
+
+import (
+	"context"
+	"fmt"
+
+	"umzi/internal/keyenc"
+	"umzi/internal/wildfire"
+)
+
+// Rows is a streaming query result, styled after database/sql.Rows:
+//
+//	rows, err := tbl.Query().Where(...).OrderBy("seq").Run(ctx)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var seq int64
+//	    var amount float64
+//	    if err := rows.Scan(&seq, &amount); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Index-served queries (point gets, OrderBy/Via scans) are pulled
+// lazily: per-shard scan workers, the k-way merge, verification and
+// data-block fetches advance only as Next is called, and Close (or
+// cancelling the Run context) stops them — the workers are cancelled
+// and waited out, so an early Close leaks nothing and abandons the
+// remaining work. Executor plans (aggregates, unordered row queries)
+// necessarily complete their per-shard scans inside Run — partial
+// aggregates cannot finalize early — and stream only the emission;
+// cancellation still aborts them mid-scan.
+type Rows struct {
+	qr     *wildfire.QueryRows
+	cancel context.CancelFunc
+	closed bool
+}
+
+// Columns returns the result's column names, in row order.
+func (r *Rows) Columns() []string { return r.qr.Columns }
+
+// Next advances to the next row, reporting whether one is available.
+// After Next returns false, Err distinguishes exhaustion from failure
+// (including context cancellation).
+func (r *Rows) Next() bool {
+	if r.qr.Cursor.Next() {
+		return true
+	}
+	// Exhaustion (or failure): the cursor has auto-closed; release the
+	// Run-level context too, so a fully drained Rows leaks nothing even
+	// when the caller skips Close.
+	r.cancel()
+	return false
+}
+
+// Values returns the current row's values, aligned with Columns. The
+// slice is only valid until the next call to Next.
+func (r *Rows) Values() []Value { return r.qr.Cursor.Value() }
+
+// Err returns the error that terminated the stream, if any; a
+// cancelled context surfaces as its ctx.Err().
+func (r *Rows) Err() error { return r.qr.Cursor.Err() }
+
+// Close releases the result: scatter-gather workers are cancelled and
+// waited out, the query-gate epoch released. Idempotent; safe (and a
+// no-op) after exhaustion.
+func (r *Rows) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.cancel()
+		return r.qr.Close()
+	}
+	return nil
+}
+
+// Scan copies the current row into dest, one pointer per column, in
+// column order. Supported destinations: *int64, *int, *uint64,
+// *float64, *string, *[]byte, *bool and *Value. Numeric aggregates scan
+// into *float64 regardless of input column kind; string and bytes
+// values interconvert.
+func (r *Rows) Scan(dest ...any) error {
+	row := r.qr.Cursor.Value()
+	if len(dest) != len(row) {
+		return fmt.Errorf("umzi: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		if err := scanValue(row[i], d); err != nil {
+			return fmt.Errorf("umzi: Scan column %q: %w", r.qr.Columns[i], err)
+		}
+	}
+	return nil
+}
+
+func scanValue(v Value, dest any) error {
+	switch d := dest.(type) {
+	case *Value:
+		*d = v
+		return nil
+	case *int64:
+		if v.Kind() == keyenc.KindInt64 {
+			*d = v.Int()
+			return nil
+		}
+		if v.Kind() == keyenc.KindUint64 {
+			*d = int64(v.Uint())
+			return nil
+		}
+	case *int:
+		if v.Kind() == keyenc.KindInt64 {
+			*d = int(v.Int())
+			return nil
+		}
+		if v.Kind() == keyenc.KindUint64 {
+			*d = int(v.Uint())
+			return nil
+		}
+	case *uint64:
+		if v.Kind() == keyenc.KindUint64 {
+			*d = v.Uint()
+			return nil
+		}
+	case *float64:
+		switch v.Kind() {
+		case keyenc.KindFloat64:
+			*d = v.Float()
+			return nil
+		case keyenc.KindInt64:
+			*d = float64(v.Int())
+			return nil
+		case keyenc.KindUint64:
+			*d = float64(v.Uint())
+			return nil
+		}
+	case *string:
+		if v.Kind() == keyenc.KindString || v.Kind() == keyenc.KindBytes {
+			*d = string(v.Bytes())
+			return nil
+		}
+	case *[]byte:
+		if v.Kind() == keyenc.KindString || v.Kind() == keyenc.KindBytes {
+			*d = append([]byte(nil), v.Bytes()...)
+			return nil
+		}
+	case *bool:
+		if v.Kind() == keyenc.KindBool {
+			*d = v.Bool()
+			return nil
+		}
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return fmt.Errorf("cannot scan %v value into %T", v.Kind(), dest)
+}

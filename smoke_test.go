@@ -5,6 +5,7 @@
 package umzi_test
 
 import (
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -47,6 +48,7 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 		{"examples/secondary", []string{"-rows", "20000", "-customers", "128", "-shards", "4"}, "index plan, zone scan and covered scan agree"},
 		{"cmd/umzi-bench", []string{"-list"}, "available figures"},
 		{"cmd/umzi-bench", []string{"-figure", "s1", "-scale", "tiny"}, "Figure S1"},
+		{"cmd/umzi-bench", []string{"-figure", "s2", "-scale", "tiny"}, "Figure S2"},
 		{"cmd/umzi-bench", []string{"-figure", "a7", "-scale", "tiny"}, "Ablation A7"},
 		{"cmd/umzi-bench", []string{"-figure", "a8", "-scale", "tiny"}, "Ablation A8"},
 		{"cmd/umzi-inspect", []string{"-store", dir}, ""},
@@ -78,64 +80,86 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 	}
 }
 
-// TestInspectTableSmoke materializes a table with a secondary index in a
-// filesystem store and checks umzi-inspect -table prints the whole index
-// set from shared storage alone.
-func TestInspectTableSmoke(t *testing.T) {
+// TestInspectStoreSmoke materializes a two-table DB — one of them
+// sharded, with a secondary index — in a filesystem store and checks
+// both umzi-inspect modes: the default -store mode lists every table of
+// the DB catalog, and -table prints one table's whole index set, all
+// from shared storage alone.
+func TestInspectStoreSmoke(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go toolchain not in PATH")
 	}
+	ctx := context.Background()
 	dir := t.TempDir()
 	storeDir := filepath.Join(dir, "store")
 	store, err := umzi.NewFSStore(storeDir, umzi.LatencyModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := umzi.NewEngine(umzi.EngineConfig{
-		Table: umzi.TableDef{
-			Name: "orders",
-			Columns: []umzi.TableColumn{
-				{Name: "id", Kind: umzi.KindInt64},
-				{Name: "region", Kind: umzi.KindString},
-			},
-			PrimaryKey: []string{"id"},
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := db.CreateTable(umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "id", Kind: umzi.KindInt64},
+			{Name: "region", Kind: umzi.KindString},
 		},
-		Index: umzi.IndexSpec{Equality: []string{"id"}},
+		PrimaryKey: []string{"id"},
+		ShardKey:   []string{"id"},
+	}, umzi.TableOptions{
+		Shards: 2,
 		Secondaries: []umzi.SecondaryIndexSpec{{
 			Name:      "by_region",
 			IndexSpec: umzi.IndexSpec{Equality: []string{"region"}},
 		}},
-		Store: store,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, err := db.CreateTable(umzi.TableDef{
+		Name:       "events",
+		Columns:    []umzi.TableColumn{{Name: "seq", Kind: umzi.KindInt64}},
+		PrimaryKey: []string{"seq"},
+	}, umzi.TableOptions{}); err != nil {
+		t.Fatal(err)
+	}
 	for i := int64(0); i < 100; i++ {
-		if err := eng.UpsertRows(0, umzi.Row{umzi.I64(i), umzi.Str("r")}); err != nil {
+		if err := orders.Upsert(ctx, umzi.Row{umzi.I64(i), umzi.Str("r")}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := eng.Groom(); err != nil {
+	if err := orders.Groom(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.PostGroom(); err != nil {
+	if err := orders.PostGroom(); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.SyncIndex(); err != nil {
+	if err := orders.SyncIndex(); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Close(); err != nil {
+	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	bin := buildProgram(t, dir, "cmd/umzi-inspect")
-	out, err := exec.Command(bin, "-store", storeDir, "-table", "orders").CombinedOutput()
+	out, err := exec.Command(bin, "-store", storeDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("umzi-inspect -store: %v\n%s", err, out)
+	}
+	for _, want := range []string{"2 tables", "orders (2 shards)", "events (1 shards)", "by_region", "post-groomed"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("inspect -store output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = exec.Command(bin, "-store", storeDir, "-table", "orders/shard-000").CombinedOutput()
 	if err != nil {
 		t.Fatalf("umzi-inspect -table: %v\n%s", err, out)
 	}
 	for _, want := range []string{"2 indexes", "(primary)", "by_region", "IndexedPSN=1"} {
 		if !strings.Contains(string(out), want) {
-			t.Fatalf("inspect output missing %q:\n%s", want, out)
+			t.Fatalf("inspect -table output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,142 @@
+package umzi
+
+import (
+	"context"
+	"time"
+
+	"umzi/internal/types"
+	"umzi/internal/wildfire"
+)
+
+// topology is the internal seam that collapses the Engine/ShardedEngine
+// fork: a Table talks to "a table that may be sharded" through this one
+// interface, and the two adapters below paper over the few signature
+// differences. Everything query-shaped goes through RunQuery — the
+// planner entry point in internal/wildfire — so there is exactly one
+// query surface regardless of shard count.
+type topology interface {
+	Table() wildfire.TableDef
+	NumShards() int
+	Start(groomEvery, postGroomEvery time.Duration)
+	Close() error
+	Groom() error
+	PostGroom() error
+	SyncIndex() error
+	LiveCount() int
+	SnapshotTS() types.TS
+	CreateIndex(spec wildfire.SecondaryIndexSpec) error
+	SecondarySpecs() []wildfire.SecondaryIndexSpec
+	RunQuery(ctx context.Context, spec wildfire.QuerySpec) (*wildfire.QueryRows, error)
+	begin(replica int) (commitTxn, error)
+}
+
+// commitTxn is the common shape of Txn and ShardedTxn.
+type commitTxn interface {
+	Upsert(row Row) error
+	CommitContext(ctx context.Context) error
+	Abort()
+}
+
+// singleTopo adapts a one-shard Engine.
+type singleTopo struct{ *wildfire.Engine }
+
+func (t singleTopo) NumShards() int       { return 1 }
+func (t singleTopo) SnapshotTS() types.TS { return t.LastGroomTS() }
+func (t singleTopo) PostGroom() error     { _, err := t.Engine.PostGroom(); return err }
+func (t singleTopo) begin(replica int) (commitTxn, error) {
+	return t.Engine.Begin(replica)
+}
+
+// shardedTopo adapts an N-shard ShardedEngine.
+type shardedTopo struct{ *wildfire.ShardedEngine }
+
+func (t shardedTopo) begin(replica int) (commitTxn, error) {
+	return t.ShardedEngine.Begin(replica)
+}
+
+// Table is the handle of one table of a DB: a single declarative query
+// surface (Query) and transactional ingest, independent of whether the
+// table runs on one engine or N hash shards.
+type Table struct {
+	db   *DB
+	name string
+	topo topology
+	// catalogEntry is the table's full catalog record as created or
+	// recovered — the source of truth for catalog rewrites, so options
+	// that are invisible on the topology (Replicas, Partitions,
+	// Parallelism) survive every restart.
+	catalogEntry dbCatalogEntry
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Def returns the table definition.
+func (t *Table) Def() TableDef { return t.topo.Table() }
+
+// NumShards returns the table's shard count (1 for unsharded tables).
+func (t *Table) NumShards() int { return t.topo.NumShards() }
+
+// entry returns the table's catalog record for persisting the DB
+// catalog.
+func (t *Table) entry() dbCatalogEntry { return t.catalogEntry }
+
+// Query starts a fluent query against the table; see Query's docs for
+// the builder surface and Run for execution.
+func (t *Table) Query() *Query {
+	return &Query{tbl: t}
+}
+
+// Upsert runs one auto-committed transaction staging the rows on
+// replica 0.
+func (t *Table) Upsert(ctx context.Context, rows ...Row) error {
+	return t.UpsertReplica(ctx, 0, rows...)
+}
+
+// UpsertReplica is Upsert through a chosen multi-master replica.
+func (t *Table) UpsertReplica(ctx context.Context, replica int, rows ...Row) error {
+	tx, err := t.db.Begin(ctx)
+	if err != nil {
+		return err
+	}
+	if err := tx.WithReplica(replica).Upsert(t.name, rows...); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit(ctx)
+}
+
+// Begin starts a transaction scoped to this table's DB (it may stage
+// rows into any table); provided here so table-centric code reads
+// naturally.
+func (t *Table) Begin(ctx context.Context) (*Tx, error) { return t.db.Begin(ctx) }
+
+// CreateIndex builds a secondary index online — on every shard — and
+// persists it in the table's index catalog.
+func (t *Table) CreateIndex(spec SecondaryIndexSpec) error { return t.topo.CreateIndex(spec) }
+
+// Indexes returns the declared spec of every secondary index.
+func (t *Table) Indexes() []SecondaryIndexSpec { return t.topo.SecondarySpecs() }
+
+// Start launches the background daemons (groomer, post-groomer,
+// indexer) at the given cadences. DBs opened with DBConfig.GroomEvery
+// set have already started them.
+func (t *Table) Start(groomEvery, postGroomEvery time.Duration) {
+	t.topo.Start(groomEvery, postGroomEvery)
+}
+
+// Groom runs one groom operation (a lockstep round on sharded tables).
+func (t *Table) Groom() error { return t.topo.Groom() }
+
+// PostGroom runs one post-groom operation on every shard.
+func (t *Table) PostGroom() error { return t.topo.PostGroom() }
+
+// SyncIndex applies pending index evolve operations on every shard.
+func (t *Table) SyncIndex() error { return t.topo.SyncIndex() }
+
+// LiveCount reports committed-but-ungroomed records across all shards.
+func (t *Table) LiveCount() int { return t.topo.LiveCount() }
+
+// SnapshotTS returns the table's default read point: the newest groomed
+// snapshot every shard can serve.
+func (t *Table) SnapshotTS() TS { return t.topo.SnapshotTS() }

@@ -13,24 +13,38 @@
 //     cache. Queries — range scans, point lookups, sorted batches — are
 //     non-blocking and multi-version (every read carries a timestamp).
 //
-//   - The Wildfire-style engine (NewEngine, returning *Engine): tables
-//     with primary/sharding/partition keys, multi-master transaction
-//     ingest with last-writer-wins upserts, a groomer producing columnar
-//     groomed blocks and index runs, a post-groomer resolving
-//     endTS/prevRID and re-partitioning data, and an indexer daemon
-//     applying index evolve operations in PSN order.
+//   - The Wildfire-style database (OpenDB, returning *DB): a
+//     multi-table catalog over one shared store and SSD cache, each
+//     table a *Table handle — transparently 1-shard or N-shard — with
+//     multi-master transactional ingest (DB.Begin / Table.Upsert), one
+//     declarative query surface (Table.Query, a fluent builder compiled
+//     into point-get / index-scan / index-only / executor plans) and
+//     streaming Rows results. Every read and write takes a
+//     context.Context; cancellation propagates into per-shard
+//     scatter-gather workers, k-way merges and block fetches.
 //
-// The umzi package re-exports the internal packages' public surface so
-// applications import a single path:
+// The typical application speaks to the DB layer only:
 //
-//	ix, err := umzi.Open(umzi.Config{
-//	    Name:  "orders",
-//	    Def:   umzi.IndexDef{
-//	        Equality: []umzi.Column{{Name: "customer", Kind: umzi.KindInt64}},
-//	        Sort:     []umzi.Column{{Name: "order", Kind: umzi.KindInt64}},
+//	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+//	tbl, err := db.CreateTable(umzi.TableDef{
+//	    Name: "orders",
+//	    Columns: []umzi.TableColumn{
+//	        {Name: "customer", Kind: umzi.KindInt64},
+//	        {Name: "order", Kind: umzi.KindInt64},
+//	        {Name: "total", Kind: umzi.KindFloat64},
 //	    },
-//	    Store: umzi.NewMemStore(umzi.LatencyModel{}),
-//	})
+//	    PrimaryKey: []string{"customer", "order"},
+//	    ShardKey:   []string{"customer"},
+//	}, umzi.TableOptions{Shards: 8})
+//	err = tbl.Upsert(ctx, umzi.Row{umzi.I64(7), umzi.I64(100), umzi.F64(19.99)})
+//	rows, err := tbl.Query().
+//	    Where(umzi.Eq("customer", umzi.I64(7))).
+//	    OrderBy("order").
+//	    Run(ctx)
+//
+// The engine-level surface (NewEngine / NewShardedEngine and their six
+// query entry points) remains for existing code but is deprecated in
+// favor of the DB layer.
 //
 // See examples/ for complete programs and DESIGN.md for the map from
 // paper sections to packages.
@@ -175,12 +189,21 @@ func NewSSDCache(capacity int64, lat LatencyModel) *SSDCache {
 	return storage.NewSSDCache(capacity, lat)
 }
 
-// Wildfire engine (internal/wildfire).
+// Wildfire engine (internal/wildfire). The engine-level surface remains
+// fully functional but new code should use the DB layer (OpenDB /
+// CreateTable / Table.Query), which serves 1-shard and N-shard tables
+// behind one API and recovers whole stores in one call.
 type (
 	// Engine is one Wildfire table shard: live zone, groomer,
 	// post-groomer, indexer and query front end (§2.1).
+	//
+	// Deprecated: open tables through OpenDB / DB.CreateTable; the
+	// Table handle serves the same queries via Query() with streaming
+	// results and context support.
 	Engine = wildfire.Engine
 	// EngineConfig configures an Engine.
+	//
+	// Deprecated: use DBConfig + TableOptions with OpenDB.
 	EngineConfig = wildfire.Config
 	// TableDef defines a table: columns, primary key, sharding key,
 	// partition key.
@@ -200,6 +223,9 @@ type (
 	// Record is a resolved record version with its hidden columns.
 	Record = wildfire.Record
 	// Txn is an upsert transaction.
+	//
+	// Deprecated: use DB.Begin / Table.Upsert, which route across
+	// tables and shards and commit with a context.
 	Txn = wildfire.Txn
 	// QueryOptions control snapshot and freshness semantics.
 	QueryOptions = wildfire.QueryOptions
@@ -210,6 +236,10 @@ type (
 
 // NewEngine creates a table-shard engine (one Umzi index instance plus
 // the grooming pipeline).
+//
+// Deprecated: use OpenDB / DB.CreateTable with TableOptions{Shards: 1}
+// (the default); the returned Table exposes the same pipeline controls
+// and the unified query builder.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return wildfire.NewEngine(cfg) }
 
 // Sharded multi-engine layer (internal/wildfire).
@@ -218,15 +248,25 @@ type (
 	// independent Engines — Wildfire's "sharded multi-master" shape
 	// (§2.1) — routing upserts to their owning shard and executing
 	// queries as parallel scatter-gather with sort-merged results.
+	//
+	// Deprecated: open tables through OpenDB / DB.CreateTable with
+	// TableOptions{Shards: N}; the Table handle hides the sharding
+	// behind the same query surface as unsharded tables.
 	ShardedEngine = wildfire.ShardedEngine
 	// ShardedConfig configures a ShardedEngine.
+	//
+	// Deprecated: use DBConfig + TableOptions with OpenDB.
 	ShardedConfig = wildfire.ShardedConfig
 	// ShardedTxn is an upsert transaction routed across shards at Commit.
+	//
+	// Deprecated: use DB.Begin / Table.Upsert.
 	ShardedTxn = wildfire.ShardedTxn
 )
 
 // NewShardedEngine creates (or recovers) a sharded engine: N table-shard
 // engines behind one routing, ingest and scatter-gather query front end.
+//
+// Deprecated: use OpenDB / DB.CreateTable with TableOptions{Shards: N}.
 func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 	return wildfire.NewShardedEngine(cfg)
 }
