@@ -275,3 +275,39 @@ func BenchmarkShardedLookup(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGroupCommit measures the durable write path: ingest
+// throughput (rows/s, reported as rows_per_sec) under per-commit
+// durability with 1 writer (the naive baseline: every transaction pays
+// the simulated device sync alone) and with 8 concurrent writers
+// sharing segment writes through group commit, plus the SyncOff
+// ceiling. The group-commit acceptance bar — >=5x the naive per-commit
+// rate at >=8 writers — is what Figure S3 sweeps in full
+// (cmd/umzi-bench -figure s3).
+func BenchmarkGroupCommit(b *testing.B) {
+	lat := bench.WALDeviceLatency()
+	cases := []struct {
+		name    string
+		opts    umzi.DurabilityOptions
+		writers int
+	}{
+		{"per-commit/writers=1", umzi.DurabilityOptions{SyncPolicy: umzi.SyncPerCommit}, 1},
+		{"per-commit/writers=8", umzi.DurabilityOptions{SyncPolicy: umzi.SyncPerCommit, GroupCommitWindow: time.Millisecond}, 8},
+		{"off/writers=8", umzi.DurabilityOptions{SyncPolicy: umzi.SyncOff}, 8},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				tput, err := bench.WALIngest(fmt.Sprintf("bgc-%s-%d", c.name, i), c.opts, c.writers, 24, 4, lat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += tput
+			}
+			b.ReportMetric(sum/float64(b.N), "rows_per_sec")
+		})
+	}
+}

@@ -41,6 +41,7 @@ func drivers() []driver {
 		{"15", "Figure 15: index evolve on/off", bench.Fig15Evolve},
 		{"s1", "Figure S1: scatter-gather shard scaling (extension)", bench.FigS1ShardScaling},
 		{"s2", "Figure S2: unified query surface vs legacy entry points (extension)", bench.FigS2QuerySurface},
+		{"s3", "Figure S3: ingest throughput vs sync policy and group commit (extension)", bench.FigS3GroupCommit},
 		{"a1", "Ablation A1: offset array width", bench.AblationOffsetArray},
 		{"a2", "Ablation A2: set vs priority-queue reconciliation", bench.AblationReconcile},
 		{"a3", "Ablation A3: synopsis pruning", bench.AblationSynopsis},

@@ -35,6 +35,7 @@ import (
 	"umzi/internal/run"
 	"umzi/internal/storage"
 	"umzi/internal/types"
+	"umzi/internal/wal"
 	"umzi/internal/wildfire"
 )
 
@@ -179,6 +180,24 @@ func inspectDB(store storage.ObjectStore) (bool, error) {
 		}
 		fmt.Printf("  record versions: %d groomed (%d blocks, pending post-groom), %d post-groomed (%d blocks)\n",
 			groomedRows, groomedBlocks, postRows, postBlocks)
+
+		// Commit-log summary across the shards: durable segments, the
+		// groom watermark vs the largest logged sequence, and the replay
+		// tail a crash would rebuild into the live zone.
+		var segCount, tailRows int
+		var segBytes int64
+		for shard := 0; shard < tbl.Shards; shard++ {
+			name := umzi.ShardTableName(tbl.Def.Name, tbl.Shards, shard)
+			w, err := walSummary(store, name)
+			if err != nil {
+				return false, err
+			}
+			segCount += w.segments
+			segBytes += w.bytes
+			tailRows += w.tailRows
+		}
+		fmt.Printf("  commit log:    %d segments (%d bytes), replay tail %d rows across %d shards\n",
+			segCount, segBytes, tailRows, tbl.Shards)
 	}
 	fmt.Println("\n(use -table <name> for one table's full index set; sharded tables are <name>/shard-NNN)")
 	return true, nil
@@ -197,6 +216,22 @@ func inspectTable(store storage.ObjectStore, table string) error {
 		return fmt.Errorf("table %q has no index catalog in this store", table)
 	}
 	fmt.Printf("table %s: %d indexes\n", table, len(catalog))
+
+	// Commit-log view of this shard: segment inventory, groom watermark
+	// vs the largest logged sequence, and the replay tail.
+	w, err := walSummary(store, table)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncommit log (%s/)\n", wildfire.WALStoragePrefix(table))
+	if w.hasMark {
+		fmt.Printf("  groom watermark: seq %d (groom cycle %d)\n", w.mark, w.markCycle)
+	} else {
+		fmt.Printf("  groom watermark: none persisted (nothing groomed since the log began)\n")
+	}
+	fmt.Printf("  segments:        %d (%d bytes)\n", w.segments, w.bytes)
+	fmt.Printf("  max logged seq:  %d\n", w.maxSeq)
+	fmt.Printf("  replay tail:     %d rows (rebuilt into the live zone on reopen)\n", w.tailRows)
 	for _, entry := range catalog {
 		name := entry.Name
 		label := name
@@ -240,6 +275,40 @@ func inspectTable(store storage.ObjectStore, table string) error {
 			counts[types.ZonePostGroomed], entriesPerZone[types.ZonePostGroomed])
 	}
 	return nil
+}
+
+// walView summarizes one table shard's commit log from storage alone.
+type walView struct {
+	segments  int
+	bytes     int64
+	mark      uint64
+	markCycle uint64
+	hasMark   bool
+	maxSeq    uint64
+	tailRows  int
+}
+
+func walSummary(store storage.ObjectStore, table string) (walView, error) {
+	var v walView
+	mark, cycle, _, ok, err := wildfire.LoadWALMark(store, table)
+	if err != nil {
+		return v, err
+	}
+	v.mark, v.markCycle, v.hasMark = mark, cycle, ok
+	v.maxSeq = mark
+	segs, err := wal.Inspect(store, wildfire.WALStoragePrefix(table))
+	if err != nil {
+		return v, err
+	}
+	for _, s := range segs {
+		v.segments++
+		v.bytes += s.Bytes
+		if s.Last > v.maxSeq {
+			v.maxSeq = s.Last
+		}
+	}
+	v.tailRows, err = wal.TailRowsIn(store, segs, mark)
+	return v, err
 }
 
 func verboseSynopsis(h *run.Header) string {

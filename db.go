@@ -36,6 +36,11 @@ type DBConfig struct {
 	// (Table.Start, Table.Groom, ...).
 	GroomEvery     time.Duration
 	PostGroomEvery time.Duration
+	// Durability is the default commit-log configuration for tables
+	// created without their own TableOptions.Durability. The zero value
+	// is full per-commit durability with group commit. Recovered tables
+	// reopen with the durability options persisted in the catalog.
+	Durability DurabilityOptions
 }
 
 // TableOptions configures one table at creation.
@@ -58,6 +63,11 @@ type TableOptions struct {
 	Parallelism int
 	// IndexTuning forwards merge-policy knobs to every Umzi instance.
 	IndexTuning Config
+	// Durability configures the table's per-shard commit logs; it is
+	// persisted in the DB catalog, so a reopened store recovers each
+	// table's un-groomed log tail with the same policy it was written
+	// under. The zero value inherits DBConfig.Durability.
+	Durability DurabilityOptions
 }
 
 // DB is one Wildfire-style multi-table database over a shared store.
@@ -66,6 +76,7 @@ type DB struct {
 	cache          *SSDCache
 	groomEvery     time.Duration
 	postGroomEvery time.Duration
+	durability     DurabilityOptions
 
 	mu         sync.Mutex
 	tables     map[string]*Table
@@ -86,6 +97,7 @@ func OpenDB(cfg DBConfig) (*DB, error) {
 		cache:          cfg.Cache,
 		groomEvery:     cfg.GroomEvery,
 		postGroomEvery: cfg.PostGroomEvery,
+		durability:     cfg.Durability,
 		tables:         make(map[string]*Table),
 	}
 	entries, seq, err := loadDBCatalog(cfg.Store)
@@ -126,9 +138,13 @@ func (db *DB) CreateTable(def TableDef, opts TableOptions) (*Table, error) {
 		Replicas:    opts.Replicas,
 		Partitions:  opts.Partitions,
 		Parallelism: opts.Parallelism,
+		Durability:  opts.Durability,
 	}
 	if specZero(entry.Index) {
 		entry.Index = defaultIndexSpec(def)
+	}
+	if entry.Durability == (DurabilityOptions{}) {
+		entry.Durability = db.durability
 	}
 	entry.tuning = opts.IndexTuning
 	tbl, err := db.openTable(entry)
@@ -171,6 +187,7 @@ func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
 			Replicas:    e.Replicas,
 			Partitions:  e.Partitions,
 			IndexTuning: e.tuning,
+			Durability:  e.Durability,
 		})
 		if err != nil {
 			return nil, err
@@ -185,6 +202,7 @@ func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
 			Replicas:    e.Replicas,
 			Partitions:  e.Partitions,
 			IndexTuning: e.tuning,
+			Durability:  e.Durability,
 		})
 		if err != nil {
 			return nil, err
@@ -373,6 +391,10 @@ type dbCatalogEntry struct {
 	Replicas    int `json:",omitempty"`
 	Partitions  int `json:",omitempty"`
 	Parallelism int `json:",omitempty"`
+	// Durability is the table's commit-log configuration; persisting it
+	// means OpenDB replays every table's un-groomed log tail under the
+	// policy it was written with, with no per-table setup.
+	Durability DurabilityOptions
 
 	// tuning is carried in memory only (and never marshaled): core.Config
 	// holds live handles and tuning is a process-local concern.

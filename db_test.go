@@ -2,6 +2,7 @@ package umzi_test
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -323,5 +324,91 @@ func TestDBMultiTableTx(t *testing.T) {
 	cancel()
 	if err := tx2.Commit(cancelled); err == nil {
 		t.Fatal("commit with cancelled context succeeded")
+	}
+}
+
+// TestDBCrashRecoveryDurability is the DB-layer durability story: a
+// whole-process crash (the DB dropped without Close) after acknowledged
+// upserts loses nothing on reopen — OpenDB recovers every table AND its
+// un-groomed commit-log tail in one call, under the durability options
+// persisted in the catalog.
+func TestDBCrashRecoveryDurability(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	open := func() *umzi.DB {
+		store, err := umzi.NewFSStore(dir, umzi.LatencyModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The CI durability tier (UMZI_FSYNC=1, -run Recovery) re-runs
+		// this test against real fsync costs and ordering.
+		if os.Getenv("UMZI_FSYNC") != "" {
+			store.SetFsync(true)
+		}
+		db, err := umzi.OpenDB(umzi.DBConfig{Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	ctx := context.Background()
+
+	db := open()
+	orders, err := db.CreateTable(ordersDef("orders"), umzi.TableOptions{
+		Shards:     3,
+		Durability: umzi.DurabilityOptions{SyncPolicy: umzi.SyncPerCommit, SegmentBytes: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 rows groomed, then 37 more acknowledged but never groomed.
+	fillOrders(t, orders, 100)
+	if err := orders.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 137; i++ {
+		err := orders.Upsert(ctx, umzi.Row{
+			umzi.I64(int64(i)), umzi.I64(int64(i % 10)), umzi.F64(float64(i)), umzi.Str(regions[i%len(regions)]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if orders.LiveCount() == 0 {
+		t.Fatal("test expects an un-groomed tail")
+	}
+	// Crash: drop everything without Close.
+	db, orders = nil, nil
+
+	db2 := open()
+	defer db2.Close()
+	orders2, err := db2.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := orders2.Durability(); got.SyncPolicy != umzi.SyncPerCommit || got.SegmentBytes != 4096 {
+		t.Fatalf("durability options not recovered from the catalog: %+v", got)
+	}
+	if got := orders2.LiveCount(); got != 37 {
+		t.Fatalf("replayed live tail = %d rows, want 37", got)
+	}
+	cnt, err := orders2.Query().At(umzi.MaxTS).IncludeLive().Count(ctx)
+	if err != nil || cnt != 137 {
+		t.Fatalf("count after crash recovery = %d (err %v), want 137", cnt, err)
+	}
+	// The tail grooms normally and the per-shard logs drain.
+	if err := orders2.Groom(); err != nil {
+		t.Fatal(err)
+	}
+	for shard, st := range orders2.WALStatus() {
+		if st.Mark != st.MaxSeq {
+			t.Fatalf("shard %d: mark %d != max seq %d after groom", shard, st.Mark, st.MaxSeq)
+		}
+		if st.Segments != 0 {
+			t.Fatalf("shard %d: %d log segments survive a full groom", shard, st.Segments)
+		}
+	}
+	cnt, err = orders2.Query().Count(ctx)
+	if err != nil || cnt != 137 {
+		t.Fatalf("groomed count after recovery = %d (err %v), want 137", cnt, err)
 	}
 }

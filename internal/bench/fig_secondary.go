@@ -64,6 +64,9 @@ func NewSecondaryOrders(name string, shards, rows, regions int, lat storage.Late
 		Store:       storage.NewMemStore(lat),
 	}
 	cfg.IndexTuning.BlockSize = 4096
+	// These drivers measure the read paths; ingest setup opts out of
+	// per-commit log syncs (Figure S3 measures the write path).
+	cfg.Durability.SyncPolicy = wildfire.SyncOff
 	eng, err := wildfire.NewShardedEngine(cfg)
 	if err != nil {
 		return nil, err

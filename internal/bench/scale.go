@@ -52,6 +52,15 @@ type Scale struct {
 	// count for the index-selection ablation (A8); selectivity of the
 	// equality query is 1/cardinality.
 	SecondaryCardinalities []int
+
+	// WALWriters sweeps the number of concurrent committers of the
+	// commit-log durability experiment (Figure S3).
+	WALWriters []int
+	// WALCommits is the number of transactions each writer commits per
+	// Figure S3 cell.
+	WALCommits int
+	// WALRowsPerCommit is the rows per transaction in Figure S3.
+	WALRowsPerCommit int
 }
 
 // SmallScale returns the default laptop-scale configuration used by the
@@ -76,6 +85,9 @@ func SmallScale() Scale {
 		ShardScanRows:          16_000,
 		AggSelectivities:       []float64{0.001, 0.01, 0.1, 1},
 		SecondaryCardinalities: []int{4, 16, 64, 256},
+		WALWriters:             []int{1, 8, 32},
+		WALCommits:             120,
+		WALRowsPerCommit:       4,
 	}
 }
 
@@ -102,6 +114,9 @@ func PaperScale() Scale {
 		ShardScanRows:          200_000,
 		AggSelectivities:       []float64{0.0001, 0.001, 0.01, 0.1, 1},
 		SecondaryCardinalities: []int{4, 16, 64, 256, 1024},
+		WALWriters:             []int{1, 8, 32, 128},
+		WALCommits:             400,
+		WALRowsPerCommit:       4,
 	}
 }
 
@@ -126,5 +141,8 @@ func TinyScale() Scale {
 		ShardScanRows:          2_000,
 		AggSelectivities:       []float64{0.01, 1},
 		SecondaryCardinalities: []int{4, 64},
+		WALWriters:             []int{1, 8},
+		WALCommits:             24,
+		WALRowsPerCommit:       4,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FSStore is a directory-backed ObjectStore. Object names map to files
@@ -15,12 +16,14 @@ import (
 // storage, an object becomes visible atomically and is never observed
 // half-written. FSStore backs the recovery example and the crash tests.
 type FSStore struct {
-	root  string
-	lat   LatencyModel
-	stats Stats
+	root   string
+	lat    LatencyModel
+	stats  Stats
+	fsync  atomic.Bool
+	tmpSeq atomic.Uint64 // staging-file uniquifier (concurrent same-name Puts)
 
-	// mu serializes Put existence checks; the filesystem itself is the
-	// source of truth for contents.
+	// mu serializes the exists-check-then-rename window of Put; the
+	// filesystem itself is the source of truth for contents.
 	mu sync.Mutex
 }
 
@@ -35,6 +38,14 @@ func NewFSStore(dir string, lat LatencyModel) (*FSStore, error) {
 // Stats exposes the traffic counters.
 func (s *FSStore) Stats() *Stats { return &s.stats }
 
+// SetFsync controls whether Put syncs the object's contents (and its
+// directory entry) to stable media before publishing it. Off by default:
+// unit tests and benchmarks value speed, and the rename already gives
+// them atomic visibility. The crash-recovery CI tier turns it on so the
+// commit-log durability story is exercised against real fsync costs and
+// ordering.
+func (s *FSStore) SetFsync(on bool) { s.fsync.Store(on) }
+
 func (s *FSStore) path(name string) (string, error) {
 	clean := filepath.Clean(name)
 	if clean == "." || strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
@@ -43,31 +54,137 @@ func (s *FSStore) path(name string) (string, error) {
 	return filepath.Join(s.root, filepath.FromSlash(clean)), nil
 }
 
-// Put implements ObjectStore.
+// Put implements ObjectStore. The expensive work — writing and syncing
+// the staging file, syncing directories — happens outside the store
+// mutex, which guards only the exists-check-then-rename window, so
+// concurrent Puts (per-shard commit-log group commits in particular)
+// overlap their fsyncs instead of queueing on one lock.
 func (s *FSStore) Put(name string, data []byte) error {
 	p, err := s.path(name)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := os.Stat(p); err == nil {
-		return fmt.Errorf("%w: %s", ErrExists, name)
+	dir := filepath.Dir(p)
+	fsync := s.fsync.Load()
+	dirExisted := true
+	if fsync {
+		// Only the fsync path cares whether MkdirAll creates entries
+		// (they need their own directory syncs); keep the stat off the
+		// default hot path.
+		_, statErr := os.Stat(dir)
+		dirExisted = statErr == nil
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: mkdir: %w", err)
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: write temp: %w", err)
+	tmp := fmt.Sprintf("%s.%d.tmp", p, s.tmpSeq.Add(1))
+	if err := s.writeTemp(tmp, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, err := os.Stat(p); err == nil {
+		s.mu.Unlock()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: %s", ErrExists, name)
 	}
 	if err := os.Rename(tmp, p); err != nil {
+		s.mu.Unlock()
 		os.Remove(tmp)
 		return fmt.Errorf("storage: publish object: %w", err)
+	}
+	s.mu.Unlock()
+	if fsync {
+		// Sync the parent directory so the rename survives a power cut
+		// — and, when MkdirAll just created the path, every ancestor
+		// entry down from the root. Without this the object's
+		// durability point is the next journal flush, not the Put
+		// return. A sync failure must not leave the object published
+		// with Put reporting failure (a commit the caller was told
+		// failed would be resurrected by replay), so the object is
+		// withdrawn before the error returns.
+		syncErr := error(nil)
+		if dirExisted {
+			syncErr = syncDir(dir)
+		} else {
+			syncErr = s.syncDirChain(dir)
+		}
+		if syncErr != nil {
+			// Withdraw the published object so "error" keeps meaning
+			// "not visible". If this Remove itself fails the outcome is
+			// genuinely indeterminate — the same fsync-gate ambiguity
+			// real databases face — and the error below stands either
+			// way.
+			os.Remove(p)
+			return syncErr
+		}
 	}
 	s.stats.Writes.Add(1)
 	s.stats.BytesWrite.Add(int64(len(data)))
 	s.lat.sleep(len(data))
+	return nil
+}
+
+// writeTemp writes the staging file, syncing contents first when fsync
+// is enabled (sync before rename: the object must never become visible
+// with contents the disk does not hold).
+func (s *FSStore) writeTemp(tmp string, data []byte) error {
+	if !s.fsync.Load() {
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			os.Remove(tmp) // a partial write would otherwise orphan the staging file
+			return fmt.Errorf("storage: write temp: %w", err)
+		}
+		return nil
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: write temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write temp: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: close temp: %w", err)
+	}
+	return nil
+}
+
+// syncDirChain fsyncs every directory from the store root down to dir
+// (inclusive). dir must be inside the root.
+func (s *FSStore) syncDirChain(dir string) error {
+	var chain []string
+	for d := dir; ; d = filepath.Dir(d) {
+		chain = append(chain, d)
+		if d == s.root || d == filepath.Dir(d) {
+			break
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := syncDir(chain[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs one directory's entries.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: sync dir %s: %w", dir, err)
+	}
+	err = f.Sync()
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("storage: sync dir %s: %w", dir, err)
+	}
 	return nil
 }
 

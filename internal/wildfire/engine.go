@@ -9,6 +9,7 @@ import (
 	"umzi/internal/core"
 	"umzi/internal/storage"
 	"umzi/internal/types"
+	"umzi/internal/wal"
 )
 
 // Config configures an Engine (one table shard).
@@ -35,6 +36,11 @@ type Config struct {
 	// every Umzi index of the table; zero values keep core defaults.
 	// Name/Def/Store/Cache are managed by the engine and ignored here.
 	IndexTuning core.Config
+	// Durability configures the shard's commit log: transactions append
+	// to it before they are acknowledged and before they enter the live
+	// zone, and recovery replays its tail above the groom watermark. The
+	// zero value is full per-commit durability with group commit.
+	Durability DurabilityOptions
 }
 
 // Engine is one Wildfire table shard: live zone, groomer, post-groomer,
@@ -59,8 +65,25 @@ type Engine struct {
 
 	// commitSeq is the global tentative-commit clock; the groomer merges
 	// replica logs in this order (§2.1 "merges, in the time order,
-	// transaction logs from shard replicas").
+	// transaction logs from shard replicas"). It doubles as the commit
+	// log's row sequence: every assigned value is either durably logged,
+	// groomed, or recorded as lost — and recovery floors the clock so
+	// sequences are never reused.
 	commitSeq atomic.Uint64
+
+	// wal is the shard's durable commit log; walMu guards the watermark
+	// bookkeeping: walMark is the contiguous groomed prefix (every
+	// sequence <= walMark is durably groomed) and walDrained holds
+	// groomed or lost sequences above it, waiting for gaps to close.
+	// walMarkSeq / walMarkPersisted (the mark-record counter and the
+	// last persisted watermark) are touched only under groomMu.
+	wal              *wal.Log
+	durable          DurabilityOptions
+	walMu            sync.Mutex
+	walMark          uint64
+	walDrained       map[uint64]struct{}
+	walMarkSeq       uint64
+	walMarkPersisted uint64
 	// groomCycle numbers groom operations; it doubles as the groomed
 	// block ID and as the high part of beginTS.
 	groomCycle atomic.Uint64
@@ -169,9 +192,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		store:      cfg.Store,
 		cache:      cfg.Cache,
 		tuning:     cfg.IndexTuning,
+		durable:    cfg.Durability,
 		endTS:      make(map[types.RID]types.TS),
 		blockCache: make(map[string]*blockEntry),
 		deprecated: make(map[uint64]struct{}),
+		walDrained: make(map[uint64]struct{}),
 		stopCh:     make(chan struct{}),
 	}
 	e.partitions = cfg.Partitions
@@ -232,9 +257,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 	}
 
-	if err := e.recoverState(); err != nil {
+	// The commit log opens before recovery: recoverState restores the
+	// groomed/post-groomed state and recoverWAL then replays the log
+	// tail above the groom watermark to rebuild the live zone.
+	log, err := wal.Open(cfg.Store, WALStoragePrefix(cfg.Table.Name), cfg.Durability.walOptions())
+	if err != nil {
 		closeAll()
 		return nil, err
+	}
+	e.wal = log
+	fail := func(err error) (*Engine, error) {
+		e.wal.Close()
+		for _, ti := range e.indexSet() {
+			ti.idx.Close()
+		}
+		return nil, err
+	}
+	if err := e.recoverState(); err != nil {
+		return fail(err)
+	}
+	if err := e.recoverWAL(); err != nil {
+		return fail(err)
 	}
 	// Secondaries declared in the config but absent from the catalog:
 	// online backfill (on a fresh table this is a no-op build).
@@ -243,10 +286,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			continue
 		}
 		if err := e.CreateIndex(s); err != nil {
-			for _, ti := range e.indexSet() {
-				ti.idx.Close()
-			}
-			return nil, err
+			return fail(err)
 		}
 	}
 	return e, nil
@@ -319,20 +359,22 @@ func (e *Engine) loop(every time.Duration, f func()) {
 	}
 }
 
-// Close stops the daemons and the index set. The teardown holds
-// indexMu so it serializes against an in-flight CreateIndex: either the
-// create publishes first (and its index is closed here) or it observes
-// closed under the lock and aborts — a created index can never outlive
-// Close with running maintenance workers.
+// Close stops the daemons and the index set, flushes any buffered
+// commit-log batch and writes the clean-shutdown marker (so an orderly
+// restart can skip log replay). The teardown holds indexMu so it
+// serializes against an in-flight CreateIndex: either the create
+// publishes first (and its index is closed here) or it observes closed
+// under the lock and aborts — a created index can never outlive Close
+// with running maintenance workers. Close after Close is a no-op.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(e.stopCh)
 	e.wg.Wait()
+	first := e.closeWAL()
 	e.indexMu.Lock()
 	defer e.indexMu.Unlock()
-	var first error
 	for _, ti := range e.indexSet() {
 		if err := ti.idx.Close(); err != nil && first == nil {
 			first = err

@@ -43,6 +43,18 @@ func (e *Engine) GroomCount() (int, error) {
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].commitSeq < recs[j].commitSeq })
 
+	// A groom that fails after draining must not lose the records: they
+	// are acknowledged (and durable per the sync policy). Requeue them so
+	// they stay visible to live reads and a later groom retries; the
+	// watermark cannot pass them because their sequences are only marked
+	// drained on success.
+	groomed := false
+	defer func() {
+		if !groomed {
+			e.replicas[0].requeue(recs)
+		}
+	}()
+
 	cycle := e.groomCycle.Add(1)
 	schema, err := e.table.blockSchema()
 	if err != nil {
@@ -101,6 +113,7 @@ func (e *Engine) GroomCount() (int, error) {
 		}
 	}
 
+	groomed = true
 	e.pendingMu.Lock()
 	e.pending = append(e.pending, cycle)
 	e.pendingMu.Unlock()
@@ -108,6 +121,18 @@ func (e *Engine) GroomCount() (int, error) {
 	// Publish the new snapshot boundary: all versions of this cycle are
 	// now quorum-readable.
 	e.lastGroomTS.Store(uint64(types.MakeTS(cycle, 1<<24-1)))
+
+	// The data block and every index run have landed, so the commit log
+	// up to this cycle's sequences is consumed: advance the watermark
+	// (gaps pin it), persist it, and reclaim wholly-consumed segments.
+	seqs := make([]uint64, len(recs))
+	for i, rec := range recs {
+		seqs[i] = rec.commitSeq
+	}
+	mark := e.noteGroomedSeqs(seqs)
+	if err := e.publishWalMark(mark, cycle); err != nil {
+		return len(recs), err
+	}
 	return len(recs), nil
 }
 

@@ -7,10 +7,14 @@ import (
 )
 
 // The live zone (§2.1): transactions append uncommitted changes to a
-// local side-log; on commit the side-log moves to the replica's committed
-// log with a tentative commit timestamp. The committed log is the
-// groomer's input and is also scanned directly by freshness-sensitive
-// queries, since the live zone is not covered by the index (§3).
+// local side-log; on commit the side-log is made durable in the shard's
+// commit log (internal/wal) and then published to the replica's
+// committed in-memory log with its tentative commit sequences. The
+// committed log is the groomer's input and is also scanned directly by
+// freshness-sensitive queries, since the live zone is not covered by
+// the index (§3). The in-memory log is a view of the durable log's
+// tail: a crash rebuilds it by replaying every sequence above the groom
+// watermark (recoverWAL).
 
 // logRecord is one committed upsert awaiting grooming.
 type logRecord struct {
@@ -26,12 +30,23 @@ type replica struct {
 	log []logRecord
 }
 
-// appendCommitted adds a transaction's side-log to the committed log.
-func (r *replica) appendCommitted(rows []Row, seqOf func() uint64) {
+// appendWithSeqs publishes rows to the committed log; row i carries the
+// pre-assigned commit sequence base+i. Sequences are assigned before
+// the durable log append, so by the time a row is visible here it is
+// already as durable as the sync policy promises.
+func (r *replica) appendWithSeqs(rows []Row, base uint64) {
 	r.mu.Lock()
-	for _, row := range rows {
-		r.log = append(r.log, logRecord{row: row, commitSeq: seqOf()})
+	for i, row := range rows {
+		r.log = append(r.log, logRecord{row: row, commitSeq: base + uint64(i)})
 	}
+	r.mu.Unlock()
+}
+
+// requeue puts drained records back (a groom that failed after draining
+// must not lose them: they are acknowledged and, per policy, durable).
+func (r *replica) requeue(recs []logRecord) {
+	r.mu.Lock()
+	r.log = append(r.log, recs...)
 	r.mu.Unlock()
 }
 
@@ -104,8 +119,12 @@ func (tx *Txn) Commit() error {
 }
 
 // CommitContext is Commit honoring a context: a cancelled context
-// aborts the transaction before anything becomes visible (the publish
-// itself is a single in-memory append and is not interruptible).
+// aborts the transaction before anything becomes visible. Once past the
+// check the commit runs to completion — the side-log is appended to the
+// shard's durable commit log (per-commit sync joins a group commit and
+// returns only after the shared segment write lands) and then published
+// to the replica's committed log; an error from the log append means
+// the rows are neither durable nor visible.
 func (tx *Txn) CommitContext(ctx context.Context) error {
 	if tx.done {
 		return fmt.Errorf("wildfire: transaction already finished")
@@ -118,7 +137,12 @@ func (tx *Txn) CommitContext(ctx context.Context) error {
 	if len(tx.sidelog) == 0 {
 		return nil
 	}
-	tx.replica.appendCommitted(tx.sidelog, func() uint64 { return tx.eng.commitSeq.Add(1) })
+	first, err := tx.eng.stageCommit(tx.replica.id, tx.sidelog)
+	if err != nil {
+		tx.sidelog = nil
+		return err
+	}
+	tx.replica.appendWithSeqs(tx.sidelog, first)
 	tx.sidelog = nil
 	return nil
 }

@@ -62,6 +62,11 @@ type ShardedConfig struct {
 	Partitions int
 	// IndexTuning forwards index knobs to every shard's Umzi instance.
 	IndexTuning core.Config
+	// Durability configures every shard's commit log (one log per
+	// shard). Shard watermarks advance in lockstep with the groom
+	// rounds, so a cross-shard snapshot cuts every shard at a recovered
+	// prefix. The zero value is full per-commit durability.
+	Durability DurabilityOptions
 }
 
 // ShardedEngine is a sharded Wildfire table: N engines behind one
@@ -145,6 +150,7 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 			Replicas:    cfg.Replicas,
 			Partitions:  cfg.Partitions,
 			IndexTuning: cfg.IndexTuning,
+			Durability:  cfg.Durability,
 		}
 		shardCfg.Table.Name = shardTableName(cfg.Table.Name, i)
 		if cfg.ShardStore != nil {
@@ -394,6 +400,15 @@ func (s *ShardedEngine) UpsertRows(replicaID int, rows ...Row) error {
 		}
 	}
 	return tx.Commit()
+}
+
+// WALStatus reports every shard's commit-log state, indexed by shard.
+func (s *ShardedEngine) WALStatus() []WALStatus {
+	out := make([]WALStatus, len(s.shards))
+	for i, e := range s.shards {
+		out[i] = e.WALStatus()
+	}
+	return out
 }
 
 // LiveCount reports committed-but-ungroomed records across all shards.

@@ -43,12 +43,14 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 		{"examples/iot", nil, ""},
 		{"examples/htap", nil, ""},
 		{"examples/recovery", nil, ""},
+		{"examples/durability", nil, "zero acknowledged rows lost"},
 		{"examples/sharded", []string{"-rows", "20000", "-shards", "4"}, "global id order verified"},
 		{"examples/analytics", []string{"-rows", "20000", "-shards", "4"}, "pushdown verified against client-side aggregation"},
 		{"examples/secondary", []string{"-rows", "20000", "-customers", "128", "-shards", "4"}, "index plan, zone scan and covered scan agree"},
 		{"cmd/umzi-bench", []string{"-list"}, "available figures"},
 		{"cmd/umzi-bench", []string{"-figure", "s1", "-scale", "tiny"}, "Figure S1"},
 		{"cmd/umzi-bench", []string{"-figure", "s2", "-scale", "tiny"}, "Figure S2"},
+		{"cmd/umzi-bench", []string{"-figure", "s3", "-scale", "tiny"}, "Figure S3"},
 		{"cmd/umzi-bench", []string{"-figure", "a7", "-scale", "tiny"}, "Ablation A7"},
 		{"cmd/umzi-bench", []string{"-figure", "a8", "-scale", "tiny"}, "Ablation A8"},
 		{"cmd/umzi-inspect", []string{"-store", dir}, ""},

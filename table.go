@@ -27,6 +27,7 @@ type topology interface {
 	CreateIndex(spec wildfire.SecondaryIndexSpec) error
 	SecondarySpecs() []wildfire.SecondaryIndexSpec
 	RunQuery(ctx context.Context, spec wildfire.QuerySpec) (*wildfire.QueryRows, error)
+	WALStatus() []wildfire.WALStatus
 	begin(replica int) (commitTxn, error)
 }
 
@@ -43,6 +44,9 @@ type singleTopo struct{ *wildfire.Engine }
 func (t singleTopo) NumShards() int       { return 1 }
 func (t singleTopo) SnapshotTS() types.TS { return t.LastGroomTS() }
 func (t singleTopo) PostGroom() error     { _, err := t.Engine.PostGroom(); return err }
+func (t singleTopo) WALStatus() []wildfire.WALStatus {
+	return []wildfire.WALStatus{t.Engine.WALStatus()}
+}
 func (t singleTopo) begin(replica int) (commitTxn, error) {
 	return t.Engine.Begin(replica)
 }
@@ -140,3 +144,13 @@ func (t *Table) LiveCount() int { return t.topo.LiveCount() }
 // SnapshotTS returns the table's default read point: the newest groomed
 // snapshot every shard can serve.
 func (t *Table) SnapshotTS() TS { return t.topo.SnapshotTS() }
+
+// Durability returns the table's commit-log configuration as created or
+// recovered from the catalog (defaults resolved).
+func (t *Table) Durability() DurabilityOptions { return t.catalogEntry.Durability }
+
+// WALStatus reports each shard's commit-log state: durable segments and
+// bytes, the groom watermark, and the largest commit sequence assigned.
+// The distance between watermark and max sequence is the replay tail a
+// crash would rebuild into the live zone.
+func (t *Table) WALStatus() []WALStatus { return t.topo.WALStatus() }

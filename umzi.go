@@ -232,6 +232,32 @@ type (
 	// TableColumn describes one table column (alias of the columnar
 	// package's column descriptor).
 	TableColumn = wildfire.TableColumn
+	// DurabilityOptions configure a table's per-shard commit log:
+	// sync policy (per-commit group commit, background interval, or
+	// off), target segment size and the group-commit window. Commits
+	// append to the log before they are acknowledged; recovery replays
+	// the log tail above the groom watermark, so with SyncPerCommit a
+	// crash loses no acknowledged writes.
+	DurabilityOptions = wildfire.DurabilityOptions
+	// SyncPolicy selects when a commit becomes durable.
+	SyncPolicy = wildfire.SyncPolicy
+	// WALStatus is a snapshot of one shard's commit-log state.
+	WALStatus = wildfire.WALStatus
+)
+
+// Commit-log sync policies.
+const (
+	// SyncDefault resolves to SyncPerCommit.
+	SyncDefault = wildfire.SyncDefault
+	// SyncPerCommit acknowledges a commit only after its log records
+	// are durable; concurrent committers share one segment write.
+	SyncPerCommit = wildfire.SyncPerCommit
+	// SyncInterval makes commits durable in the background every
+	// DurabilityOptions.SyncInterval (bounded loss window).
+	SyncInterval = wildfire.SyncInterval
+	// SyncOff buffers the log in memory until a segment fills; crash
+	// durability then starts at the last groom or segment flush.
+	SyncOff = wildfire.SyncOff
 )
 
 // NewEngine creates a table-shard engine (one Umzi index instance plus
