@@ -1,0 +1,102 @@
+// Command umzi-workload runs registered HTAP scenarios against an
+// in-process umzi.DB. Scenarios self-register by name (the package and
+// function that implement them) and declare attributes — read-heavy,
+// write-heavy, crash-injecting, long-running — that drive selection.
+// Results go to stdout as one JSON report: pass/fail per scenario with
+// recorded failures, latency percentiles per operation class, and
+// snapshot-freshness percentiles where a scenario probes them.
+//
+// Usage:
+//
+//	umzi-workload -list
+//	umzi-workload -run htap.OrderAnalytics
+//	umzi-workload -attr read-heavy,write-heavy      # OR of attributes
+//	umzi-workload -attr 'write-heavy&!crash-injecting'
+//	umzi-workload -attr crash-injecting -scale 2 -seed 7 -v
+//
+// Exit status is 0 when every selected scenario passes, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"umzi/internal/workload"
+	_ "umzi/internal/workload/scenarios/all"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	run := flag.String("run", "", "run exactly these comma-separated scenario names")
+	attr := flag.String("attr", "", "run scenarios matching this attribute expression (comma=OR, '&'=AND, '!'=NOT)")
+	scale := flag.Int("scale", 1, "load multiplier (>= 1)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	timeout := flag.Duration("timeout", 0, "override every scenario's timeout (0 keeps per-scenario defaults)")
+	verbose := flag.Bool("v", false, "log scenario progress to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Scenarios() {
+			fmt.Printf("%-24s [%s] %s\n", s.Name(), strings.Join(s.Attrs, ","), s.Desc)
+		}
+		return
+	}
+	if *run != "" && *attr != "" {
+		fmt.Fprintln(os.Stderr, "umzi-workload: -run and -attr are mutually exclusive")
+		os.Exit(2)
+	}
+
+	var scenarios []*workload.Scenario
+	selection := *attr
+	switch {
+	case *run != "":
+		selection = *run
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			s, ok := workload.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "umzi-workload: unknown scenario %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			scenarios = append(scenarios, s)
+		}
+	default:
+		var err error
+		scenarios, err = workload.Select(*attr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "umzi-workload: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(scenarios) == 0 {
+		fmt.Fprintf(os.Stderr, "umzi-workload: no scenarios match %q\n", selection)
+		os.Exit(2)
+	}
+
+	opts := workload.RunOptions{
+		Scale:   *scale,
+		Seed:    *seed,
+		Timeout: *timeout,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+format+"\n", args...)
+		}
+	}
+
+	rep := workload.Run(scenarios, opts, selection)
+	fmt.Fprint(os.Stderr, workload.FormatSummary(rep))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "umzi-workload: encode report: %v\n", err)
+		os.Exit(1)
+	}
+	if !rep.Passed {
+		os.Exit(1)
+	}
+}

@@ -81,6 +81,11 @@ func (a *aggAcc) finalize(fn AggFunc, kind keyenc.Kind) keyenc.Value {
 			return keyenc.F64(a.fsum)
 		}
 	case Avg:
+		if a.count == 0 {
+			// Empty input: the zero (invalid-kind) Value stands in for
+			// SQL NULL, same as Min/Max below — not NaN.
+			return keyenc.Value{}
+		}
 		return keyenc.F64(a.fsum / float64(a.count))
 	case Min:
 		return a.min
@@ -255,6 +260,13 @@ func (b *BoundPlan) FinalizeIter(parts ...*Partial) *RowIter {
 	}
 	if merged == nil {
 		merged = b.NewPartial()
+	}
+	if b.Aggregating() && len(b.groupBy) == 0 && len(merged.groups) == 0 {
+		// A global aggregate (no GROUP BY) always has exactly one result
+		// row, even over zero qualifying rows: COUNT(*) is 0, SUM the
+		// typed zero, AVG/MIN/MAX the zero Value (the NULL stand-in) —
+		// not an empty result set.
+		merged.groups[""] = &groupState{accs: make([]aggAcc, len(b.aggs))}
 	}
 	emitted := 0
 	capped := func(row []keyenc.Value, ok bool) ([]keyenc.Value, bool) {

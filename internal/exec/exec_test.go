@@ -216,13 +216,35 @@ func TestGlobalAggregateAndEmptyResult(t *testing.T) {
 		t.Fatalf("global aggregate wrong: %v", res.Rows)
 	}
 
-	// No qualifying rows: empty result, even for COUNT.
+	// No qualifying rows: a global aggregate still yields exactly one
+	// row — COUNT is 0, AVG is the zero (NULL stand-in) Value.
 	empty := b.Finalize(b.NewPartial())
-	if len(empty.Rows) != 0 {
-		t.Fatalf("empty aggregation returned rows: %v", empty.Rows)
+	if len(empty.Rows) != 1 {
+		t.Fatalf("empty global aggregate rows = %v, want one row", empty.Rows)
 	}
-	if b.Finalize() == nil || len(b.Finalize().Rows) != 0 {
-		t.Fatal("Finalize of no partials should be empty, not nil")
+	if got := empty.Rows[0][0].Int(); got != 0 {
+		t.Fatalf("empty COUNT = %d, want 0", got)
+	}
+	if got := empty.Rows[0][1].Kind(); got != keyenc.KindInvalid {
+		t.Fatalf("empty AVG kind = %v, want the zero Value", got)
+	}
+	if noParts := b.Finalize(); len(noParts.Rows) != 1 || noParts.Rows[0][0].Int() != 0 {
+		t.Fatalf("Finalize of no partials = %v, want the zero-count row", b.Finalize().Rows)
+	}
+
+	// Grouped aggregates keep SQL semantics too: zero qualifying rows
+	// means zero groups, not a synthesized one.
+	gplan := Plan{
+		Filter:  Gt("amount", keyenc.F64(1e9)),
+		GroupBy: []string{"region"},
+		Aggs:    []Agg{{Func: Count}},
+	}
+	gb, err := gplan.Bind(testCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := gb.Finalize(gb.NewPartial()); len(res.Rows) != 0 {
+		t.Fatalf("empty grouped aggregate returned rows: %v", res.Rows)
 	}
 }
 

@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Write-fault injection. A FaultStore wraps any ObjectStore and fails
+// every mutation (Put, Delete) once a write budget is exhausted,
+// simulating a crash cut at an arbitrary storage write — the groomer
+// mid-block, the commit log mid-segment, the catalog mid-record. Reads
+// always pass through: a "crashed" process's survivors stay readable,
+// which is exactly what recovery needs. Once dead the store stays dead
+// until Revive arms a fresh budget, so a multi-object operation cannot
+// half-succeed after its first failure.
+//
+// This is the hook behind the crash-recovery property tests and the
+// crash.* workload scenarios (cmd/umzi-workload).
+
+// ErrInjectedFault is the error every mutation returns once a
+// FaultStore's write budget is exhausted. Test with errors.Is.
+var ErrInjectedFault = errors.New("storage: injected write fault (budget exhausted)")
+
+// FaultStore is a budgeted write-fault wrapper around an ObjectStore.
+// The zero budget fails the first write; call Revive to arm it. Safe
+// for concurrent use (the budget and death flag are atomic).
+type FaultStore struct {
+	ObjectStore
+	budget atomic.Int64
+	dead   atomic.Bool
+}
+
+// NewFaultStore wraps inner with a write budget of n mutations; n <= 0
+// starts the store dead (every write fails until Revive).
+func NewFaultStore(inner ObjectStore, n int64) *FaultStore {
+	s := &FaultStore{ObjectStore: inner}
+	s.Revive(n)
+	return s
+}
+
+// Revive arms a fresh write budget and clears the death flag.
+func (s *FaultStore) Revive(n int64) {
+	s.budget.Store(n)
+	s.dead.Store(false)
+}
+
+// Failing reports whether the budget has been exhausted (writes are
+// currently failing).
+func (s *FaultStore) Failing() bool { return s.dead.Load() }
+
+// charge consumes one unit of budget, killing the store at zero.
+func (s *FaultStore) charge() error {
+	if s.dead.Load() {
+		return ErrInjectedFault
+	}
+	if s.budget.Add(-1) < 0 {
+		s.dead.Store(true)
+		return ErrInjectedFault
+	}
+	return nil
+}
+
+// Put implements ObjectStore, charging the write budget.
+func (s *FaultStore) Put(name string, data []byte) error {
+	if err := s.charge(); err != nil {
+		return err
+	}
+	return s.ObjectStore.Put(name, data)
+}
+
+// Delete implements ObjectStore, charging the write budget.
+func (s *FaultStore) Delete(name string) error {
+	if err := s.charge(); err != nil {
+		return err
+	}
+	return s.ObjectStore.Delete(name)
+}

@@ -7,7 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"umzi/internal/exec"
@@ -26,46 +25,10 @@ import (
 // crash. Set UMZI_FSYNC=1 to run the property test against a
 // filesystem store with fsync enabled (the CI durability tier).
 
-var errInjectedCrash = errors.New("injected crash: storage write budget exhausted")
-
-// crashStore passes reads through and fails every write once the budget
-// is exhausted, simulating a crash cut at an arbitrary storage write.
-// Once dead it stays dead until revived.
-type crashStore struct {
-	storage.ObjectStore
-	budget atomic.Int64
-	dead   atomic.Bool
-}
-
-func (s *crashStore) charge() error {
-	if s.dead.Load() {
-		return errInjectedCrash
-	}
-	if s.budget.Add(-1) < 0 {
-		s.dead.Store(true)
-		return errInjectedCrash
-	}
-	return nil
-}
-
-func (s *crashStore) Put(name string, data []byte) error {
-	if err := s.charge(); err != nil {
-		return err
-	}
-	return s.ObjectStore.Put(name, data)
-}
-
-func (s *crashStore) Delete(name string) error {
-	if err := s.charge(); err != nil {
-		return err
-	}
-	return s.ObjectStore.Delete(name)
-}
-
-func (s *crashStore) revive(budget int64) {
-	s.budget.Store(budget)
-	s.dead.Store(false)
-}
+// The injected-failure store lives in internal/storage (FaultStore): it
+// passes reads through and fails every write once a budget is
+// exhausted, simulating a crash cut at an arbitrary storage write. The
+// umzi-workload crash scenarios drive the same hook.
 
 // crashBackend returns the underlying durable store: in-memory by
 // default, a filesystem store with fsync when UMZI_FSYNC is set.
@@ -149,7 +112,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(1000 + seed)))
 			backend := crashBackend(t, fmt.Sprintf("prop-%d", seed))
-			cs := &crashStore{ObjectStore: backend}
+			cs := storage.NewFaultStore(backend, 0)
 			cfg := Config{
 				Table:    iotTable(),
 				Index:    iotIndex(),
@@ -165,10 +128,10 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 			lifetimes := 6
 			for life := 0; life < lifetimes; life++ {
-				cs.revive(rng.Int63n(60) + 5)
+				cs.Revive(rng.Int63n(60) + 5)
 				e, err := NewEngine(cfg)
 				if err != nil {
-					if errors.Is(err, errInjectedCrash) {
+					if errors.Is(err, storage.ErrInjectedFault) {
 						continue // crashed during recovery; next lifetime retries
 					}
 					t.Fatalf("lifetime %d: reopen: %v", life, err)
@@ -209,7 +172,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				if !crashed && rng.Intn(3) == 0 {
 					// Occasionally shut down cleanly so recovery also
 					// exercises the clean-marker fast path.
-					cs.revive(1 << 50)
+					cs.Revive(1 << 50)
 					if err := e.Close(); err != nil {
 						t.Fatalf("lifetime %d: clean close: %v", life, err)
 					}
@@ -221,7 +184,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 			// Final reopen with unbounded storage: full equivalence, then
 			// quiesce and check the log is bounded.
-			cs.revive(1 << 50)
+			cs.Revive(1 << 50)
 			e, err := NewEngine(cfg)
 			if err != nil {
 				t.Fatalf("final reopen: %v", err)
@@ -255,7 +218,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 // row must have been attempted.
 func TestCrashRecoveryConcurrent(t *testing.T) {
 	backend := crashBackend(t, "concurrent")
-	cs := &crashStore{ObjectStore: backend}
+	cs := storage.NewFaultStore(backend, 0)
 	cfg := Config{
 		Table:      iotTable(),
 		Index:      iotIndex(),
@@ -264,7 +227,7 @@ func TestCrashRecoveryConcurrent(t *testing.T) {
 		Durability: DurabilityOptions{SyncPolicy: SyncPerCommit, SegmentBytes: 512},
 	}
 	cfg.IndexTuning.BlockSize = 1024
-	cs.revive(400)
+	cs.Revive(400)
 	e, err := NewEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -311,7 +274,7 @@ func TestCrashRecoveryConcurrent(t *testing.T) {
 	}()
 	wg.Wait()
 	// Crash: drop the engine without Close and reopen on the survivors.
-	cs.revive(1 << 50)
+	cs.Revive(1 << 50)
 	e2, err := NewEngine(cfg)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)

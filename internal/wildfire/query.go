@@ -347,7 +347,7 @@ func (e *Engine) IndexOnlyStreamOn(ctx context.Context, index string, eq, sortLo
 // — happens only as the consumer advances, so an early Close abandons
 // it. The returned release func exits the gate epoch and must be called
 // exactly once (the cursors do this via Close).
-func (e *Engine) openIndexScan(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions, decode bool) (func() (verifiedEntry, bool, error), func(), error) {
+func (e *Engine) openIndexScan(ctx context.Context, index string, eq, sortLo, sortHi []keyenc.Value, opts QueryOptions, decode bool) (func() (verifiedEntry, bool, error), func() error, error) {
 	if e.closed.Load() {
 		return nil, nil, fmt.Errorf("wildfire: engine closed")
 	}
@@ -361,7 +361,7 @@ func (e *Engine) openIndexScan(ctx context.Context, index string, eq, sortLo, so
 	}
 	ts := e.resolveTS(opts)
 	epoch := e.gate.enter()
-	release := func() { e.gate.exit(epoch) }
+	release := func() error { e.gate.exit(epoch); return nil }
 
 	if opts.Limit > 0 {
 		ves, err := e.indexScanEntries(ctx, ti, eq, sortLo, sortHi, ts, opts.Limit, decode)

@@ -346,7 +346,7 @@ func runCompiled(ctx context.Context, ops queryOps, cq *compiledQuery) (*QueryRo
 			}
 			return nil, false, cur.Err()
 		})
-		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, func() { cur.Close() })}, nil
+		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, cur.Close)}, nil
 
 	case modeIndexOnly:
 		scanOpts := opts
@@ -372,7 +372,7 @@ func runCompiled(ctx context.Context, ops queryOps, cq *compiledQuery) (*QueryRo
 			}
 			return nil, false, cur.Err()
 		})
-		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, func() { cur.Close() })}, nil
+		return &QueryRows{Columns: cq.bound.Columns(), Cursor: newCursor(fetch, cur.Close)}, nil
 
 	default: // modeExec
 		parts, err := ops.execPartials(ctx, cq.bound, spec.Filter, opts)

@@ -25,18 +25,19 @@ import (
 // is idempotent.
 type Cursor[T any] struct {
 	fetch   func() (T, bool, error)
-	release func()
+	release func() error
 	cur     T
 	err     error
 	done    bool
 }
 
-func newCursor[T any](fetch func() (T, bool, error), release func()) *Cursor[T] {
+func newCursor[T any](fetch func() (T, bool, error), release func() error) *Cursor[T] {
 	return &Cursor[T]{fetch: fetch, release: release}
 }
 
 // Next advances to the next result, reporting whether one is available.
-// After Next returns false, Err distinguishes exhaustion from failure.
+// After Next returns false, Err distinguishes exhaustion from failure —
+// including a failure of the release path run by the automatic close.
 func (c *Cursor[T]) Next() bool {
 	if c.done {
 		return false
@@ -44,14 +45,18 @@ func (c *Cursor[T]) Next() bool {
 	v, ok, err := c.fetch()
 	if err != nil || !ok {
 		c.err = err
-		_ = c.Close()
+		if cerr := c.Close(); cerr != nil && c.err == nil {
+			c.err = cerr
+		}
 		return false
 	}
 	c.cur = v
 	return true
 }
 
-// Value returns the result Next advanced to.
+// Value returns the result Next advanced to. After the stream ends —
+// Next returning false, or Close — it returns the zero value, never a
+// stale row.
 func (c *Cursor[T]) Value() T { return c.cur }
 
 // Err returns the error that terminated the stream, if any. A cancelled
@@ -61,30 +66,39 @@ func (c *Cursor[T]) Err() error { return c.err }
 // Close releases the cursor's resources: the query-gate epoch of a
 // single-engine cursor, or the per-shard workers of a sharded cursor
 // (Close cancels their context and waits for them to exit, so no
-// goroutine outlives it). Close is idempotent and safe after exhaustion.
+// goroutine outlives it). The first Close returns the release path's
+// error; Close is idempotent and safe (a nil no-op) after exhaustion.
 func (c *Cursor[T]) Close() error {
-	if !c.done {
-		c.done = true
-		if c.release != nil {
-			c.release()
-		}
+	if c.done {
+		return nil
+	}
+	c.done = true
+	var zero T
+	c.cur = zero
+	if c.release != nil {
+		return c.release()
 	}
 	return nil
 }
 
 // drainCursor materializes a cursor — the shim the legacy []Record entry
 // points are built on, so the streaming code path is the only scan
-// implementation.
+// implementation. A release-path failure surfaces when iteration itself
+// succeeded (exhaustion auto-closes, so Err already carries it; the
+// explicit Close covers an early break).
 func drainCursor[T any](cur *Cursor[T], err error) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer cur.Close()
 	var out []T
 	for cur.Next() {
 		out = append(out, cur.Value())
 	}
-	return out, cur.Err()
+	err = cur.Err()
+	if cerr := cur.Close(); err == nil {
+		err = cerr
+	}
+	return out, err
 }
 
 // streamBuf is the per-shard channel depth of a sharded stream: deep
@@ -211,9 +225,10 @@ func scatterStream[T any](
 		}()
 	}
 
-	release := func() {
+	release := func() error {
 		cancel()
 		wg.Wait()
+		return nil
 	}
 
 	// terminalErr resolves what ended the stream: a worker's error wins

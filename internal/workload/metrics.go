@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latency recording. Scenarios observe raw samples per operation class
+// ("ingest", "analytics", "scan", ...); the runner summarizes them into
+// percentiles for the JSON report. Samples are milliseconds as float64
+// — human-scale units for a human-read report.
+
+// maxSamples caps one recorder's memory; past it, new samples still
+// update the count and max but no longer shift the percentiles. The cap
+// is far above anything the shipped scenarios produce.
+const maxSamples = 1 << 20
+
+// LatencySummary is the JSON shape of one operation class's latency
+// distribution.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// recorder accumulates latency samples; safe for concurrent use.
+type recorder struct {
+	mu      sync.Mutex
+	samples []float64 // ms
+	count   int
+	sum     float64
+	max     float64
+}
+
+func (r *recorder) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.count++
+	r.sum += ms
+	if ms > r.max {
+		r.max = ms
+	}
+	if len(r.samples) < maxSamples {
+		r.samples = append(r.samples, ms)
+	}
+	r.mu.Unlock()
+}
+
+// summary folds the samples into percentiles (nearest-rank); nil when
+// nothing was observed.
+func (r *recorder) summary() *LatencySummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), r.samples...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return &LatencySummary{
+		Count: r.count,
+		Mean:  r.sum / float64(r.count),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   r.max,
+	}
+}

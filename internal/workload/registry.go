@@ -1,0 +1,227 @@
+// Package workload is the registered-scenario harness behind
+// cmd/umzi-workload: mixed HTAP scenarios — analytical queries racing
+// transactional ingest, crash injection mid-groom, cursor storms —
+// that run against an in-process umzi.DB and double as the
+// integration-test tier for the rest of the roadmap.
+//
+// Scenarios self-register by name from their package's init function
+// (the Tast registry design): the name is derived from the registering
+// package and function ("htap.OrderAnalytics" is func OrderAnalytics
+// in scenarios/htap), and each scenario declares attributes
+// (read-heavy, write-heavy, crash-injecting, long-running) that the
+// runner selects on. A scenario reports failures through its State —
+// it keeps running after Errorf, stops at Fatalf — and records latency
+// samples, snapshot-freshness samples and counters that the runner
+// folds into a JSON report.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The declarative scenario attributes. Registration rejects attributes
+// outside this set so a selection expression can never silently match
+// nothing because of a typo on either side.
+const (
+	// AttrReadHeavy marks scenarios dominated by queries.
+	AttrReadHeavy = "read-heavy"
+	// AttrWriteHeavy marks scenarios dominated by transactional ingest.
+	AttrWriteHeavy = "write-heavy"
+	// AttrCrashInjecting marks scenarios that inject storage write
+	// faults and exercise recovery.
+	AttrCrashInjecting = "crash-injecting"
+	// AttrLongRunning marks scenarios meant to soak (the runner still
+	// bounds them with the scenario timeout).
+	AttrLongRunning = "long-running"
+)
+
+var knownAttrs = map[string]bool{
+	AttrReadHeavy:      true,
+	AttrWriteHeavy:     true,
+	AttrCrashInjecting: true,
+	AttrLongRunning:    true,
+}
+
+// DefaultTimeout bounds a scenario that does not declare its own.
+const DefaultTimeout = 2 * time.Minute
+
+// Scenario is one registered workload. Name is not declared: it is
+// derived at Register time from the implementing function —
+// "<category>.<Func>" where the category is the final element of the
+// registering package's path — so names stay consistent with code
+// layout by construction.
+type Scenario struct {
+	// Func implements the scenario. It must be a named top-level
+	// function: its name (and package) become the scenario name. The
+	// function must honor ctx — the runner cancels it at the timeout.
+	Func func(ctx context.Context, s *State)
+	// Desc is the one-line description shown by -list.
+	Desc string
+	// Attrs are the declarative attributes the runner selects on.
+	Attrs []string
+	// Timeout bounds one run; 0 means DefaultTimeout.
+	Timeout time.Duration
+
+	name string
+}
+
+// Name returns the derived "<category>.<Func>" name.
+func (s *Scenario) Name() string { return s.name }
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Scenario{}
+)
+
+// Register adds a scenario to the global registry; scenario packages
+// call it from init, and the runner binary blank-imports the bundle
+// package (scenarios/all) to trigger those inits. Register panics on
+// any malformed registration — a broken scenario library should fail
+// the build of every binary that links it, not one run at a time.
+func Register(s *Scenario) {
+	if s.Func == nil {
+		panic("workload: Register called with nil Func")
+	}
+	name, err := deriveName(s.Func)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	if s.Desc == "" {
+		panic(fmt.Sprintf("workload: scenario %s has no Desc", name))
+	}
+	if len(s.Attrs) == 0 {
+		panic(fmt.Sprintf("workload: scenario %s declares no attributes", name))
+	}
+	for _, a := range s.Attrs {
+		if !knownAttrs[a] {
+			panic(fmt.Sprintf("workload: scenario %s declares unknown attribute %q", name, a))
+		}
+	}
+	s.name = name
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; ok {
+		panic(fmt.Sprintf("workload: scenario %s registered twice", name))
+	}
+	registry[name] = s
+}
+
+// deriveName turns a scenario function into its registry name:
+// "umzi/internal/workload/scenarios/htap.OrderAnalytics" becomes
+// "htap.OrderAnalytics". Anonymous functions and methods are rejected.
+func deriveName(fn func(context.Context, *State)) (string, error) {
+	pc := reflect.ValueOf(fn).Pointer()
+	f := runtime.FuncForPC(pc)
+	if f == nil {
+		return "", fmt.Errorf("cannot resolve scenario function")
+	}
+	full := f.Name() // "path/to/pkg.Func"
+	short := full
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		short = full[i+1:]
+	}
+	parts := strings.Split(short, ".")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", fmt.Errorf("scenario func %q must be a named top-level function", full)
+	}
+	if strings.HasPrefix(parts[1], "func") || strings.Contains(parts[1], "-") {
+		return "", fmt.Errorf("scenario func %q is anonymous; scenarios must be named top-level functions", full)
+	}
+	return parts[0] + "." + parts[1], nil
+}
+
+// Scenarios returns every registered scenario, sorted by name.
+func Scenarios() []*Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Lookup resolves one scenario by its exact name.
+func Lookup(name string) (*Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Match reports whether the scenario satisfies an attribute expression.
+// The expression is a comma-separated list of clauses ORed together;
+// within a clause, '&'-separated terms are ANDed, and a term may be
+// negated with a leading '!'. The empty expression matches everything.
+//
+//	"read-heavy,write-heavy"        read-heavy OR write-heavy
+//	"write-heavy&!crash-injecting"  write-heavy AND NOT crash-injecting
+func (s *Scenario) Match(expr string) (bool, error) {
+	if strings.TrimSpace(expr) == "" {
+		return true, nil
+	}
+	has := make(map[string]bool, len(s.Attrs))
+	for _, a := range s.Attrs {
+		has[a] = true
+	}
+	for _, clause := range strings.Split(expr, ",") {
+		ok := true
+		any := false
+		for _, term := range strings.Split(clause, "&") {
+			term = strings.TrimSpace(term)
+			if term == "" {
+				continue
+			}
+			any = true
+			want := true
+			if strings.HasPrefix(term, "!") {
+				want = false
+				term = strings.TrimSpace(term[1:])
+			}
+			if !knownAttrs[term] {
+				return false, fmt.Errorf("workload: unknown attribute %q in expression (known: %s)", term, strings.Join(KnownAttrs(), ", "))
+			}
+			if has[term] != want {
+				ok = false
+			}
+		}
+		if any && ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Select returns the registered scenarios matching the attribute
+// expression, sorted by name.
+func Select(expr string) ([]*Scenario, error) {
+	var out []*Scenario
+	for _, s := range Scenarios() {
+		ok, err := s.Match(expr)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// KnownAttrs lists the valid attribute names, sorted.
+func KnownAttrs() []string {
+	out := make([]string, 0, len(knownAttrs))
+	for a := range knownAttrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// The runner: executes selected scenarios one at a time (scenarios own
+// the whole process while they run — they measure latency percentiles
+// and goroutine baselines, so sharing the machine would pollute both)
+// and folds each scenario's state into a JSON-ready report.
+
+// RunOptions configure one runner invocation.
+type RunOptions struct {
+	// Scale multiplies scenario load (row counts, writers, iterations);
+	// values < 1 are treated as 1.
+	Scale int
+	// Seed is the base RNG seed scenarios derive from (reproducibility).
+	Seed int64
+	// Timeout overrides every scenario's own timeout when positive.
+	Timeout time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Result is one scenario's outcome in the report.
+type Result struct {
+	Name       string                     `json:"name"`
+	Desc       string                     `json:"desc"`
+	Attrs      []string                   `json:"attrs"`
+	Status     string                     `json:"status"` // "pass" | "fail"
+	Failures   []string                   `json:"failures,omitempty"`
+	DurationMS float64                    `json:"duration_ms"`
+	Latency    map[string]*LatencySummary `json:"latency_ms,omitempty"`
+	Freshness  *LatencySummary            `json:"freshness_ms,omitempty"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+}
+
+// Report is the runner's JSON output.
+type Report struct {
+	Selection string   `json:"selection"`
+	Scale     int      `json:"scale"`
+	Seed      int64    `json:"seed"`
+	Passed    bool     `json:"passed"`
+	Results   []Result `json:"results"`
+}
+
+// hangGrace is how long past its deadline a scenario may take to honor
+// context cancellation before the runner declares it hung and moves on.
+const hangGrace = 30 * time.Second
+
+// Run executes the scenarios in order and returns the combined report.
+func Run(scenarios []*Scenario, opts RunOptions, selection string) *Report {
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	rep := &Report{Selection: selection, Scale: opts.Scale, Seed: opts.Seed, Passed: true}
+	for _, scn := range scenarios {
+		res := runOne(scn, opts)
+		if res.Status != "pass" {
+			rep.Passed = false
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// runOne executes a single scenario with its timeout, recovering both
+// Fatalf aborts and unexpected panics into recorded failures.
+func runOne(scn *Scenario, opts RunOptions) Result {
+	state := newState(scn, opts)
+	timeout := scn.Timeout
+	if opts.Timeout > 0 {
+		timeout = opts.Timeout
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	state.logf("=== RUN %s (timeout %v)", scn.name, timeout)
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			switch r := recover(); r.(type) {
+			case nil, abortScenario:
+				// Normal return or Fatalf: the failure (if any) is recorded.
+			default:
+				state.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		scn.Func(ctx, state)
+	}()
+
+	hung := false
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline hit mid-scenario: the scenario should observe ctx and
+		// return promptly; give it a grace window before declaring it hung.
+		select {
+		case <-done:
+			state.Errorf("scenario exceeded its %v timeout", timeout)
+		case <-time.After(hangGrace):
+			hung = true
+			state.Errorf("scenario hung: did not return within %v of its %v deadline", hangGrace, timeout)
+		}
+	}
+	if !hung {
+		state.runCleanups()
+	}
+	elapsed := time.Since(start)
+
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	res := Result{
+		Name:       scn.name,
+		Desc:       scn.Desc,
+		Attrs:      scn.Attrs,
+		Status:     "pass",
+		Failures:   state.failures,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if len(state.failures) > 0 {
+		res.Status = "fail"
+	}
+	if len(state.counters) > 0 {
+		res.Counters = make(map[string]int64, len(state.counters))
+		for k, v := range state.counters {
+			res.Counters[k] = v
+		}
+	}
+	for op, r := range state.latencies {
+		if sum := r.summary(); sum != nil {
+			if res.Latency == nil {
+				res.Latency = map[string]*LatencySummary{}
+			}
+			res.Latency[op] = sum
+		}
+	}
+	res.Freshness = state.freshness.summary()
+	state.logf("--- %s %s (%.0f ms)", statusWord(res.Status), scn.name, res.DurationMS)
+	return res
+}
+
+func statusWord(status string) string {
+	if status == "pass" {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// FormatSummary renders a one-line-per-scenario human summary (the JSON
+// report is the machine surface; this goes to stderr).
+func FormatSummary(rep *Report) string {
+	out := ""
+	for _, r := range rep.Results {
+		out += fmt.Sprintf("%-5s %-24s %8.0f ms", statusWord(r.Status), r.Name, r.DurationMS)
+		if f := r.Freshness; f != nil {
+			out += fmt.Sprintf("  freshness p50 %.1f ms", f.P50)
+		}
+		out += "\n"
+		for _, msg := range r.Failures {
+			out += "      " + msg + "\n"
+		}
+	}
+	return out
+}

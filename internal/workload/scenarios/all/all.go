@@ -1,0 +1,12 @@
+// Package all links the complete scenario library into a binary: blank
+// import it to trigger every scenario package's registration init.
+// cmd/umzi-workload imports it; a test that wants the full library in
+// its registry can too.
+package all
+
+import (
+	_ "umzi/internal/workload/scenarios/crash"
+	_ "umzi/internal/workload/scenarios/htap"
+	_ "umzi/internal/workload/scenarios/iot"
+	_ "umzi/internal/workload/scenarios/stream"
+)

@@ -1,0 +1,252 @@
+// Package htap holds mixed transactional/analytical scenarios: the
+// CH-benCHmark shape — analytical queries racing transactional ingest
+// on the same table — with snapshot-consistency assertions on every
+// analytical read.
+package htap
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"umzi"
+	"umzi/internal/workload"
+)
+
+func init() {
+	workload.Register(&workload.Scenario{
+		Func: OrderAnalytics,
+		Desc: "GROUP-BY aggregates race transactional upserts; every analytical read must be internally consistent at its snapshot timestamp",
+		Attrs: []string{
+			workload.AttrReadHeavy,
+			workload.AttrWriteHeavy,
+		},
+		Timeout: 3 * time.Minute,
+	})
+}
+
+// batchRows is the number of order rows each transaction inserts for
+// one (customer, batch) pair — the atomic unit every analytical read
+// must see wholly or not at all.
+const batchRows = 4
+
+// probeCustomer is the shard-key value reserved for freshness markers.
+const probeCustomer = 1 << 20
+
+// OrderAnalytics drives writers committing fixed-size order batches
+// (all rows of a batch share one customer, hence one shard, hence one
+// transaction commit) while analysts run GROUP-BY aggregates at pinned
+// snapshot timestamps. Invariants checked on every analytical read:
+//
+//   - batch atomicity: COUNT per (customer, batch) group is exactly
+//     batchRows — a partial batch means a snapshot cut a transaction
+//     in half (the version-visibility bug class MV-PBT warns about);
+//   - cross-query consistency: SUM of the group counts equals COUNT(*)
+//     run separately at the same timestamp;
+//   - repeatable read: re-running the COUNT(*) at the same timestamp
+//     while grooming advances returns the same answer.
+//
+// A prober samples snapshot freshness: the lag from a commit's ack to
+// its visibility at the newest groomed snapshot.
+func OrderAnalytics(ctx context.Context, s *workload.State) {
+	db := s.OpenDB(umzi.DBConfig{
+		Store:          umzi.NewMemStore(umzi.LatencyModel{}),
+		GroomEvery:     15 * time.Millisecond,
+		PostGroomEvery: 150 * time.Millisecond,
+	})
+	tbl, err := db.CreateTable(umzi.TableDef{
+		Name: "orders",
+		Columns: []umzi.TableColumn{
+			{Name: "customer", Kind: umzi.KindInt64},
+			{Name: "order", Kind: umzi.KindInt64},
+			{Name: "batch", Kind: umzi.KindInt64},
+			{Name: "amount", Kind: umzi.KindFloat64},
+		},
+		PrimaryKey: []string{"customer", "order"},
+		ShardKey:   []string{"customer"},
+	}, umzi.TableOptions{Shards: 4})
+	if err != nil {
+		s.Fatalf("create table: %v", err)
+	}
+
+	const writers, analysts = 2, 2
+	batchesPerWriter := 120 * s.Scale()
+	var batches, probeRows, analyticalReads atomic.Int64
+	var writersDone atomic.Bool
+	var wwg, rwg sync.WaitGroup
+
+	// Writers: one batch of batchRows rows per transaction, all for one
+	// customer so the commit is atomic on its shard. Customers and
+	// order numbers are disjoint across writers, so the primary keys of
+	// distinct batches never collide and row counts add up exactly.
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(s.Seed() + int64(w)))
+			for b := 0; b < batchesPerWriter && ctx.Err() == nil; b++ {
+				customer := int64(w*64 + rng.Intn(16))
+				batch := int64(w*batchesPerWriter + b)
+				rows := make([]umzi.Row, batchRows)
+				for i := range rows {
+					rows[i] = umzi.Row{
+						umzi.I64(customer),
+						umzi.I64(batch*batchRows + int64(i)),
+						umzi.I64(batch),
+						umzi.F64(rng.Float64() * 100),
+					}
+				}
+				stop := s.Time("ingest")
+				err := tbl.Upsert(ctx, rows...)
+				stop()
+				if err != nil {
+					if ctx.Err() == nil {
+						s.Errorf("writer %d: upsert batch %d: %v", w, batch, err)
+					}
+					return
+				}
+				batches.Add(1)
+				// Pace the stream so the run spans many groom cycles and
+				// the analysts race a moving snapshot, not a finished table.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Analysts: every read pins the newest groomed snapshot and checks
+	// the three invariants at that one timestamp.
+	for a := 0; a < analysts; a++ {
+		rwg.Add(1)
+		go func(a int) {
+			defer rwg.Done()
+			for ctx.Err() == nil && !writersDone.Load() {
+				ts := tbl.SnapshotTS()
+				stop := s.Time("analytics")
+				groups, err := tbl.Query().
+					Where(umzi.Lt("customer", umzi.I64(probeCustomer))).
+					GroupBy("customer", "batch").
+					Aggs(umzi.Agg{Func: umzi.AggCount}).
+					At(ts).
+					All(ctx)
+				stop()
+				if err != nil {
+					if ctx.Err() == nil {
+						s.Errorf("analyst %d: group-by at ts %d: %v", a, ts, err)
+					}
+					return
+				}
+				var groupTotal int64
+				for _, g := range groups {
+					n := g[2].Int()
+					groupTotal += n
+					if n != batchRows {
+						s.Errorf("analyst %d: snapshot %d sees partial batch customer=%d batch=%d: %d of %d rows",
+							a, ts, g[0].Int(), g[1].Int(), n, batchRows)
+					}
+				}
+				total, err := countOrdersAt(ctx, tbl, ts)
+				if err != nil {
+					if ctx.Err() == nil {
+						s.Errorf("analyst %d: count at ts %d: %v", a, ts, err)
+					}
+					return
+				}
+				if total != groupTotal {
+					s.Errorf("analyst %d: snapshot %d internally inconsistent: COUNT(*)=%d but group counts sum to %d",
+						a, ts, total, groupTotal)
+				}
+				if again, err := countOrdersAt(ctx, tbl, ts); err == nil && again != total {
+					s.Errorf("analyst %d: snapshot %d not repeatable: COUNT(*) %d then %d", a, ts, total, again)
+				}
+				analyticalReads.Add(1)
+			}
+		}(a)
+	}
+
+	// Freshness prober: commit a marker row, then poll the newest
+	// groomed snapshot (no IncludeLive) until it surfaces.
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for k := int64(0); ctx.Err() == nil && !writersDone.Load(); k++ {
+			probe := umzi.Row{umzi.I64(probeCustomer), umzi.I64(k), umzi.I64(-1), umzi.F64(0)}
+			if err := tbl.Upsert(ctx, probe); err != nil {
+				return
+			}
+			probeRows.Add(1)
+			acked := time.Now()
+			for ctx.Err() == nil {
+				_, found, err := tbl.Query().
+					Where(umzi.And(
+						umzi.Eq("customer", umzi.I64(probeCustomer)),
+						umzi.Eq("order", umzi.I64(k)))).
+					One(ctx)
+				if err != nil {
+					return
+				}
+				if found {
+					s.ObserveFreshness(time.Since(acked))
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	wwg.Wait()
+	writersDone.Store(true)
+	rwg.Wait()
+	s.Add("batches-committed", batches.Load())
+	s.Add("rows-committed", batches.Load()*batchRows)
+	s.Add("analytical-reads", analyticalReads.Load())
+	s.Add("freshness-probes", probeRows.Load())
+	if ctx.Err() != nil {
+		s.Errorf("timed out before final verification (%d/%d batches committed)", batches.Load(), int64(writers*batchesPerWriter))
+		return
+	}
+
+	// Final ground truth at a quiesced snapshot: every committed row —
+	// writer batches and freshness markers — is visible, exactly once.
+	if err := tbl.Groom(); err != nil {
+		s.Fatalf("final groom: %v", err)
+	}
+	total, err := countAllAt(ctx, tbl, tbl.SnapshotTS())
+	if err != nil {
+		s.Fatalf("final count: %v", err)
+	}
+	want := batches.Load()*batchRows + probeRows.Load()
+	if total != want {
+		s.Errorf("final snapshot count %d != %d committed rows", total, want)
+	}
+	s.Logf("done: %d batches, %d analytical reads", batches.Load(), analyticalReads.Load())
+}
+
+// countOrdersAt runs COUNT(*) over the order rows (excluding freshness
+// markers) at one pinned snapshot timestamp.
+func countOrdersAt(ctx context.Context, tbl *umzi.Table, ts umzi.TS) (int64, error) {
+	return countWhereAt(ctx, tbl, umzi.Lt("customer", umzi.I64(probeCustomer)), ts)
+}
+
+// countAllAt runs COUNT(*) over the whole table at a pinned timestamp.
+func countAllAt(ctx context.Context, tbl *umzi.Table, ts umzi.TS) (int64, error) {
+	return countWhereAt(ctx, tbl, nil, ts)
+}
+
+func countWhereAt(ctx context.Context, tbl *umzi.Table, filter umzi.Expr, ts umzi.TS) (int64, error) {
+	q := tbl.Query()
+	if filter != nil {
+		q = q.Where(filter)
+	}
+	rows, err := q.Aggs(umzi.Agg{Func: umzi.AggCount}).At(ts).All(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != 1 || len(rows[0]) != 1 {
+		return 0, fmt.Errorf("COUNT(*) returned %d rows", len(rows))
+	}
+	return rows[0][0].Int(), nil
+}

@@ -1,0 +1,201 @@
+// Package stream holds cursor-lifecycle scenarios: streaming Rows
+// cursors opened under load and then drained, abandoned half-way, or
+// closed immediately. The merge behind a cursor fans out one worker per
+// shard, so every abandoned cursor that fails to release its workers is
+// a goroutine leak — the invariant here is that the process returns to
+// its goroutine baseline after every storm.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"umzi"
+	"umzi/internal/workload"
+)
+
+func init() {
+	workload.Register(&workload.Scenario{
+		Func: EarlyClose,
+		Desc: "open/abandon/drain streaming cursors under concurrent ingest; goroutine count must return to baseline after every storm",
+		Attrs: []string{
+			workload.AttrReadHeavy,
+		},
+		Timeout: 2 * time.Minute,
+	})
+}
+
+// EarlyClose seeds a sharded table, then runs rounds of a cursor storm
+// while a writer keeps committing: each storm opens many Rows cursors
+// and ends them every way a caller can — full drain through Scan,
+// partial drain then Close, Close before the first Next, and context
+// cancellation mid-stream followed by more Next calls and a late Close.
+// After each storm (and at the end, after the DB itself is closed) the
+// goroutine count must settle back to the baseline captured before the
+// storm; a stuck shard worker or unreleased epoch gate shows up here.
+func EarlyClose(ctx context.Context, s *workload.State) {
+	db := s.OpenDB(umzi.DBConfig{
+		Store:          umzi.NewMemStore(umzi.LatencyModel{}),
+		GroomEvery:     10 * time.Millisecond,
+		PostGroomEvery: 100 * time.Millisecond,
+	})
+	tbl, err := db.CreateTable(umzi.TableDef{
+		Name: "ticks",
+		Columns: []umzi.TableColumn{
+			{Name: "series", Kind: umzi.KindInt64},
+			{Name: "tick", Kind: umzi.KindInt64},
+			{Name: "price", Kind: umzi.KindFloat64},
+		},
+		PrimaryKey: []string{"series", "tick"},
+		ShardKey:   []string{"series"},
+	}, umzi.TableOptions{Shards: 4})
+	if err != nil {
+		s.Fatalf("create table: %v", err)
+	}
+
+	// Seed enough rows that cursors have something to stream, and groom
+	// so reads fan out across shard workers rather than the live zone.
+	const seedRows = 2000
+	for lo := 0; lo < seedRows; lo += 100 {
+		rows := make([]umzi.Row, 100)
+		for i := range rows {
+			t := lo + i
+			rows[i] = umzi.Row{umzi.I64(int64(t % 8)), umzi.I64(int64(t)), umzi.F64(float64(t))}
+		}
+		if err := tbl.Upsert(ctx, rows...); err != nil {
+			s.Fatalf("seed: %v", err)
+		}
+	}
+	if err := tbl.Groom(); err != nil {
+		s.Fatalf("seed groom: %v", err)
+	}
+
+	// Background writer: keeps the live zone and groomer busy so cursor
+	// teardown races real work.
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for t := seedRows; wctx.Err() == nil; t++ {
+			_ = tbl.Upsert(wctx, umzi.Row{umzi.I64(int64(t % 8)), umzi.I64(int64(t)), umzi.F64(float64(t))})
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	rounds := 6 * s.Scale()
+	cursorsPerRound := 24
+	rng := rand.New(rand.NewSource(s.Seed() + 99))
+	for round := 0; round < rounds && ctx.Err() == nil; round++ {
+		baseline := settledGoroutines()
+		var swg sync.WaitGroup
+		for c := 0; c < cursorsPerRound; c++ {
+			swg.Add(1)
+			mode := c % 4
+			seed := rng.Int63()
+			go func(mode int, seed int64) {
+				defer swg.Done()
+				if err := runCursor(ctx, tbl, mode, seed); err != nil && ctx.Err() == nil {
+					s.Errorf("round %d cursor mode %d: %v", round, mode, err)
+				}
+				s.Add("cursors", 1)
+			}(mode, seed)
+		}
+		swg.Wait()
+		if ctx.Err() != nil {
+			break
+		}
+		if n, ok := waitBaseline(baseline); !ok {
+			s.Errorf("round %d: %d goroutines still running after storm (baseline %d) — cursor teardown leaked workers", round, n, baseline)
+			return
+		}
+		s.Add("storm-rounds", 1)
+	}
+
+	wcancel()
+	wwg.Wait()
+	if ctx.Err() != nil {
+		s.Errorf("timed out mid-storm")
+	}
+}
+
+// runCursor opens one streaming query and ends it according to mode.
+func runCursor(ctx context.Context, tbl *umzi.Table, mode int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	rows, err := tbl.Query().
+		Where(umzi.Eq("series", umzi.I64(rng.Int63n(8)))).
+		At(umzi.MaxTS).
+		IncludeLive().
+		Run(cctx)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	switch mode {
+	case 0: // full drain through Scan, then Close (and a second Close).
+		var series, tick int64
+		var price float64
+		n := 0
+		for rows.Next() {
+			if err := rows.Scan(&series, &tick, &price); err != nil {
+				rows.Close()
+				return fmt.Errorf("scan row %d: %w", n, err)
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := rows.Close(); err != nil {
+			return fmt.Errorf("close after drain: %w", err)
+		}
+		return rows.Close() // must be a no-op, not a double release
+	case 1: // partial drain, then abandon via Close.
+		for i := 0; i < 3 && rows.Next(); i++ {
+		}
+		return rows.Close()
+	case 2: // abandon immediately: Close before any Next.
+		return rows.Close()
+	default: // cancel mid-stream, then keep calling Next, then Close.
+		rows.Next()
+		cancel()
+		for rows.Next() {
+		}
+		// The stream may end cleanly (already exhausted) or with the
+		// cancellation; either way Close must release and not hang.
+		rows.Close()
+		return nil
+	}
+}
+
+// settledGoroutines samples the goroutine count after a GC-assisted
+// settle, as the baseline for leak detection.
+func settledGoroutines() int {
+	runtime.GC()
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// waitBaseline polls until the goroutine count drops back to the
+// baseline (plus a small slack for runtime helpers), or 5s elapse.
+func waitBaseline(baseline int) (int, bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for {
+		runtime.Gosched()
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"umzi"
+	"umzi/internal/storage"
+)
+
+// State is a scenario's connection to the harness: failure reporting
+// (Errorf keeps going, Fatalf aborts), structured metrics (latency
+// samples per operation class, snapshot-freshness samples, counters),
+// scale/seed knobs, and managed resources (backing stores and DBs with
+// LIFO cleanup, like testing.T). All methods are safe for concurrent
+// use — scenarios are expected to fan out writers, analysts and probers.
+type State struct {
+	scn  *Scenario
+	opts RunOptions
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	failures  []string
+	cleanups  []func()
+	counters  map[string]int64
+	latencies map[string]*recorder
+	freshness recorder
+}
+
+// abortScenario is the panic payload Fatalf unwinds with; the runner
+// recovers it and treats it as a recorded failure, not a crash.
+type abortScenario struct{}
+
+func newState(scn *Scenario, opts RunOptions) *State {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &State{
+		scn:       scn,
+		opts:      opts,
+		logf:      logf,
+		counters:  map[string]int64{},
+		latencies: map[string]*recorder{},
+	}
+}
+
+// Scale returns the load multiplier (>= 1): scenarios size row counts,
+// writer counts and iteration targets by it.
+func (s *State) Scale() int { return s.opts.Scale }
+
+// Seed returns the base RNG seed; scenarios derive per-goroutine
+// sources from it so runs are reproducible.
+func (s *State) Seed() int64 { return s.opts.Seed }
+
+// Logf emits a progress line through the runner's logger (stderr under
+// -v, discarded otherwise).
+func (s *State) Logf(format string, args ...any) {
+	s.logf("[%s] "+format, append([]any{s.scn.name}, args...)...)
+}
+
+// Errorf records a failure and lets the scenario continue.
+func (s *State) Errorf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.failures = append(s.failures, msg)
+	s.mu.Unlock()
+	s.logf("[%s] FAIL: %s", s.scn.name, msg)
+}
+
+// Fatalf records a failure and aborts the scenario immediately. It must
+// be called from the scenario goroutine only (it unwinds by panicking);
+// helper goroutines should use Errorf and return.
+func (s *State) Fatalf(format string, args ...any) {
+	s.Errorf(format, args...)
+	panic(abortScenario{})
+}
+
+// Failed reports whether any failure has been recorded.
+func (s *State) Failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.failures) > 0
+}
+
+// Observe records one latency sample under an operation class.
+func (s *State) Observe(op string, d time.Duration) {
+	s.mu.Lock()
+	r := s.latencies[op]
+	if r == nil {
+		r = &recorder{}
+		s.latencies[op] = r
+	}
+	s.mu.Unlock()
+	r.observe(d)
+}
+
+// Time starts a latency measurement; the returned func stops it and
+// records the sample:
+//
+//	defer s.Time("analytics")()
+func (s *State) Time(op string) func() {
+	start := time.Now()
+	return func() { s.Observe(op, time.Since(start)) }
+}
+
+// ObserveFreshness records one snapshot-freshness sample: the lag from
+// a commit's acknowledgment to its visibility at the newest groomed
+// snapshot (the CH-benCHmark-style freshness metric).
+func (s *State) ObserveFreshness(d time.Duration) {
+	s.freshness.observe(d)
+}
+
+// Add bumps a named counter (rows ingested, crashes survived, cursors
+// closed early, ...) reported verbatim in the scenario's result.
+func (s *State) Add(counter string, delta int64) {
+	s.mu.Lock()
+	s.counters[counter] += delta
+	s.mu.Unlock()
+}
+
+// Cleanup registers a function run (LIFO) when the scenario finishes,
+// pass or fail.
+func (s *State) Cleanup(fn func()) {
+	s.mu.Lock()
+	s.cleanups = append(s.cleanups, fn)
+	s.mu.Unlock()
+}
+
+// runCleanups runs the registered cleanups newest-first.
+func (s *State) runCleanups() {
+	s.mu.Lock()
+	cleanups := s.cleanups
+	s.cleanups = nil
+	s.mu.Unlock()
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+}
+
+// Backend returns a fresh durable backing store for a scenario: an
+// in-memory store by default, or — when UMZI_FSYNC=1, the CI
+// durability tier — a filesystem store with fsync before every object
+// publish, rooted in a temp directory cleaned up with the scenario.
+func (s *State) Backend(name string) umzi.ObjectStore {
+	if os.Getenv("UMZI_FSYNC") == "" {
+		return storage.NewMemStore(storage.LatencyModel{})
+	}
+	dir, err := os.MkdirTemp("", "umzi-workload-*")
+	if err != nil {
+		s.Fatalf("temp dir for fsync backend: %v", err)
+	}
+	s.Cleanup(func() { os.RemoveAll(dir) })
+	fs, err := storage.NewFSStore(filepath.Join(dir, name), storage.LatencyModel{})
+	if err != nil {
+		s.Fatalf("fsync backend: %v", err)
+	}
+	fs.SetFsync(true)
+	return fs
+}
+
+// OpenDB opens an in-process DB for the scenario and registers its
+// Close as a cleanup. A nil cfg.Store gets a fresh Backend. Fatalf on
+// failure. Crash scenarios that must drop a DB without Close open
+// theirs with umzi.OpenDB directly instead.
+func (s *State) OpenDB(cfg umzi.DBConfig) *umzi.DB {
+	if cfg.Store == nil {
+		cfg.Store = s.Backend("db")
+	}
+	db, err := umzi.OpenDB(cfg)
+	if err != nil {
+		s.Fatalf("OpenDB: %v", err)
+	}
+	s.Cleanup(func() { db.Close() })
+	return db
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Toy scenarios for registry and runner tests. Registered once from
+// init — the scenario library itself is not linked into this test
+// binary, so the registry here holds only these.
+
+func passToy(ctx context.Context, s *State) {
+	defer s.Time("op")()
+	s.Add("widgets", 3)
+	s.ObserveFreshness(2 * time.Millisecond)
+}
+
+func errorToy(ctx context.Context, s *State) {
+	s.Errorf("first problem")
+	s.Errorf("second problem")
+	s.Add("kept-going", 1)
+}
+
+func fatalToy(ctx context.Context, s *State) {
+	s.Fatalf("fatal problem")
+	s.Add("unreachable", 1)
+}
+
+func panicToy(ctx context.Context, s *State) {
+	panic("boom")
+}
+
+func slowToy(ctx context.Context, s *State) {
+	<-ctx.Done()
+}
+
+func init() {
+	Register(&Scenario{Func: passToy, Desc: "passes", Attrs: []string{AttrReadHeavy}})
+	Register(&Scenario{Func: errorToy, Desc: "records two failures", Attrs: []string{AttrWriteHeavy}})
+	Register(&Scenario{Func: fatalToy, Desc: "aborts", Attrs: []string{AttrWriteHeavy, AttrCrashInjecting}})
+	Register(&Scenario{Func: panicToy, Desc: "panics", Attrs: []string{AttrLongRunning}})
+	Register(&Scenario{Func: slowToy, Desc: "waits for ctx", Attrs: []string{AttrLongRunning}})
+}
+
+func TestDerivedNamesAndLookup(t *testing.T) {
+	for _, name := range []string{"workload.passToy", "workload.errorToy", "workload.fatalToy"} {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", name)
+		}
+		if s.Name() != name {
+			t.Fatalf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+	all := Scenarios()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name() >= all[i].Name() {
+			t.Fatalf("Scenarios() not sorted: %q before %q", all[i-1].Name(), all[i].Name())
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	expectPanic := func(name string, s *Scenario) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	expectPanic("nil func", &Scenario{Desc: "d", Attrs: []string{AttrReadHeavy}})
+	expectPanic("anonymous func", &Scenario{
+		Func: func(context.Context, *State) {}, Desc: "d", Attrs: []string{AttrReadHeavy},
+	})
+	expectPanic("no desc", &Scenario{Func: passToy, Attrs: []string{AttrReadHeavy}})
+	expectPanic("no attrs", &Scenario{Func: passToy, Desc: "d"})
+	expectPanic("unknown attr", &Scenario{Func: passToy, Desc: "d", Attrs: []string{"heavy-metal"}})
+	expectPanic("duplicate", &Scenario{Func: passToy, Desc: "d", Attrs: []string{AttrReadHeavy}})
+}
+
+func TestMatchAndSelect(t *testing.T) {
+	s := &Scenario{Attrs: []string{AttrReadHeavy, AttrWriteHeavy}}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"", true},
+		{"read-heavy", true},
+		{"crash-injecting", false},
+		{"crash-injecting,read-heavy", true},
+		{"read-heavy&write-heavy", true},
+		{"read-heavy&crash-injecting", false},
+		{"read-heavy&!crash-injecting", true},
+		{"!read-heavy", false},
+		{" read-heavy , crash-injecting ", true},
+	}
+	for _, c := range cases {
+		got, err := s.Match(c.expr)
+		if err != nil || got != c.want {
+			t.Errorf("Match(%q) = %v, %v; want %v", c.expr, got, err, c.want)
+		}
+	}
+	if _, err := s.Match("read-hevy"); err == nil {
+		t.Error("Match with a typo'd attribute should error")
+	}
+
+	sel, err := Select(AttrCrashInjecting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Name() != "workload.fatalToy" {
+		t.Fatalf("Select(crash-injecting) = %v", names(sel))
+	}
+	if _, err := Select("bogus-attr"); err == nil {
+		t.Error("Select with unknown attribute should error")
+	}
+}
+
+func names(ss []*Scenario) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+func TestRecorderSummary(t *testing.T) {
+	r := &recorder{}
+	if r.summary() != nil {
+		t.Fatal("empty recorder should summarize to nil")
+	}
+	for i := 1; i <= 100; i++ {
+		r.observe(time.Duration(i) * time.Millisecond)
+	}
+	sum := r.summary()
+	if sum.Count != 100 {
+		t.Fatalf("count = %d", sum.Count)
+	}
+	if sum.P50 != 50 || sum.P90 != 90 || sum.P99 != 99 || sum.Max != 100 {
+		t.Fatalf("percentiles = p50 %v p90 %v p99 %v max %v", sum.P50, sum.P90, sum.P99, sum.Max)
+	}
+	if sum.Mean != 50.5 {
+		t.Fatalf("mean = %v", sum.Mean)
+	}
+}
+
+func TestRunnerOutcomes(t *testing.T) {
+	get := func(name string) *Scenario {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("toy scenario %s not registered", name)
+		}
+		return s
+	}
+	rep := Run([]*Scenario{
+		get("workload.passToy"),
+		get("workload.errorToy"),
+		get("workload.fatalToy"),
+		get("workload.panicToy"),
+	}, RunOptions{Scale: 1, Seed: 42}, "toys")
+
+	if rep.Passed {
+		t.Fatal("report passed despite failing scenarios")
+	}
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+
+	pass := byName["workload.passToy"]
+	if pass.Status != "pass" || len(pass.Failures) != 0 {
+		t.Fatalf("passToy: %+v", pass)
+	}
+	if pass.Counters["widgets"] != 3 {
+		t.Fatalf("passToy counters: %v", pass.Counters)
+	}
+	if pass.Latency["op"] == nil || pass.Latency["op"].Count != 1 {
+		t.Fatalf("passToy latency: %+v", pass.Latency)
+	}
+	if pass.Freshness == nil || pass.Freshness.Count != 1 {
+		t.Fatalf("passToy freshness: %+v", pass.Freshness)
+	}
+
+	errs := byName["workload.errorToy"]
+	if errs.Status != "fail" || len(errs.Failures) != 2 {
+		t.Fatalf("errorToy: %+v", errs)
+	}
+	if errs.Counters["kept-going"] != 1 {
+		t.Fatal("Errorf should not stop the scenario")
+	}
+
+	fatal := byName["workload.fatalToy"]
+	if fatal.Status != "fail" || len(fatal.Failures) != 1 {
+		t.Fatalf("fatalToy: %+v", fatal)
+	}
+	if fatal.Counters["unreachable"] != 0 {
+		t.Fatal("Fatalf should stop the scenario")
+	}
+
+	pan := byName["workload.panicToy"]
+	if pan.Status != "fail" || len(pan.Failures) != 1 || !strings.Contains(pan.Failures[0], "panic: boom") {
+		t.Fatalf("panicToy: %+v", pan)
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	s, ok := Lookup("workload.slowToy")
+	if !ok {
+		t.Fatal("slowToy not registered")
+	}
+	start := time.Now()
+	rep := Run([]*Scenario{s}, RunOptions{Timeout: 50 * time.Millisecond}, "slow")
+	if rep.Passed {
+		t.Fatal("timed-out scenario should fail")
+	}
+	r := rep.Results[0]
+	if len(r.Failures) != 1 || !strings.Contains(r.Failures[0], "timeout") {
+		t.Fatalf("failures = %v", r.Failures)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("runner took %v for a 50ms-timeout scenario", elapsed)
+	}
+}

@@ -2,11 +2,18 @@ package umzi
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"umzi/internal/keyenc"
 	"umzi/internal/wildfire"
 )
+
+// ErrRange reports that Scan would have to narrow a numeric value that
+// does not fit the destination (uint64 into *int64/*int, or int64 into
+// *int on 32-bit platforms). Test with errors.Is.
+var ErrRange = errors.New("value out of range")
 
 // Rows is a streaming query result, styled after database/sql.Rows:
 //
@@ -47,7 +54,10 @@ func (r *Rows) Next() bool {
 	}
 	// Exhaustion (or failure): the cursor has auto-closed; release the
 	// Run-level context too, so a fully drained Rows leaks nothing even
-	// when the caller skips Close.
+	// when the caller skips Close. Marking the result closed keeps a
+	// later Close from re-entering qr.Close after the cursor already
+	// auto-released.
+	r.closed = true
 	r.cancel()
 	return false
 }
@@ -101,16 +111,28 @@ func scanValue(v Value, dest any) error {
 			return nil
 		}
 		if v.Kind() == keyenc.KindUint64 {
-			*d = int64(v.Uint())
+			u := v.Uint()
+			if u > math.MaxInt64 {
+				return fmt.Errorf("uint64 value %d overflows int64: %w", u, ErrRange)
+			}
+			*d = int64(u)
 			return nil
 		}
 	case *int:
 		if v.Kind() == keyenc.KindInt64 {
-			*d = int(v.Int())
+			n := v.Int()
+			if int64(int(n)) != n { // 32-bit platforms
+				return fmt.Errorf("int64 value %d overflows int: %w", n, ErrRange)
+			}
+			*d = int(n)
 			return nil
 		}
 		if v.Kind() == keyenc.KindUint64 {
-			*d = int(v.Uint())
+			u := v.Uint()
+			if u > math.MaxInt {
+				return fmt.Errorf("uint64 value %d overflows int: %w", u, ErrRange)
+			}
+			*d = int(u)
 			return nil
 		}
 	case *uint64:

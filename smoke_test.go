@@ -54,6 +54,8 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 		{"cmd/umzi-bench", []string{"-figure", "a7", "-scale", "tiny"}, "Ablation A7"},
 		{"cmd/umzi-bench", []string{"-figure", "a8", "-scale", "tiny"}, "Ablation A8"},
 		{"cmd/umzi-inspect", []string{"-store", dir}, ""},
+		{"cmd/umzi-workload", []string{"-list"}, "htap.OrderAnalytics"},
+		{"cmd/umzi-workload", []string{"-run", "stream.EarlyClose"}, `"passed": true`},
 	}
 
 	bins := map[string]string{}
