@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"umzi/internal/obs"
 	"umzi/internal/wildfire"
 )
 
@@ -77,6 +78,9 @@ type DB struct {
 	groomEvery     time.Duration
 	postGroomEvery time.Duration
 	durability     DurabilityOptions
+	// obs is the DB-wide metric registry every table's engines register
+	// into; Metrics/MetricsHandler expose it.
+	obs *obs.Registry
 
 	mu         sync.Mutex
 	tables     map[string]*Table
@@ -98,8 +102,10 @@ func OpenDB(cfg DBConfig) (*DB, error) {
 		groomEvery:     cfg.GroomEvery,
 		postGroomEvery: cfg.PostGroomEvery,
 		durability:     cfg.Durability,
+		obs:            obs.NewRegistry(),
 		tables:         make(map[string]*Table),
 	}
+	db.registerStorageGauges()
 	entries, seq, err := loadDBCatalog(cfg.Store)
 	if err != nil {
 		return nil, err
@@ -188,6 +194,7 @@ func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
 			Partitions:  e.Partitions,
 			IndexTuning: e.tuning,
 			Durability:  e.Durability,
+			Obs:         db.obs,
 		})
 		if err != nil {
 			return nil, err
@@ -203,6 +210,7 @@ func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
 			Partitions:  e.Partitions,
 			IndexTuning: e.tuning,
 			Durability:  e.Durability,
+			Obs:         db.obs,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default (also under ?format=prom) and JSON under ?format=json or
+// when the client asks for application/json. Mount it wherever the
+// embedding process serves HTTP:
+//
+//	http.Handle("/metrics", obs.Handler(reg))
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		format := req.URL.Query().Get("format")
+		if format == "json" || (format == "" && strings.Contains(req.Header.Get("Accept"), "application/json")) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snap)
+	})
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format. Histograms are rendered as summaries: quantile series plus
+// _sum and _count. Metric names are written as registered (no extra
+// namespace prefix); histogram names carry their unit as a suffix
+// already (e.g. wal_sync_latency_ns).
+func WritePrometheus(w io.Writer, snap *Snapshot) error {
+	var lastName string
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if m.Name != lastName {
+			lastName = m.Name
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			promType := m.Type
+			if promType == "histogram" {
+				promType = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, promType); err != nil {
+				return err
+			}
+		}
+		if m.Hist == nil {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, "", ""), m.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		h := m.Hist
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.Name, promLabels(m.Labels, "quantile", q.q), q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, promLabels(m.Labels, "", ""), h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", ""), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabels renders a label set (plus one optional extra pair) as
+// {k="v",...}, or "" when empty.
+func promLabels(labels Labels, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FormatTable renders a snapshot as an aligned human-readable table —
+// the umzi-inspect -metrics view. tableFilter, when non-empty, keeps
+// only metrics whose "table" label equals it or is one of its shards
+// (prefix match on "<filter>/"). Histogram nanosecond units are shown
+// as milliseconds.
+func FormatTable(snap *Snapshot, tableFilter string) string {
+	rows := [][]string{{"METRIC", "LABELS", "TYPE", "VALUE", "COUNT", "P50", "P90", "P99", "MAX"}}
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if tableFilter != "" {
+			t := m.Labels["table"]
+			if t != tableFilter && !strings.HasPrefix(t, tableFilter+"/") {
+				continue
+			}
+		}
+		row := []string{m.Name, canonicalLabels(m.Labels), m.Type, "", "", "", "", "", ""}
+		if m.Hist == nil {
+			row[3] = fmt.Sprintf("%d", m.Value)
+		} else {
+			h := m.Hist
+			row[4] = fmt.Sprintf("%d", h.Count)
+			row[5] = formatUnit(h.P50, m.Unit)
+			row[6] = formatUnit(h.P90, m.Unit)
+			row[7] = formatUnit(h.P99, m.Unit)
+			row[8] = formatUnit(h.Max, m.Unit)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 1 {
+		return "no metrics\n"
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if c < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatUnit renders one histogram value: nanoseconds become
+// fractional milliseconds, everything else prints raw.
+func formatUnit(v int64, unit string) string {
+	if unit == "ns" {
+		return fmt.Sprintf("%.3fms", float64(v)/1e6)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,187 @@
+// Package obs is the engine-wide observability substrate: dependency-
+// free metric primitives (atomic counters, gauges, lock-free sharded
+// histograms with nearest-rank percentiles), a hierarchical registry
+// keyed by metric name + labels (table/shard/subsystem), per-query
+// traces, and exposition in Prometheus text format, JSON, and an
+// aligned human-readable table.
+//
+// Everything in this package is safe for concurrent use and cheap
+// enough for hot paths: recording is one or two atomic operations and
+// never allocates. All record-side methods are nil-receiver safe, so a
+// nil *Counter / *Histogram / *QueryTrace is a true no-op — callers
+// instrument unconditionally and pay nothing when a signal is off.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram reservoir geometry: histStripes sample rings written
+// round-robin so concurrent recorders touch different cache lines,
+// histStripeSlots slots each. The reservoir keeps the most recent
+// histStripes*histStripeSlots observations for percentile estimation;
+// count/sum/max are exact over the histogram's whole lifetime.
+const (
+	histStripes     = 8
+	histStripeSlots = 1024
+)
+
+// histStripe is one padded ring of raw samples.
+type histStripe struct {
+	slots [histStripeSlots]atomic.Int64
+	_     [64]byte // keep stripes off each other's cache lines
+}
+
+// Histogram records int64 observations (latencies in nanoseconds, batch
+// sizes in records, ...) lock-free and serves nearest-rank percentile
+// snapshots. Recording is two atomic adds plus one atomic store (plus a
+// CAS loop only when a new maximum is set); there are no mutexes on the
+// record path.
+// Observations are assumed non-negative (they are counts, sizes, and
+// durations); a negative value would confuse the zero-initialized max.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+	pos   atomic.Uint64
+	rings [histStripes]histStripe
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	i := h.pos.Add(1) - 1
+	h.rings[i%histStripes].slots[(i/histStripes)%histStripeSlots].Store(v)
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(int64(time.Since(start)))
+	}
+}
+
+// HistSnapshot is a point-in-time summary of a Histogram. Values carry
+// the histogram's unit (see Registry.Histogram).
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	Mean  int64 `json:"mean"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Count/Sum/Max are exact over the
+// histogram's lifetime; Min and the percentiles are nearest-rank over
+// the retained sample reservoir. Returns a zero snapshot on a nil
+// receiver or before any observation.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	count := h.count.Load()
+	if count == 0 {
+		return HistSnapshot{}
+	}
+	filled := h.pos.Load()
+	if filled > histStripes*histStripeSlots {
+		filled = histStripes * histStripeSlots
+	}
+	samples := make([]int64, 0, filled)
+	for i := uint64(0); i < filled; i++ {
+		samples = append(samples, h.rings[i%histStripes].slots[(i/histStripes)%histStripeSlots].Load())
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := HistSnapshot{
+		Count: count,
+		Sum:   h.sum.Load(),
+		Min:   samples[0],
+		Max:   h.max.Load(),
+		P50:   nearestRank(samples, 0.50),
+		P90:   nearestRank(samples, 0.90),
+		P99:   nearestRank(samples, 0.99),
+	}
+	snap.Mean = snap.Sum / count
+	return snap
+}
+
+// nearestRank returns the nearest-rank percentile of sorted samples —
+// the same estimator internal/workload used before it moved here.
+func nearestRank(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

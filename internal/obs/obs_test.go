@@ -1,0 +1,397 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatalf("nil counter Load = %d", c.Load())
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 0 {
+		t.Fatalf("nil gauge Load = %d", g.Load())
+	}
+	var h *Histogram
+	h.Observe(42)
+	h.ObserveSince(time.Now())
+	if snap := h.Snapshot(); snap != (HistSnapshot{}) {
+		t.Fatalf("nil histogram Snapshot = %+v", snap)
+	}
+	var tr *QueryTrace
+	tr.SetPlan("exec", "")
+	tr.AddSpan(TraceSpan{})
+	tr.AddBlocksRead(1)
+	tr.AddBlocksSkipped(1)
+	tr.AddLiveUnion(1)
+	tr.AddBackChecked(1)
+	tr.AddBackCheckDropped(1)
+	tr.AddRowsEmitted(1)
+	if s := tr.Snapshot(); s.BlocksRead != 0 || len(s.Spans) != 0 {
+		t.Fatalf("nil trace Snapshot = %+v", s)
+	}
+	if tr.String() != "<no trace>" {
+		t.Fatalf("nil trace String = %q", tr.String())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	// 1..1000 in a scrambled order: nearest-rank must sort, not trust
+	// insertion order.
+	for i := int64(0); i < 1000; i++ {
+		h.Observe((i*617)%1000 + 1)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1000 {
+		t.Errorf("Count = %d, want 1000", snap.Count)
+	}
+	if want := int64(1000 * 1001 / 2); snap.Sum != want {
+		t.Errorf("Sum = %d, want %d", snap.Sum, want)
+	}
+	if snap.Min != 1 || snap.Max != 1000 {
+		t.Errorf("Min/Max = %d/%d, want 1/1000", snap.Min, snap.Max)
+	}
+	if snap.Mean != 500 {
+		t.Errorf("Mean = %d, want 500", snap.Mean)
+	}
+	// Nearest rank over exactly 1000 distinct samples is exact.
+	if snap.P50 != 500 || snap.P90 != 900 || snap.P99 != 990 {
+		t.Errorf("P50/P90/P99 = %d/%d/%d, want 500/900/990", snap.P50, snap.P90, snap.P99)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(77)
+	snap := h.Snapshot()
+	want := HistSnapshot{Count: 1, Sum: 77, Min: 77, Max: 77, Mean: 77, P50: 77, P90: 77, P99: 77}
+	if snap != want {
+		t.Fatalf("Snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+func TestHistogramReservoirKeepsRecent(t *testing.T) {
+	h := &Histogram{}
+	const reservoir = histStripes * histStripeSlots
+	// Fill the reservoir twice over with 5s, then overwrite it with 9s:
+	// percentiles must reflect the recent window, totals the lifetime.
+	for i := 0; i < 2*reservoir; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < reservoir; i++ {
+		h.Observe(9)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 3*reservoir {
+		t.Errorf("Count = %d, want %d", snap.Count, 3*reservoir)
+	}
+	if want := int64(2*reservoir*5 + reservoir*9); snap.Sum != want {
+		t.Errorf("Sum = %d, want %d", snap.Sum, want)
+	}
+	if snap.P50 != 9 || snap.P99 != 9 || snap.Min != 9 {
+		t.Errorf("recent window not reflected: P50=%d P99=%d Min=%d, want all 9", snap.P50, snap.P99, snap.Min)
+	}
+	if snap.Max != 9 {
+		t.Errorf("Max = %d, want 9", snap.Max)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < perWorker; i++ {
+				h.Observe(i%100 + 1) // values 1..100
+				if i%256 == 0 {
+					h.Snapshot() // snapshots race with writers by design
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Errorf("Count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	var wantSum int64
+	for i := int64(0); i < perWorker; i++ {
+		wantSum += i%100 + 1
+	}
+	wantSum *= workers
+	if snap.Sum != wantSum {
+		t.Errorf("Sum = %d, want %d", snap.Sum, wantSum)
+	}
+	if snap.Max != 100 {
+		t.Errorf("Max = %d, want 100", snap.Max)
+	}
+	if snap.P50 < 1 || snap.P50 > 100 || snap.P99 < snap.P50 {
+		t.Errorf("implausible percentiles: %+v", snap)
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryNameRules(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "Bad", "9lives", "has-dash", "has space", "_lead"} {
+		mustPanic(t, "metric name "+bad, func() { r.Counter(bad, "", nil) })
+	}
+	mustPanic(t, "label key", func() { r.Counter("ok_name", "", Labels{"Bad-Key": "v"}) })
+	// Label values are unconstrained (they carry shard paths like
+	// "orders/shard-000").
+	r.Counter("ok_name", "", Labels{"table": "orders/shard-000"})
+}
+
+func TestRegistryFamilyInvariants(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests", "help", Labels{"table": "a"})
+	mustPanic(t, "kind conflict", func() { r.Gauge("requests", "help", Labels{"table": "a"}) })
+	mustPanic(t, "label keyset conflict", func() { r.Counter("requests", "help", Labels{"plan": "x"}) })
+	r.Histogram("lat", "h", "ns", nil)
+	mustPanic(t, "unit conflict", func() { r.Histogram("lat", "h", "records", nil) })
+}
+
+func TestRegistrySameIdentitySameInstance(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits", "", Labels{"table": "t"})
+	c1.Add(3)
+	c2 := r.Counter("hits", "", Labels{"table": "t"})
+	if c1 != c2 {
+		t.Fatalf("same identity returned distinct instances")
+	}
+	c2.Add(4)
+	if c1.Load() != 7 {
+		t.Fatalf("accumulation across re-registration broken: %d", c1.Load())
+	}
+	// Distinct label values are distinct instances.
+	other := r.Counter("hits", "", Labels{"table": "u"})
+	if other == c1 || other.Load() != 0 {
+		t.Fatalf("distinct labels should get a fresh counter")
+	}
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("live", "", nil, func() int64 { return 1 })
+	if got := r.Snapshot().Get("live", nil).Value; got != 1 {
+		t.Fatalf("gauge func = %d, want 1", got)
+	}
+	// A reopened engine re-registers and must win.
+	r.GaugeFunc("live", "", nil, func() int64 { return 2 })
+	if got := r.Snapshot().Get("live", nil).Value; got != 2 {
+		t.Fatalf("replaced gauge func = %d, want 2", got)
+	}
+}
+
+func TestSnapshotGetAndSum(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows", "", Labels{"table": "t/shard-000"}).Add(10)
+	r.Counter("rows", "", Labels{"table": "t/shard-001"}).Add(20)
+	r.Histogram("lat", "", "ns", Labels{"table": "t/shard-000"}).Observe(5)
+	snap := r.Snapshot()
+	if m := snap.Get("rows", Labels{"table": "t/shard-001"}); m == nil || m.Value != 20 {
+		t.Fatalf("Get with labels = %+v", m)
+	}
+	if m := snap.Get("rows", nil); m == nil {
+		t.Fatalf("Get with subset labels found nothing")
+	}
+	if snap.Get("absent", nil) != nil {
+		t.Fatalf("Get(absent) should be nil")
+	}
+	if got := snap.Sum("rows", nil); got != 30 {
+		t.Fatalf("Sum(rows) = %d, want 30", got)
+	}
+	// Histograms sum their observation count.
+	if got := snap.Sum("lat", nil); got != 1 {
+		t.Fatalf("Sum(lat) = %d, want 1", got)
+	}
+}
+
+// buildGoldenRegistry assembles a small fixed registry shared by the
+// exposition golden tests.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("wal_appends", "segment appends", Labels{"table": "orders/shard-000"}).Add(12)
+	r.Gauge("live_records", "rows in the live zone", Labels{"table": "orders/shard-000"}).Set(34)
+	h := r.Histogram("wal_sync_ns", "segment write latency", "ns", Labels{"table": "orders/shard-000"})
+	for _, v := range []int64{1000000, 2000000, 3000000, 4000000} {
+		h.Observe(v)
+	}
+	r.Counter("store_reads", "object reads", nil).Add(9)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, buildGoldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP live_records rows in the live zone
+# TYPE live_records gauge
+live_records{table="orders/shard-000"} 34
+# HELP store_reads object reads
+# TYPE store_reads counter
+store_reads 9
+# HELP wal_appends segment appends
+# TYPE wal_appends counter
+wal_appends{table="orders/shard-000"} 12
+# HELP wal_sync_ns segment write latency
+# TYPE wal_sync_ns summary
+wal_sync_ns{table="orders/shard-000",quantile="0.5"} 2000000
+wal_sync_ns{table="orders/shard-000",quantile="0.9"} 4000000
+wal_sync_ns{table="orders/shard-000",quantile="0.99"} 4000000
+wal_sync_ns_sum{table="orders/shard-000"} 10000000
+wal_sync_ns_count{table="orders/shard-000"} 4
+`
+	got := b.String()
+	if got != want {
+		t.Errorf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	reg := buildGoldenRegistry()
+	h := Handler(reg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "wal_appends{table=\"orders/shard-000\"} 12") {
+		t.Errorf("prometheus body missing counter:\n%s", rec.Body.String())
+	}
+
+	jsonReq := httptest.NewRequest("GET", "/metrics?format=json", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, jsonReq)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json body: %v", err)
+	}
+	if m := snap.Get("wal_appends", nil); m == nil || m.Value != 12 {
+		t.Errorf("json snapshot Get(wal_appends) = %+v", m)
+	}
+	if m := snap.Get("wal_sync_ns", nil); m == nil || m.Hist == nil || m.Hist.Count != 4 {
+		t.Errorf("json snapshot histogram = %+v", m)
+	}
+
+	acceptReq := httptest.NewRequest("GET", "/metrics", nil)
+	acceptReq.Header.Set("Accept", "application/json")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, acceptReq)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Accept-negotiated Content-Type = %q", ct)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows", "", Labels{"table": "orders"}).Add(1)
+	r.Counter("rows", "", Labels{"table": "orders/shard-000"}).Add(2)
+	r.Counter("rows", "", Labels{"table": "ordersx"}).Add(3)
+	r.Histogram("lat", "", "ns", Labels{"table": "orders"}).Observe(1500000)
+
+	out := FormatTable(r.Snapshot(), "")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("unfiltered table has %d lines, want 5 (header + 4 metrics):\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "METRIC") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	// Columns align: every row's TYPE column starts at the same offset.
+	if idx := strings.Index(lines[0], "TYPE"); idx < 0 {
+		t.Errorf("header lacks TYPE column")
+	} else {
+		for _, ln := range lines[1:] {
+			if len(ln) < idx {
+				t.Errorf("row shorter than header: %q", ln)
+			}
+		}
+	}
+	if !strings.Contains(out, "1.500ms") {
+		t.Errorf("ns histogram not rendered in ms:\n%s", out)
+	}
+
+	filtered := FormatTable(r.Snapshot(), "orders")
+	if strings.Contains(filtered, "ordersx") {
+		t.Errorf("filter leaked ordersx:\n%s", filtered)
+	}
+	if !strings.Contains(filtered, "orders/shard-000") {
+		t.Errorf("filter dropped the shard of the filtered table:\n%s", filtered)
+	}
+
+	if got := FormatTable(NewRegistry().Snapshot(), ""); got != "no metrics\n" {
+		t.Errorf("empty table = %q", got)
+	}
+}
+
+func TestQueryTrace(t *testing.T) {
+	tr := NewQueryTrace()
+	tr.SetPlan("index-scan", "by_batch")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr.AddBlocksRead(2)
+			tr.AddBlocksSkipped(3)
+			tr.AddLiveUnion(1)
+			tr.AddBackChecked(5)
+			tr.AddBackCheckDropped(1)
+			tr.AddRowsEmitted(4)
+			tr.AddSpan(TraceSpan{Shard: "t/shard-00" + string(rune('0'+w)), BlocksRead: 2, BlocksSkipped: 3})
+		}(w)
+	}
+	wg.Wait()
+	s := tr.Snapshot()
+	if s.Plan != "index-scan" || s.Index != "by_batch" {
+		t.Errorf("plan = %q/%q", s.Plan, s.Index)
+	}
+	if s.BlocksRead != 8 || s.BlocksSkipped != 12 || s.LiveUnion != 4 ||
+		s.BackChecked != 20 || s.BackCheckDropped != 4 || s.RowsEmitted != 16 {
+		t.Errorf("totals = %+v", s)
+	}
+	if len(s.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(s.Spans))
+	}
+	for i := 1; i < len(s.Spans); i++ {
+		if s.Spans[i-1].Shard > s.Spans[i].Shard {
+			t.Errorf("spans not sorted: %q > %q", s.Spans[i-1].Shard, s.Spans[i].Shard)
+		}
+	}
+	str := tr.String()
+	for _, want := range []string{"plan=index-scan", "index=by_batch", "8 read/12 skipped", "shard t/shard-000"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels attaches dimensions to a metric: by convention "table" for the
+// shard-qualified table name (e.g. "orders/shard-002") and "plan" for
+// query plan types. Subsystem is carried in the metric name prefix
+// (wal_, groom_, query_, exec_, index_, cache_, live_).
+type Labels map[string]string
+
+// metricKind discriminates registry entries.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindGaugeFunc metricKind = "gauge" // exposed as a gauge
+	kindHistogram metricKind = "histogram"
+)
+
+// entry is one registered metric instance (name + one label set).
+type entry struct {
+	name    string
+	help    string
+	unit    string
+	kind    metricKind
+	labels  Labels
+	labelID string // canonical "k=v,k=v" identity suffix
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// family tracks per-name invariants: one name has one kind, one help
+// string, one unit, and one label key set across every instance.
+type family struct {
+	kind      metricKind
+	help      string
+	unit      string
+	labelKeys string
+}
+
+// Registry is a hierarchical metric registry. Identity is metric name
+// plus the full label set; registering the same identity again returns
+// the existing instance (so a reopened table keeps accumulating into
+// its metrics), while conflicting re-registration — same name with a
+// different type, unit, or label key set, or an invalid name — panics:
+// those are programming errors, caught by the tests in this package.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	entries  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		entries:  make(map[string]*entry),
+	}
+}
+
+// Counter returns the counter registered under name+labels, creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	e := r.register(name, help, "", kindCounter, labels)
+	return e.counter
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	e := r.register(name, help, "", kindGauge, labels)
+	return e.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// snapshot time. Re-registering the same identity replaces fn, so a
+// table closed and reopened in-process reports through its live engine.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) {
+	e := r.register(name, help, "", kindGaugeFunc, labels)
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name+labels,
+// creating it on first use. unit names what observations measure
+// ("ns", "records", "bytes", ...) and is carried into snapshots.
+func (r *Registry) Histogram(name, help, unit string, labels Labels) *Histogram {
+	e := r.register(name, help, unit, kindHistogram, labels)
+	return e.hist
+}
+
+func (r *Registry) register(name, help, unit string, kind metricKind, labels Labels) *entry {
+	if err := checkName(name); err != nil {
+		panic(fmt.Sprintf("obs: metric %q: %v", name, err))
+	}
+	for k := range labels {
+		if err := checkName(k); err != nil {
+			panic(fmt.Sprintf("obs: metric %q label %q: %v", name, k, err))
+		}
+	}
+	labelID := canonicalLabels(labels)
+	keys := labelKeySet(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{kind: kind, help: help, unit: unit, labelKeys: keys}
+		r.families[name] = fam
+	} else {
+		if fam.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, fam.kind))
+		}
+		if fam.labelKeys != keys {
+			panic(fmt.Sprintf("obs: metric %q re-registered with label keys {%s}, was {%s}", name, keys, fam.labelKeys))
+		}
+		if fam.unit != unit {
+			panic(fmt.Sprintf("obs: metric %q re-registered with unit %q, was %q", name, unit, fam.unit))
+		}
+	}
+	id := name + "{" + labelID + "}"
+	if e, ok := r.entries[id]; ok {
+		return e
+	}
+	e := &entry{
+		name:    name,
+		help:    help,
+		unit:    unit,
+		kind:    kind,
+		labels:  cloneLabels(labels),
+		labelID: labelID,
+	}
+	switch kind {
+	case kindCounter:
+		e.counter = &Counter{}
+	case kindGauge:
+		e.gauge = &Gauge{}
+	case kindHistogram:
+		e.hist = &Histogram{}
+	}
+	r.entries[id] = e
+	return e
+}
+
+// MetricSnapshot is one metric instance at snapshot time.
+type MetricSnapshot struct {
+	Name   string        `json:"name"`
+	Help   string        `json:"help,omitempty"`
+	Type   string        `json:"type"`
+	Unit   string        `json:"unit,omitempty"`
+	Labels Labels        `json:"labels,omitempty"`
+	Value  int64         `json:"value,omitempty"`
+	Hist   *HistSnapshot `json:"hist,omitempty"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of a registry:
+// each metric is read atomically, ordered by name then labels.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot reads every registered metric. Gauge funcs run outside the
+// registry lock, so they may block briefly (e.g. take an engine mutex)
+// but must not register new metrics concurrently with themselves.
+func (r *Registry) Snapshot() *Snapshot {
+	type view struct {
+		e  *entry
+		fn func() int64 // copied under the lock: GaugeFunc may replace it
+	}
+	r.mu.Lock()
+	views := make([]view, 0, len(r.entries))
+	for _, e := range r.entries {
+		views = append(views, view{e: e, fn: e.fn})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(views, func(i, j int) bool {
+		if views[i].e.name != views[j].e.name {
+			return views[i].e.name < views[j].e.name
+		}
+		return views[i].e.labelID < views[j].e.labelID
+	})
+	snap := &Snapshot{Metrics: make([]MetricSnapshot, 0, len(views))}
+	for _, v := range views {
+		e := v.e
+		m := MetricSnapshot{
+			Name:   e.name,
+			Help:   e.help,
+			Type:   string(e.kind),
+			Unit:   e.unit,
+			Labels: cloneLabels(e.labels),
+		}
+		switch {
+		case e.counter != nil:
+			m.Value = e.counter.Load()
+		// fn before gauge: a GaugeFunc entry also carries the (unused)
+		// gauge its shared "gauge" kind allocates, and the func must win.
+		case v.fn != nil:
+			m.Value = v.fn()
+		case e.gauge != nil:
+			m.Value = e.gauge.Load()
+		case e.hist != nil:
+			h := e.hist.Snapshot()
+			m.Hist = &h
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}
+
+// Get returns the first snapshotted metric matching name and (subset)
+// labels, or nil. A convenience for tests and tools.
+func (s *Snapshot) Get(name string, labels Labels) *MetricSnapshot {
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if m.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m
+		}
+	}
+	return nil
+}
+
+// Sum adds up Value (counters/gauges) or Hist.Count across every
+// instance of name whose labels include the given subset.
+func (s *Snapshot) Sum(name string, labels Labels) int64 {
+	var total int64
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if m.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if m.Hist != nil {
+			total += m.Hist.Count
+		} else {
+			total += m.Value
+		}
+	}
+	return total
+}
+
+// checkName enforces the naming rule shared by metric and label names:
+// ^[a-z][a-z0-9_]*$.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case i > 0 && (c == '_' || (c >= '0' && c <= '9')):
+		default:
+			return fmt.Errorf("must match ^[a-z][a-z0-9_]*$")
+		}
+	}
+	return nil
+}
+
+func canonicalLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func labelKeySet(labels Labels) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func cloneLabels(labels Labels) Labels {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(Labels, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}

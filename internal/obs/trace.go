@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryTrace captures one query's execution profile: the plan the
+// compiler chose, per-shard spans, and cross-shard totals for blocks
+// read vs. synopsis-skipped, live-zone union size, and secondary-index
+// rows back-checked against the primary. A trace is attached to a
+// query with Query.Explain(); the engine writes into it from every
+// shard worker concurrently, so counters are atomic and spans append
+// under a mutex. Every method is nil-receiver safe: an untraced query
+// pays a nil check per call site and nothing else.
+type QueryTrace struct {
+	mu    sync.Mutex
+	plan  string
+	index string
+	spans []TraceSpan
+
+	blocksRead       atomic.Int64
+	blocksSkipped    atomic.Int64
+	liveUnion        atomic.Int64
+	backChecked      atomic.Int64
+	backCheckDropped atomic.Int64
+	rowsEmitted      atomic.Int64
+}
+
+// TraceSpan is one shard's slice of a query.
+type TraceSpan struct {
+	Shard         string        `json:"shard"`
+	BlocksRead    int64         `json:"blocks_read"`
+	BlocksSkipped int64         `json:"blocks_skipped"`
+	LiveUnion     int64         `json:"live_union"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+}
+
+// NewQueryTrace returns an empty trace ready to attach to a query.
+func NewQueryTrace() *QueryTrace { return &QueryTrace{} }
+
+// SetPlan records the compiled plan mode ("point-get", "index-scan",
+// "index-only", "exec") and the chosen index name, if any.
+func (t *QueryTrace) SetPlan(plan, index string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.plan, t.index = plan, index
+	t.mu.Unlock()
+}
+
+// AddSpan appends one shard's span.
+func (t *QueryTrace) AddSpan(s TraceSpan) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// AddBlocksRead counts blocks fetched and scanned for the query.
+func (t *QueryTrace) AddBlocksRead(n int64) {
+	if t != nil {
+		t.blocksRead.Add(n)
+	}
+}
+
+// AddBlocksSkipped counts blocks the min/max synopsis excluded.
+func (t *QueryTrace) AddBlocksSkipped(n int64) {
+	if t != nil {
+		t.blocksSkipped.Add(n)
+	}
+}
+
+// AddLiveUnion counts live-zone rows unioned over the groomed zones.
+func (t *QueryTrace) AddLiveUnion(n int64) {
+	if t != nil {
+		t.liveUnion.Add(n)
+	}
+}
+
+// AddBackChecked counts secondary-index entries verified against the
+// primary at the query timestamp.
+func (t *QueryTrace) AddBackChecked(n int64) {
+	if t != nil {
+		t.backChecked.Add(n)
+	}
+}
+
+// AddBackCheckDropped counts back-checked entries the primary rejected
+// (superseded or deleted at the query timestamp).
+func (t *QueryTrace) AddBackCheckDropped(n int64) {
+	if t != nil {
+		t.backCheckDropped.Add(n)
+	}
+}
+
+// AddRowsEmitted counts rows actually streamed to the caller.
+func (t *QueryTrace) AddRowsEmitted(n int64) {
+	if t != nil {
+		t.rowsEmitted.Add(n)
+	}
+}
+
+// TraceSnapshot is an immutable copy of a QueryTrace.
+type TraceSnapshot struct {
+	Plan             string      `json:"plan"`
+	Index            string      `json:"index,omitempty"`
+	BlocksRead       int64       `json:"blocks_read"`
+	BlocksSkipped    int64       `json:"blocks_skipped"`
+	LiveUnion        int64       `json:"live_union"`
+	BackChecked      int64       `json:"back_checked"`
+	BackCheckDropped int64       `json:"back_check_dropped"`
+	RowsEmitted      int64       `json:"rows_emitted"`
+	Spans            []TraceSpan `json:"spans,omitempty"`
+}
+
+// Snapshot copies the trace. Counts settle as the query's rows are
+// consumed; snapshot after draining the cursor for final numbers.
+func (t *QueryTrace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	spans := make([]TraceSpan, len(t.spans))
+	copy(spans, t.spans)
+	plan, index := t.plan, t.index
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Shard < spans[j].Shard })
+	return TraceSnapshot{
+		Plan:             plan,
+		Index:            index,
+		BlocksRead:       t.blocksRead.Load(),
+		BlocksSkipped:    t.blocksSkipped.Load(),
+		LiveUnion:        t.liveUnion.Load(),
+		BackChecked:      t.backChecked.Load(),
+		BackCheckDropped: t.backCheckDropped.Load(),
+		RowsEmitted:      t.rowsEmitted.Load(),
+		Spans:            spans,
+	}
+}
+
+// String renders the trace human-readably, one line plus one per span.
+func (t *QueryTrace) String() string {
+	if t == nil {
+		return "<no trace>"
+	}
+	s := t.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan=%s", s.Plan)
+	if s.Index != "" {
+		fmt.Fprintf(&b, " index=%s", s.Index)
+	}
+	fmt.Fprintf(&b, " blocks=%d read/%d skipped live_union=%d back_checked=%d (%d dropped) rows=%d",
+		s.BlocksRead, s.BlocksSkipped, s.LiveUnion, s.BackChecked, s.BackCheckDropped, s.RowsEmitted)
+	for _, sp := range s.Spans {
+		fmt.Fprintf(&b, "\n  shard %s: blocks=%d read/%d skipped live_union=%d in %s",
+			sp.Shard, sp.BlocksRead, sp.BlocksSkipped, sp.LiveUnion, sp.Elapsed)
+	}
+	return b.String()
+}

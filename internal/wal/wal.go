@@ -84,6 +84,22 @@ type Options struct {
 	GroupCommitWindow time.Duration
 	// Interval is the SyncInterval flush cadence (default 5ms).
 	Interval time.Duration
+
+	// Observer hooks, all optional (nil is a no-op). The log stays free
+	// of any metrics dependency; the embedding engine wires these to its
+	// own counters and histograms.
+
+	// OnSegment is called after every successful segment write with the
+	// record count of the batch (the group-commit batch size), the
+	// segment's size in bytes, and how long the store write took.
+	OnSegment func(records, bytes int, elapsed time.Duration)
+	// OnFlushError is called when a background or size-triggered flush
+	// fails on a buffered policy. Such errors are deliberately not
+	// returned to committers (the records stay buffered and a later
+	// flush retries), so without this hook they would be invisible.
+	OnFlushError func(err error)
+	// OnReclaim is called after Reclaim deletes segments, with the count.
+	OnReclaim func(segments int)
 }
 
 func (o Options) withDefaults() Options {
@@ -204,7 +220,9 @@ func (l *Log) flushLoop() {
 		case <-l.stopCh:
 			return
 		case <-t.C:
-			_ = l.Flush()
+			if err := l.Flush(); err != nil && l.opts.OnFlushError != nil {
+				l.opts.OnFlushError(err)
+			}
 		}
 	}
 }
@@ -287,8 +305,11 @@ func (l *Log) Commit(rec Record) error {
 			// buffered (Flush re-buffers on error) and a later flush,
 			// groom or Close retries. Reporting the error here would make
 			// the engine declare already-accepted sequences lost while
-			// the retry could still make them durable.
-			_ = l.Flush()
+			// the retry could still make them durable. It is counted
+			// through OnFlushError so it is not silently invisible.
+			if err := l.Flush(); err != nil && l.opts.OnFlushError != nil {
+				l.opts.OnFlushError(err)
+			}
 		}
 		return nil
 	}
@@ -380,8 +401,12 @@ func (l *Log) writeSegment(records []byte, first, last uint64, recs int) error {
 	data = binary.BigEndian.AppendUint32(data, uint32(recs))
 	data = binary.BigEndian.AppendUint32(data, 0) // reserved
 	data = append(data, records...)
+	start := time.Now()
 	if err := l.store.Put(name, data); err != nil {
 		return fmt.Errorf("wal: segment write: %w", err)
+	}
+	if l.opts.OnSegment != nil {
+		l.opts.OnSegment(recs, len(data), time.Since(start))
 	}
 	l.mu.Lock()
 	l.segments = append(l.segments, SegmentInfo{Name: name, Bytes: int64(len(data)), First: first, Last: last, Records: recs})
@@ -434,8 +459,14 @@ func (l *Log) Reclaim(throughSeq uint64) (int, error) {
 			l.mu.Lock()
 			l.segments = append(l.segments, drop[i:]...)
 			l.mu.Unlock()
+			if i > 0 && l.opts.OnReclaim != nil {
+				l.opts.OnReclaim(i)
+			}
 			return i, err
 		}
+	}
+	if len(drop) > 0 && l.opts.OnReclaim != nil {
+		l.opts.OnReclaim(len(drop))
 	}
 	return len(drop), nil
 }

@@ -25,6 +25,7 @@ func (e *Engine) fetchBlock(ctx context.Context, name string) (*columnar.Block, 
 	e.blockMu.Lock()
 	if be, ok := e.blockCache[name]; ok {
 		e.blockMu.Unlock()
+		e.mx.blockCacheHits.Inc()
 		return be.blk, nil
 	}
 	e.blockMu.Unlock()
@@ -32,6 +33,7 @@ func (e *Engine) fetchBlock(ctx context.Context, name string) (*columnar.Block, 
 		return nil, err
 	}
 
+	e.mx.blockFetches.Inc()
 	data, err := e.store.Get(name)
 	if err != nil {
 		return nil, err

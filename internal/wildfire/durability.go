@@ -69,6 +69,24 @@ func (d DurabilityOptions) walOptions() wal.Options {
 	}
 }
 
+// walOptions derives the shard log's options with the engine's observer
+// hooks attached: segment writes feed the group-commit batch-size and
+// sync-latency histograms, swallowed buffered-policy flush failures are
+// counted (they retry internally and would otherwise be invisible), and
+// reclaimed segments accumulate.
+func (e *Engine) walOptions() wal.Options {
+	o := e.durable.walOptions()
+	// Read e.mx per call, not captured: the overhead benchmark swaps the
+	// bundle after construction, and the hooks must follow it.
+	o.OnSegment = func(records, _ int, elapsed time.Duration) {
+		e.mx.walBatch.Observe(int64(records))
+		e.mx.walSync.Observe(int64(elapsed))
+	}
+	o.OnFlushError = func(error) { e.mx.walFlushErrors.Inc() }
+	o.OnReclaim = func(n int) { e.mx.walReclaimed.Add(int64(n)) }
+	return o
+}
+
 // ---- storage names ----------------------------------------------------
 
 // WALStoragePrefix is where a table shard's commit-log segments live;
@@ -159,9 +177,12 @@ func (e *Engine) stageCommit(replica int, rows []Row) (uint64, error) {
 		rec.Rows = append(rec.Rows, keyenc.AppendComposite(nil, r...))
 	}
 	if err := e.wal.Commit(rec); err != nil {
+		e.mx.walCommitErrors.Inc()
 		e.noteLostSeqs(first, base)
 		return 0, err
 	}
+	e.mx.walAppends.Inc()
+	e.mx.walRows.Add(int64(n))
 	return first, nil
 }
 
@@ -245,7 +266,11 @@ func (e *Engine) publishWalMark(mark, cycle uint64) error {
 	if names, err := e.store.List(walMarkPrefix(e.table.Name)); err == nil && len(names) > 2 {
 		sort.Strings(names)
 		for _, n := range names[:len(names)-2] {
-			_ = e.store.Delete(n)
+			// A failed prune is retried on the next publish (the record is
+			// superseded, not load-bearing), but it must not be invisible.
+			if err := e.store.Delete(n); err != nil {
+				e.mx.walPruneErrors.Inc()
+			}
 		}
 	}
 	if _, err := e.wal.Reclaim(mark); err != nil {
@@ -332,7 +357,7 @@ func (e *Engine) recoverWAL() error {
 				return fmt.Errorf("wildfire: wal replay of seq %d: %w", seq, err)
 			}
 			seen[seq] = struct{}{}
-			e.replicas[replica].appendWithSeqs([]Row{Row(vals)}, seq)
+			e.replicas[replica].appendWithSeqs([]Row{Row(vals)}, seq, 0)
 		}
 		return nil
 	})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"umzi/internal/core"
+	"umzi/internal/obs"
 	"umzi/internal/storage"
 	"umzi/internal/types"
 	"umzi/internal/wal"
@@ -41,6 +42,10 @@ type Config struct {
 	// zone, and recovery replays its tail above the groom watermark. The
 	// zero value is full per-commit durability with group commit.
 	Durability DurabilityOptions
+	// Obs is the metric registry the engine records into, keyed by the
+	// table name. Nil gives the engine a private registry: fully
+	// instrumented, nothing exposed.
+	Obs *obs.Registry
 }
 
 // Engine is one Wildfire table shard: live zone, groomer, post-groomer,
@@ -53,6 +58,7 @@ type Engine struct {
 	tuning     core.Config
 	replicas   []*replica
 	partitions int
+	mx         *engineMetrics
 
 	// idx is the primary index; indexes is the full set (element 0 is
 	// the primary), immutable slices swapped copy-on-write so queries
@@ -199,6 +205,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		walDrained: make(map[uint64]struct{}),
 		stopCh:     make(chan struct{}),
 	}
+	e.mx = newEngineMetrics(cfg.Obs, cfg.Table.Name)
 	e.partitions = cfg.Partitions
 	for i := 0; i < cfg.Replicas; i++ {
 		e.replicas = append(e.replicas, &replica{id: i})
@@ -260,7 +267,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	// The commit log opens before recovery: recoverState restores the
 	// groomed/post-groomed state and recoverWAL then replays the log
 	// tail above the groom watermark to rebuild the live zone.
-	log, err := wal.Open(cfg.Store, WALStoragePrefix(cfg.Table.Name), cfg.Durability.walOptions())
+	log, err := wal.Open(cfg.Store, WALStoragePrefix(cfg.Table.Name), e.walOptions())
 	if err != nil {
 		closeAll()
 		return nil, err
@@ -289,6 +296,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return fail(err)
 		}
 	}
+	e.registerGauges()
 	return e, nil
 }
 

@@ -3,10 +3,12 @@ package wildfire
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"umzi/internal/columnar"
 	"umzi/internal/exec"
 	"umzi/internal/keyenc"
+	"umzi/internal/obs"
 	"umzi/internal/types"
 )
 
@@ -108,6 +110,8 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 	epoch := e.gate.enter()
 	defer e.gate.exit(epoch)
 	ts := e.resolveTS(opts)
+	start := time.Now()
+	var blocksRead, blocksSkipped int64
 
 	pkIdx := make([]int, len(e.table.PrimaryKey))
 	for i, k := range e.table.PrimaryKey {
@@ -124,9 +128,17 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 			return err
 		}
 		if min, ok := blk.ColumnMin(nUser); !ok || types.TS(min.Uint()) > ts {
+			blocksSkipped++
 			return nil // empty, or nothing visible at this timestamp
 		}
 		canMatch := bound.CanMatchBlock(blk)
+		if canMatch {
+			blocksRead++
+		} else {
+			// Key/beginTS columns only: the synopsis proved no row can
+			// qualify, so the scan counts as skipped for skip-ratio purposes.
+			blocksSkipped++
+		}
 		for r := 0; r < blk.NumRows(); r++ {
 			beginTS := blk.Value(r, nUser).Uint()
 			if types.TS(beginTS) > ts {
@@ -159,6 +171,7 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 	// larger beginTS), so the newest live version per key supersedes any
 	// zone candidate. Like Get, live records are only consulted for reads
 	// at the newest snapshot.
+	var liveUnion int64
 	if opts.IncludeLive && ts >= e.LastGroomTS() {
 		type liveBest struct {
 			row Row
@@ -176,7 +189,21 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 		for pk, best := range live {
 			winners[pk] = execCandidate{beginTS: uint64(types.MaxTS), liveRow: best.row, canMatch: true}
 		}
+		liveUnion = int64(len(live))
 	}
+
+	e.mx.execBlocksRead.Add(blocksRead)
+	e.mx.execBlocksSkipped.Add(blocksSkipped)
+	opts.Trace.AddBlocksRead(blocksRead)
+	opts.Trace.AddBlocksSkipped(blocksSkipped)
+	opts.Trace.AddLiveUnion(liveUnion)
+	opts.Trace.AddSpan(obs.TraceSpan{
+		Shard:         e.table.Name,
+		BlocksRead:    blocksRead,
+		BlocksSkipped: blocksSkipped,
+		LiveUnion:     liveUnion,
+		Elapsed:       time.Since(start),
+	})
 
 	part := bound.NewPartial()
 	for _, w := range winners {

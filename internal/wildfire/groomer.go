@@ -3,6 +3,7 @@ package wildfire
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"umzi/internal/columnar"
 	"umzi/internal/keyenc"
@@ -32,6 +33,7 @@ func (e *Engine) GroomCount() (int, error) {
 	}
 	e.groomMu.Lock()
 	defer e.groomMu.Unlock()
+	start := time.Now()
 
 	// Merge replica logs in time order.
 	var recs []logRecord
@@ -121,6 +123,19 @@ func (e *Engine) GroomCount() (int, error) {
 	// Publish the new snapshot boundary: all versions of this cycle are
 	// now quorum-readable.
 	e.lastGroomTS.Store(uint64(types.MakeTS(cycle, 1<<24-1)))
+
+	// The records just became visible at the groomed snapshot: close the
+	// commit-ack -> groomed-visibility freshness window of each (replayed
+	// rows carry no ack time and are skipped).
+	now := time.Now().UnixNano()
+	for _, rec := range recs {
+		if rec.ack > 0 {
+			e.mx.freshness.Observe(now - rec.ack)
+		}
+	}
+	e.mx.groomCycles.Inc()
+	e.mx.groomRows.Observe(int64(len(recs)))
+	e.mx.groomDuration.ObserveSince(start)
 
 	// The data block and every index run have landed, so the commit log
 	// up to this cycle's sequences is consumed: advance the watermark

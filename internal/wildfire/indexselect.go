@@ -211,7 +211,7 @@ func (e *Engine) executeViaIndex(ctx context.Context, bound *exec.BoundPlan, ti 
 	// primary keys for live suppression; a non-covered primary-index
 	// plan with no live overlay fetches by RID and never reads them
 	// (secondaries always decode for the back-check).
-	ves, err := e.verifyEntries(ctx, ti, entries, ts, 0, covered || useLive)
+	ves, err := e.verifyEntries(ctx, ti, entries, ts, 0, covered || useLive, opts.Trace)
 	if err != nil {
 		return nil, err
 	}

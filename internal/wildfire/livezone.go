@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // The live zone (§2.1): transactions append uncommitted changes to a
@@ -20,6 +21,12 @@ import (
 type logRecord struct {
 	row       Row
 	commitSeq uint64 // global commit order (tentative commit time)
+	// ack is the commit acknowledgment wall-clock time in Unix
+	// nanoseconds — when the committer learned its rows were durable.
+	// The groomer measures ack -> groomed-visibility freshness from it.
+	// Zero for rows rebuilt by log replay: their original ack time is
+	// unknowable and must not pollute the freshness distribution.
+	ack int64
 }
 
 // replica is one multi-master shard replica with its own committed log.
@@ -33,11 +40,12 @@ type replica struct {
 // appendWithSeqs publishes rows to the committed log; row i carries the
 // pre-assigned commit sequence base+i. Sequences are assigned before
 // the durable log append, so by the time a row is visible here it is
-// already as durable as the sync policy promises.
-func (r *replica) appendWithSeqs(rows []Row, base uint64) {
+// already as durable as the sync policy promises. ack is the commit
+// acknowledgment time in Unix nanoseconds (0 for replayed rows).
+func (r *replica) appendWithSeqs(rows []Row, base uint64, ack int64) {
 	r.mu.Lock()
 	for i, row := range rows {
-		r.log = append(r.log, logRecord{row: row, commitSeq: base + uint64(i)})
+		r.log = append(r.log, logRecord{row: row, commitSeq: base + uint64(i), ack: ack})
 	}
 	r.mu.Unlock()
 }
@@ -142,7 +150,10 @@ func (tx *Txn) CommitContext(ctx context.Context) error {
 		tx.sidelog = nil
 		return err
 	}
-	tx.replica.appendWithSeqs(tx.sidelog, first)
+	// The ack point: stageCommit returned, so the rows are as durable as
+	// the sync policy promises and the commit is about to be acknowledged
+	// to the caller. Freshness is measured from here to groom visibility.
+	tx.replica.appendWithSeqs(tx.sidelog, first, time.Now().UnixNano())
 	tx.sidelog = nil
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"umzi/internal/core"
 	"umzi/internal/keyenc"
+	"umzi/internal/obs"
 	"umzi/internal/run"
 	"umzi/internal/types"
 )
@@ -43,6 +44,11 @@ type QueryOptions struct {
 	// NoIndexSelection makes Execute evaluate its plan as a zone scan
 	// even when the filter matches an index (baselines, ablations).
 	NoIndexSelection bool
+	// Trace, when set, receives the query's execution profile: per-shard
+	// spans, blocks read vs. synopsis-skipped, live-union size, and
+	// back-check counts. Nil is a no-op (every trace method is
+	// nil-receiver safe).
+	Trace *obs.QueryTrace
 }
 
 func (e *Engine) resolveTS(opts QueryOptions) types.TS {
@@ -201,7 +207,7 @@ const verifyCheckEvery = 256
 // superseded under a different secondary key and is dropped. For the
 // primary, flat is decoded only when decode is set. limit counts
 // verified entries; 0 means unlimited. Callers hold a gate epoch.
-func (e *Engine) indexScanEntries(ctx context.Context, ti *tableIndex, eq, sortLo, sortHi []keyenc.Value, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
+func (e *Engine) indexScanEntries(ctx context.Context, ti *tableIndex, eq, sortLo, sortHi []keyenc.Value, ts types.TS, limit int, decode bool, tr *obs.QueryTrace) ([]verifiedEntry, error) {
 	if len(eq) != len(ti.spec.Equality) {
 		return nil, fmt.Errorf("wildfire: index %q scan requires all equality values (%d, want %d)",
 			ti.name, len(eq), len(ti.spec.Equality))
@@ -228,7 +234,7 @@ func (e *Engine) indexScanEntries(ctx context.Context, ti *tableIndex, eq, sortL
 		if err != nil {
 			return nil, err
 		}
-		out, err := e.verifyEntries(ctx, ti, entries, ts, limit, decode)
+		out, err := e.verifyEntries(ctx, ti, entries, ts, limit, decode, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +248,7 @@ func (e *Engine) indexScanEntries(ctx context.Context, ti *tableIndex, eq, sortL
 // verifyEntry runs the primary back-check (and optional decode) over
 // one scanned entry; ok=false means the candidate was superseded under
 // another secondary key and must be dropped.
-func (e *Engine) verifyEntry(ti *tableIndex, entry run.Entry, ts types.TS, decode bool) (verifiedEntry, bool, error) {
+func (e *Engine) verifyEntry(ti *tableIndex, entry run.Entry, ts types.TS, decode bool, tr *obs.QueryTrace) (verifiedEntry, bool, error) {
 	ve := verifiedEntry{entry: entry}
 	var err error
 	if !ti.primary() || decode {
@@ -252,12 +258,16 @@ func (e *Engine) verifyEntry(ti *tableIndex, entry run.Entry, ts types.TS, decod
 		}
 	}
 	if !ti.primary() {
+		e.mx.backChecks.Inc()
+		tr.AddBackChecked(1)
 		pkEq, pkSort := ti.pkFromFlat(ve.flat)
 		pe, found, err := e.idx.PointLookup(pkEq, pkSort, ts)
 		if err != nil {
 			return ve, false, err
 		}
 		if !found || pe.BeginTS != entry.BeginTS {
+			e.mx.backCheckDrops.Inc()
+			tr.AddBackCheckDropped(1)
 			return ve, false, nil // superseded under another secondary key
 		}
 	}
@@ -268,7 +278,7 @@ func (e *Engine) verifyEntry(ti *tableIndex, entry run.Entry, ts types.TS, decod
 // scanned entries, stopping after limit verified results (0 = all). The
 // context is checked every verifyCheckEvery entries so a cancelled
 // query abandons a large verification pass promptly.
-func (e *Engine) verifyEntries(ctx context.Context, ti *tableIndex, entries []run.Entry, ts types.TS, limit int, decode bool) ([]verifiedEntry, error) {
+func (e *Engine) verifyEntries(ctx context.Context, ti *tableIndex, entries []run.Entry, ts types.TS, limit int, decode bool, tr *obs.QueryTrace) ([]verifiedEntry, error) {
 	out := make([]verifiedEntry, 0, len(entries))
 	for i, entry := range entries {
 		if i%verifyCheckEvery == 0 {
@@ -276,7 +286,7 @@ func (e *Engine) verifyEntries(ctx context.Context, ti *tableIndex, entries []ru
 				return nil, err
 			}
 		}
-		ve, ok, err := e.verifyEntry(ti, entry, ts, decode)
+		ve, ok, err := e.verifyEntry(ti, entry, ts, decode, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +374,7 @@ func (e *Engine) openIndexScan(ctx context.Context, index string, eq, sortLo, so
 	release := func() error { e.gate.exit(epoch); return nil }
 
 	if opts.Limit > 0 {
-		ves, err := e.indexScanEntries(ctx, ti, eq, sortLo, sortHi, ts, opts.Limit, decode)
+		ves, err := e.indexScanEntries(ctx, ti, eq, sortLo, sortHi, ts, opts.Limit, decode, opts.Trace)
 		if err != nil {
 			release()
 			return nil, nil, err
@@ -408,7 +418,7 @@ func (e *Engine) openIndexScan(ctx context.Context, index string, eq, sortLo, so
 			}
 			entry := entries[i]
 			i++
-			ve, ok, err := e.verifyEntry(ti, entry, ts, decode)
+			ve, ok, err := e.verifyEntry(ti, entry, ts, decode, opts.Trace)
 			if err != nil {
 				return verifiedEntry{}, false, err
 			}

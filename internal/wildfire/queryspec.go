@@ -3,9 +3,11 @@ package wildfire
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"umzi/internal/exec"
 	"umzi/internal/keyenc"
+	"umzi/internal/obs"
 	"umzi/internal/types"
 )
 
@@ -62,6 +64,10 @@ type QuerySpec struct {
 	// true; the filter must pin the index's equality columns.
 	Via    string
 	ViaSet bool
+	// Trace, when set, captures the compiled plan choice and per-shard
+	// execution profile of the run (Query.Explain attaches one). Nil is a
+	// no-op.
+	Trace *obs.QueryTrace
 }
 
 // QueryRows is a streaming query result: output column names plus a
@@ -298,7 +304,8 @@ type queryOps interface {
 // runCompiled executes a compiled query against one topology.
 func runCompiled(ctx context.Context, ops queryOps, cq *compiledQuery) (*QueryRows, error) {
 	spec := cq.spec
-	opts := QueryOptions{TS: spec.TS, IncludeLive: spec.IncludeLive, NoIndexSelection: spec.NoIndexSelection}
+	opts := QueryOptions{TS: spec.TS, IncludeLive: spec.IncludeLive, NoIndexSelection: spec.NoIndexSelection, Trace: spec.Trace}
+	spec.Trace.SetPlan(planLabel(cq.mode), cq.index)
 
 	switch cq.mode {
 	case modePointGet:
@@ -444,11 +451,16 @@ func (e *Engine) RunQuery(ctx context.Context, spec QuerySpec) (*QueryRows, erro
 	if e.closed.Load() {
 		return nil, fmt.Errorf("wildfire: engine closed")
 	}
+	start := time.Now()
 	cq, err := planQuery(e.table, e.indexSet(), spec)
 	if err != nil {
 		return nil, err
 	}
-	return runCompiled(ctx, engineOps{e}, cq)
+	rows, err := runCompiled(ctx, engineOps{e}, cq)
+	if err != nil {
+		return nil, err
+	}
+	return e.mx.instrumentRows(cq.mode, spec.Trace, rows, start), nil
 }
 
 // ---- ShardedEngine adapter -------------------------------------------
@@ -488,9 +500,14 @@ func (s *ShardedEngine) RunQuery(ctx context.Context, spec QuerySpec) (*QueryRow
 	if spec.TS == 0 {
 		spec.TS = s.SnapshotTS()
 	}
+	start := time.Now()
 	cq, err := planQuery(s.table, s.shards[0].indexSet(), spec)
 	if err != nil {
 		return nil, err
 	}
-	return runCompiled(ctx, shardedOps{s}, cq)
+	rows, err := runCompiled(ctx, shardedOps{s}, cq)
+	if err != nil {
+		return nil, err
+	}
+	return s.mx.instrumentRows(cq.mode, spec.Trace, rows, start), nil
 }

@@ -127,7 +127,7 @@ func TestSecondaryConcurrentWithPipeline(t *testing.T) {
 						return
 					}
 					// COUNT 0 means MIN is the zero (NULL stand-in) Value.
-				if len(res.Rows) > 0 && res.Rows[0][0].Int() > 0 && res.Rows[0][1].Int() < 500 {
+					if len(res.Rows) > 0 && res.Rows[0][0].Int() > 0 && res.Rows[0][1].Int() < 500 {
 						t.Errorf("index-selected MIN(amount) %d below the filter bound", res.Rows[0][1].Int())
 						return
 					}

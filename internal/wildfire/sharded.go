@@ -9,6 +9,7 @@ import (
 
 	"umzi/internal/core"
 	"umzi/internal/keyenc"
+	"umzi/internal/obs"
 	"umzi/internal/storage"
 	"umzi/internal/types"
 )
@@ -67,6 +68,10 @@ type ShardedConfig struct {
 	// rounds, so a cross-shard snapshot cuts every shard at a recovered
 	// prefix. The zero value is full per-commit durability.
 	Durability DurabilityOptions
+	// Obs is the metrics registry every shard registers into; nil gives
+	// the engine a private registry (metrics still work, nothing is
+	// exported). Shard metrics are labeled by shard-qualified table name.
+	Obs *obs.Registry
 }
 
 // ShardedEngine is a sharded Wildfire table: N engines behind one
@@ -77,6 +82,12 @@ type ShardedEngine struct {
 	shards []*Engine
 	router *shardRouter
 	pool   *gatherPool
+
+	// mx is the coordinator's metric bundle, labeled by the base table
+	// name: cross-shard query counts/latencies and stream release errors.
+	// Per-shard ingest/groom/storage metrics live in the shards' own
+	// bundles (same registry, shard-qualified table label).
+	mx *engineMetrics
 
 	// primaryMeta is the primary index's routing/merge metadata (the
 	// sharded-level analogue of a shard's tableIndex, with no core index
@@ -139,6 +150,7 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 		secondaries: make(map[string]*tableIndex),
 		stopCh:      make(chan struct{}),
 	}
+	s.mx = newEngineMetrics(cfg.Obs, cfg.Table.Name)
 	s.primaryMeta = newTableIndex(cfg.Table, cfg.Index, "", cfg.Index, nil)
 	for i := 0; i < cfg.Shards; i++ {
 		shardCfg := Config{
@@ -151,6 +163,7 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 			Partitions:  cfg.Partitions,
 			IndexTuning: cfg.IndexTuning,
 			Durability:  cfg.Durability,
+			Obs:         cfg.Obs,
 		}
 		shardCfg.Table.Name = shardTableName(cfg.Table.Name, i)
 		if cfg.ShardStore != nil {
@@ -682,6 +695,7 @@ func (s *ShardedEngine) ScanStreamOn(ctx context.Context, index string, eq, sort
 			return s.shards[shard].ScanStreamOn(ctx, index, eq, sortLo, sortHi, opts)
 		},
 		func(r Record) []byte { return sortKeyOfRecord(sortIdx, &r) },
+		s.mx.onReleaseErr,
 	), nil
 }
 
@@ -702,6 +716,7 @@ func (s *ShardedEngine) IndexOnlyStreamOn(ctx context.Context, index string, eq,
 			return s.shards[shard].IndexOnlyStreamOn(ctx, index, eq, sortLo, sortHi, opts)
 		},
 		func(row []keyenc.Value) []byte { return sortKeyOfIndexRow(nEq, nSort, row) },
+		s.mx.onReleaseErr,
 	), nil
 }
 

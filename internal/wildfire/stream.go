@@ -155,6 +155,13 @@ func (h *streamHeap[T]) Pop() interface{} {
 // cancels the workers and waits for them, so cancellation propagates
 // into every shard's scan and no goroutine leaks.
 //
+// onReleaseErr (nil ok) observes the error of a shard cursor's Close
+// when the worker exits without reaching its own error reporting — a
+// cancelled worker closing its cursor mid-scan. Such errors cannot
+// surface through the merged cursor (the consumer is gone or a sibling's
+// failure already owns the attribution), so they are counted instead of
+// silently dropped.
+//
 // The goroutines themselves are per query (a cursor may stay open at
 // the consumer's pleasure, so tying its streaming to a shared pool
 // would let one idle cursor starve every other query), but the
@@ -169,6 +176,7 @@ func scatterStream[T any](
 	nShards, limit int,
 	open func(ctx context.Context, shard int) (*Cursor[T], error),
 	keyOf func(v T) []byte,
+	onReleaseErr func(error),
 ) *Cursor[T] {
 	ctx, cancel := context.WithCancel(parent)
 	sources := make([]*shardSource[T], nShards)
@@ -211,7 +219,11 @@ func scatterStream[T any](
 				fail(err)
 				return
 			}
-			defer cur.Close()
+			defer func() {
+				if err := cur.Close(); err != nil && onReleaseErr != nil {
+					onReleaseErr(err)
+				}
+			}()
 			for cur.Next() {
 				select {
 				case src.ch <- shardItem[T]{val: cur.Value(), key: keyOf(cur.Value())}:

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"umzi"
 )
 
 // The runner: executes selected scenarios one at a time (scenarios own
@@ -36,6 +38,11 @@ type Result struct {
 	Latency    map[string]*LatencySummary `json:"latency_ms,omitempty"`
 	Freshness  *LatencySummary            `json:"freshness_ms,omitempty"`
 	Counters   map[string]int64           `json:"counters,omitempty"`
+	// EngineMetrics are the engine-side metric snapshots of every DB the
+	// scenario opened through State.OpenDB, captured just before each
+	// Close — the engine's own account of the run, next to the
+	// harness-side latencies above.
+	EngineMetrics []*umzi.MetricsSnapshot `json:"engine_metrics,omitempty"`
 }
 
 // Report is the runner's JSON output.
@@ -144,6 +151,7 @@ func runOne(scn *Scenario, opts RunOptions) Result {
 		}
 	}
 	res.Freshness = state.freshness.summary()
+	res.EngineMetrics = state.engineMetrics
 	state.logf("--- %s %s (%.0f ms)", statusWord(res.Status), scn.name, res.DurationMS)
 	return res
 }

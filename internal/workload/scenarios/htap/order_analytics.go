@@ -75,6 +75,7 @@ func OrderAnalytics(ctx context.Context, s *workload.State) {
 	const writers, analysts = 2, 2
 	batchesPerWriter := 120 * s.Scale()
 	var batches, probeRows, analyticalReads atomic.Int64
+	var probesSeen, probeLagNS atomic.Int64
 	var writersDone atomic.Bool
 	var wwg, rwg sync.WaitGroup
 
@@ -188,7 +189,10 @@ func OrderAnalytics(ctx context.Context, s *workload.State) {
 					return
 				}
 				if found {
-					s.ObserveFreshness(time.Since(acked))
+					lag := time.Since(acked)
+					s.ObserveFreshness(lag)
+					probesSeen.Add(1)
+					probeLagNS.Add(int64(lag))
 					break
 				}
 				time.Sleep(2 * time.Millisecond)
@@ -221,6 +225,34 @@ func OrderAnalytics(ctx context.Context, s *workload.State) {
 	want := batches.Load()*batchRows + probeRows.Load()
 	if total != want {
 		s.Errorf("final snapshot count %d != %d committed rows", total, want)
+	}
+
+	// Cross-check the engine's own freshness histogram against the
+	// harness prober. The groomer records one commit-ack→groomed-
+	// visibility sample per row, so after the final groom the histogram
+	// must hold exactly one sample per committed row; and since both
+	// sides measure the same lag (the prober just adds polling overhead),
+	// their means must agree in magnitude.
+	snap := db.Metrics()
+	var engineSamples, engineSumNS int64
+	for _, m := range snap.Metrics {
+		if m.Name == "groom_freshness_ns" && m.Hist != nil {
+			engineSamples += m.Hist.Count
+			engineSumNS += m.Hist.Sum
+		}
+	}
+	if engineSamples != want {
+		s.Errorf("engine groom_freshness_ns holds %d samples; %d rows were committed and groomed", engineSamples, want)
+	}
+	if seen := probesSeen.Load(); seen > 0 && engineSamples > 0 {
+		engineMean := time.Duration(engineSumNS / engineSamples)
+		harnessMean := time.Duration(probeLagNS.Load() / seen)
+		s.Add("freshness-engine-mean-us", int64(engineMean/time.Microsecond))
+		s.Add("freshness-harness-mean-us", int64(harnessMean/time.Microsecond))
+		const slack = 50 * time.Millisecond
+		if engineMean > 4*harnessMean+slack || harnessMean > 4*engineMean+slack {
+			s.Errorf("freshness disagreement: engine mean %v vs harness prober mean %v", engineMean, harnessMean)
+		}
 	}
 	s.Logf("done: %d batches, %d analytical reads", batches.Load(), analyticalReads.Load())
 }

@@ -22,12 +22,13 @@ type State struct {
 	opts RunOptions
 	logf func(format string, args ...any)
 
-	mu        sync.Mutex
-	failures  []string
-	cleanups  []func()
-	counters  map[string]int64
-	latencies map[string]*recorder
-	freshness recorder
+	mu            sync.Mutex
+	failures      []string
+	cleanups      []func()
+	counters      map[string]int64
+	latencies     map[string]*recorder
+	freshness     recorder
+	engineMetrics []*umzi.MetricsSnapshot
 }
 
 // abortScenario is the panic payload Fatalf unwinds with; the runner
@@ -166,6 +167,11 @@ func (s *State) Backend(name string) umzi.ObjectStore {
 // Close as a cleanup. A nil cfg.Store gets a fresh Backend. Fatalf on
 // failure. Crash scenarios that must drop a DB without Close open
 // theirs with umzi.OpenDB directly instead.
+//
+// The cleanup snapshots the DB's engine metrics just before Close, so
+// every scenario's JSON result carries the engine's own view of the run
+// (WAL batches, groom freshness, synopsis skips, ...) next to the
+// harness-side measurements.
 func (s *State) OpenDB(cfg umzi.DBConfig) *umzi.DB {
 	if cfg.Store == nil {
 		cfg.Store = s.Backend("db")
@@ -174,6 +180,12 @@ func (s *State) OpenDB(cfg umzi.DBConfig) *umzi.DB {
 	if err != nil {
 		s.Fatalf("OpenDB: %v", err)
 	}
-	s.Cleanup(func() { db.Close() })
+	s.Cleanup(func() {
+		snap := db.Metrics()
+		s.mu.Lock()
+		s.engineMetrics = append(s.engineMetrics, snap)
+		s.mu.Unlock()
+		db.Close()
+	})
 	return db
 }

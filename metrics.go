@@ -1,0 +1,99 @@
+package umzi
+
+import (
+	"net/http"
+
+	"umzi/internal/obs"
+	"umzi/internal/storage"
+)
+
+// Observability surface. Every DB owns one metric registry; all engines
+// of all its tables register into it, labeled by (shard-qualified) table
+// name. Three ways out:
+//
+//   - DB.Metrics() — a point-in-time snapshot for programs and tests;
+//   - DB.MetricsHandler() — an http.Handler serving Prometheus text
+//     (default) or JSON (?format=json / Accept: application/json);
+//   - DB.MetricsText(filter) — the aligned human-readable table that
+//     umzi-inspect -metrics prints.
+//
+// Per-query tracing rides on the same package: Query.Explain() attaches
+// a trace capturing the compiled plan, per-shard spans, blocks read vs.
+// synopsis-skipped, live-union sizes and back-check counts.
+
+// MetricsSnapshot is a point-in-time view of every registered metric.
+type MetricsSnapshot = obs.Snapshot
+
+// Metric is one metric instance within a MetricsSnapshot.
+type Metric = obs.MetricSnapshot
+
+// MetricLabels is the label set of a metric instance.
+type MetricLabels = obs.Labels
+
+// HistSnapshot is a histogram's snapshot: count, sum, min/max, mean and
+// nearest-rank p50/p90/p99 over a recent-sample reservoir.
+type HistSnapshot = obs.HistSnapshot
+
+// QueryTrace captures one query's execution profile; obtain one with
+// Query.Explain and read it with Snapshot or String after the query ran.
+type QueryTrace = obs.QueryTrace
+
+// TraceSnapshot is a QueryTrace's point-in-time view.
+type TraceSnapshot = obs.TraceSnapshot
+
+// TraceSpan is one shard's contribution to a query trace.
+type TraceSpan = obs.TraceSpan
+
+// Metrics snapshots every engine metric of the DB: WAL and group-commit
+// activity, groom cycles and commit-ack→groomed-visibility freshness,
+// block cache and synopsis skip counters, per-plan query counts and
+// latencies, live-zone and log gauges, and shared-store I/O totals.
+func (db *DB) Metrics() *MetricsSnapshot {
+	return db.obs.Snapshot()
+}
+
+// MetricsHandler returns an http.Handler exposing the DB's metrics:
+// Prometheus text format by default, JSON when the request asks for it
+// (?format=json or an Accept header containing application/json).
+//
+//	http.Handle("/metrics", db.MetricsHandler())
+func (db *DB) MetricsHandler() http.Handler {
+	return obs.Handler(db.obs)
+}
+
+// MetricsText renders the DB's metrics as an aligned human-readable
+// table. A non-empty tableFilter keeps only metrics of that table
+// (including its shards); durations print in milliseconds.
+func (db *DB) MetricsText(tableFilter string) string {
+	return obs.FormatTable(db.obs.Snapshot(), tableFilter)
+}
+
+// registerStorageGauges wires shared-store I/O totals and SSD-cache
+// state into the registry, when the backends expose them (the built-in
+// MemStore/FSStore do; a custom ObjectStore without Stats simply goes
+// unreported).
+func (db *DB) registerStorageGauges() {
+	if s, ok := db.store.(interface{ Stats() *storage.Stats }); ok {
+		st := s.Stats()
+		db.obs.GaugeFunc("store_reads", "object reads issued to the shared store", nil,
+			func() int64 { return st.Reads.Load() })
+		db.obs.GaugeFunc("store_writes", "object writes issued to the shared store", nil,
+			func() int64 { return st.Writes.Load() })
+		db.obs.GaugeFunc("store_deletes", "object deletes issued to the shared store", nil,
+			func() int64 { return st.Deletes.Load() })
+		db.obs.GaugeFunc("store_bytes_read", "bytes read from the shared store", nil,
+			func() int64 { return st.BytesRead.Load() })
+		db.obs.GaugeFunc("store_bytes_written", "bytes written to the shared store", nil,
+			func() int64 { return st.BytesWrite.Load() })
+	}
+	if c := db.cache; c != nil {
+		db.obs.GaugeFunc("cache_ssd_hits", "SSD-cache block hits", nil,
+			func() int64 { return c.Stats().Hits })
+		db.obs.GaugeFunc("cache_ssd_misses", "SSD-cache block misses", nil,
+			func() int64 { return c.Stats().Misses })
+		db.obs.GaugeFunc("cache_ssd_used_bytes", "SSD-cache bytes in use", nil,
+			func() int64 { return c.Stats().Used })
+		db.obs.GaugeFunc("cache_ssd_blocks", "SSD-cache blocks held", nil,
+			func() int64 { return int64(c.Stats().Blocks) })
+	}
+}

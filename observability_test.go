@@ -1,0 +1,218 @@
+package umzi_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"umzi"
+)
+
+// TestQueryExplainSynopsisSkip builds a table whose groomed blocks have
+// disjoint key ranges and asserts the Explain trace reports exactly the
+// blocks the min/max synopsis can exclude — and that the engine-wide
+// skip counters moved by the same amounts.
+func TestQueryExplainSynopsisSkip(t *testing.T) {
+	ctx := context.Background()
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(ordersDef("orders"), umzi.TableOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three groom cycles with disjoint order_id ranges: three groomed
+	// blocks with non-overlapping key synopses.
+	for blk := int64(0); blk < 3; blk++ {
+		for i := int64(0); i < 20; i++ {
+			id := blk*1000 + i
+			err := tbl.Upsert(ctx, umzi.Row{
+				umzi.I64(id), umzi.I64(id % 7), umzi.F64(float64(id)), umzi.Str("amer"),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tbl.Groom(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := db.Metrics()
+	readBefore := before.Sum("exec_blocks_read", nil)
+	skipBefore := before.Sum("exec_blocks_skipped", nil)
+
+	// An executor scan bounded to the middle block's range: the synopsis
+	// must exclude the other two blocks without materializing them.
+	q := tbl.Query().
+		Where(umzi.And(umzi.Ge("order_id", umzi.I64(1000)), umzi.Lt("order_id", umzi.I64(2000)))).
+		NoIndex()
+	tr := q.Explain()
+	rows, err := q.All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("query returned %d rows, want 20", len(rows))
+	}
+	s := tr.Snapshot()
+	if s.Plan != "exec" {
+		t.Fatalf("plan = %q, want exec (NoIndex)", s.Plan)
+	}
+	if s.BlocksRead != 1 || s.BlocksSkipped != 2 {
+		t.Errorf("trace blocks = %d read / %d skipped, want 1 read / 2 skipped", s.BlocksRead, s.BlocksSkipped)
+	}
+	if s.RowsEmitted != 20 {
+		t.Errorf("trace rows_emitted = %d, want 20", s.RowsEmitted)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].BlocksSkipped != 2 {
+		t.Errorf("spans = %+v, want one span with 2 skipped", s.Spans)
+	}
+
+	after := db.Metrics()
+	if got := after.Sum("exec_blocks_read", nil) - readBefore; got != s.BlocksRead {
+		t.Errorf("exec_blocks_read moved by %d, trace says %d", got, s.BlocksRead)
+	}
+	if got := after.Sum("exec_blocks_skipped", nil) - skipBefore; got != s.BlocksSkipped {
+		t.Errorf("exec_blocks_skipped moved by %d, trace says %d", got, s.BlocksSkipped)
+	}
+}
+
+// TestMetricsAnswerWorkloadQuestions is the acceptance check of the
+// observability PR: after a grooming workload, DB.Metrics() alone must
+// answer the operational questions — WAL watermark lag, group-commit
+// batch size percentiles, commit-ack→groomed-visibility freshness, and
+// the synopsis skip ratio — and each answer must agree with ground
+// truth observed independently by the harness.
+func TestMetricsAnswerWorkloadQuestions(t *testing.T) {
+	ctx := context.Background()
+	start := time.Now()
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(ordersDef("orders"), umzi.TableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds, perRound = 4, 25
+	var committed int64
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			id := int64(r*perRound + i)
+			err := tbl.Upsert(ctx, umzi.Row{
+				umzi.I64(id), umzi.I64(id % 5), umzi.F64(float64(id)), umzi.Str("emea"),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed++
+		}
+		// Ground truth for watermark lag, mid-workload: the engine gauge
+		// must agree with the WALStatus API at every groom boundary.
+		wantLag := int64(0)
+		for _, st := range tbl.WALStatus() {
+			wantLag += int64(st.MaxSeq - st.Mark)
+		}
+		if gotLag := db.Metrics().Sum("wal_watermark_lag", nil); gotLag != wantLag {
+			t.Errorf("round %d: wal_watermark_lag = %d, WALStatus says %d", r, gotLag, wantLag)
+		}
+		if err := tbl.Groom(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := db.Metrics()
+
+	// 1. WAL watermark lag: everything committed is groomed, lag 0 —
+	// and the gauge agrees with WALStatus.
+	var wantLag int64
+	for _, st := range tbl.WALStatus() {
+		wantLag += int64(st.MaxSeq - st.Mark)
+	}
+	if wantLag != 0 {
+		t.Fatalf("ground truth broken: lag %d after full groom", wantLag)
+	}
+	if got := snap.Sum("wal_watermark_lag", nil); got != wantLag {
+		t.Errorf("wal_watermark_lag = %d, want %d", got, wantLag)
+	}
+
+	// 2. Group-commit batch size: serial committers never share a
+	// segment, so every batch is exactly one record — p50 == p99 == 1,
+	// and the histogram totals reconcile with the commit count.
+	var batchCount, batchSum int64
+	for _, m := range snap.Metrics {
+		if m.Name == "wal_batch_records" && m.Hist != nil {
+			batchCount += m.Hist.Count
+			batchSum += m.Hist.Sum
+			if m.Hist.Count > 0 && (m.Hist.P50 != 1 || m.Hist.P99 != 1 || m.Hist.Max != 1) {
+				t.Errorf("serial commits: batch percentiles %+v, want all 1 (%v)", m.Hist, m.Labels)
+			}
+		}
+	}
+	if batchSum != committed {
+		t.Errorf("wal_batch_records sum = %d records, harness committed %d", batchSum, committed)
+	}
+	if batchCount != committed {
+		t.Errorf("wal_batch_records count = %d segments, want %d (one per serial commit)", batchCount, committed)
+	}
+	if appends := snap.Sum("wal_appends", nil); appends != committed {
+		t.Errorf("wal_appends = %d, harness committed %d", appends, committed)
+	}
+
+	// 3. Freshness: one sample per committed-and-groomed row, every lag
+	// positive and below the harness's own wall-clock bound for the run.
+	elapsed := time.Since(start)
+	var frCount int64
+	for _, m := range snap.Metrics {
+		if m.Name == "groom_freshness_ns" && m.Hist != nil && m.Hist.Count > 0 {
+			frCount += m.Hist.Count
+			if m.Hist.Min <= 0 || m.Hist.P50 <= 0 || m.Hist.P99 < m.Hist.P50 {
+				t.Errorf("implausible freshness histogram %+v (%v)", m.Hist, m.Labels)
+			}
+			if m.Hist.Max > int64(elapsed) {
+				t.Errorf("freshness max %v exceeds the whole run's elapsed %v", time.Duration(m.Hist.Max), elapsed)
+			}
+		}
+	}
+	if frCount != committed {
+		t.Errorf("groom_freshness_ns samples = %d, harness committed %d rows", frCount, committed)
+	}
+
+	// 4. Synopsis skip ratio: a range query touching one round's rows
+	// must skip the other rounds' blocks; the counters' ratio must match
+	// the per-query trace (the harness-side ground truth).
+	readBefore := snap.Sum("exec_blocks_read", nil)
+	skipBefore := snap.Sum("exec_blocks_skipped", nil)
+	q := tbl.Query().Where(umzi.Lt("order_id", umzi.I64(perRound))).NoIndex()
+	tr := q.Explain()
+	rows, err := q.All(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != perRound {
+		t.Fatalf("range query returned %d rows, want %d", len(rows), perRound)
+	}
+	s := tr.Snapshot()
+	after := db.Metrics()
+	read := after.Sum("exec_blocks_read", nil) - readBefore
+	skipped := after.Sum("exec_blocks_skipped", nil) - skipBefore
+	if read != s.BlocksRead || skipped != s.BlocksSkipped {
+		t.Errorf("engine counters (%d read / %d skipped) disagree with trace (%d / %d)",
+			read, skipped, s.BlocksRead, s.BlocksSkipped)
+	}
+	if skipped == 0 {
+		t.Errorf("no blocks skipped: synopsis skip ratio unanswerable (read %d)", read)
+	}
+	if total := read + skipped; total > 0 {
+		ratio := float64(skipped) / float64(total)
+		// 2 shards × 4 rounds = 8 blocks; only round 0's blocks match.
+		if ratio < 0.5 {
+			t.Errorf("skip ratio %.2f, want >= 0.5 for a one-round range over %d rounds", ratio, rounds)
+		}
+	}
+}

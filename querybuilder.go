@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"umzi/internal/obs"
 	"umzi/internal/wildfire"
 )
 
@@ -106,6 +107,24 @@ func (q *Query) IncludeLive() *Query {
 func (q *Query) NoIndex() *Query {
 	q.spec.NoIndexSelection = true
 	return q
+}
+
+// Explain attaches a trace to the query and returns it. Run the query,
+// then read the trace: the compiled plan choice, per-shard spans,
+// blocks read vs. synopsis-skipped, live-union sizes, back-check counts
+// and rows emitted. The trace settles as the result streams — drain or
+// close the Rows before reading totals. Calling Explain again returns
+// the same trace.
+//
+//	tr := q.Explain()
+//	rows, err := q.Run(ctx)
+//	... drain rows ...
+//	fmt.Println(tr)
+func (q *Query) Explain() *QueryTrace {
+	if q.spec.Trace == nil {
+		q.spec.Trace = obs.NewQueryTrace()
+	}
+	return q.spec.Trace
 }
 
 // Run compiles the query and starts it, returning a streaming Rows
