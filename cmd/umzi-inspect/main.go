@@ -260,6 +260,52 @@ func inspectTable(store storage.ObjectStore, table string) error {
 	fmt.Printf("  segments:        %d (%d bytes)\n", w.segments, w.bytes)
 	fmt.Printf("  max logged seq:  %d\n", w.maxSeq)
 	fmt.Printf("  replay tail:     %d rows (rebuilt into the live zone on reopen)\n", w.tailRows)
+	// Data-block inventory: physical encodings, bloom filters, and the
+	// on-store footprint of each block against the plain (version-1)
+	// layout of the same rows.
+	for _, zone := range []string{"groomed", "post"} {
+		prefix := fmt.Sprintf("tbl/%s/%s/", table, zone)
+		blocks, err := store.List(prefix)
+		if err != nil {
+			return err
+		}
+		if len(blocks) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s data blocks (%s)\n", zone, prefix)
+		var totEnc, totPlain int
+		for _, bname := range blocks {
+			data, err := store.Get(bname)
+			if err != nil {
+				return err
+			}
+			blk, err := columnar.Unmarshal(data)
+			if err != nil {
+				fmt.Printf("  %-24s unreadable (interrupted write?): %v\n", strings.TrimPrefix(bname, prefix), err)
+				continue
+			}
+			plain := blk.PlainSize()
+			totEnc += len(data)
+			totPlain += plain
+			fmt.Printf("  %-24s %6d rows  %8d bytes on store (plain layout %d, %.1f%%)\n",
+				strings.TrimPrefix(bname, prefix), blk.NumRows(), len(data), plain,
+				100*float64(len(data))/float64(plain))
+			var cols []string
+			for c := 0; c < blk.Schema().NumCols(); c++ {
+				desc := fmt.Sprintf("%s=%v", blk.Schema().Col(c).Name, blk.ColumnEncoding(c))
+				if blk.HasBloom(c) {
+					desc += "+bloom"
+				}
+				cols = append(cols, desc)
+			}
+			fmt.Printf("    %s\n", strings.Join(cols, " "))
+		}
+		if totPlain > 0 {
+			fmt.Printf("  total: %d bytes encoded vs %d plain layout (%.1f%%)\n",
+				totEnc, totPlain, 100*float64(totEnc)/float64(totPlain))
+		}
+	}
+
 	for _, entry := range catalog {
 		name := entry.Name
 		label := name

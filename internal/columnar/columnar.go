@@ -8,9 +8,16 @@
 // records, (b) per-column min/max statistics, and (c) immutable whole-block
 // writes compatible with append-only shared storage. This package provides
 // exactly those properties with a compact self-describing encoding.
+//
+// Columns are stored under per-column encodings (see encoding.go) chosen
+// automatically at Build() time, carry optional bloom filters (bloom.go),
+// and support vectorized predicate evaluation through CmpSelect, which
+// compares an entire column against a constant directly over the encoded
+// representation and emits a selection bitmap.
 package columnar
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -88,12 +95,34 @@ func (s *Schema) Equal(o *Schema) bool {
 	return true
 }
 
-// column is the in-memory column-major representation: fixed kinds pack
-// into nums, variable kinds into offsets+payload.
+// column is the in-memory representation of one encoded column. Which
+// field group is populated depends on enc:
+//
+//	EncPlain   fixed: nums; variable: offsets+payload
+//	EncBitPack base+width+packed (fixed kinds only)
+//	EncDict    dictOffsets+dictPayload (sorted distinct values) and
+//	           width+packed (codes; variable kinds only)
+//	EncRLE     runEnds plus runNums (fixed) or runOffsets+runPayload
 type column struct {
+	enc Encoding
+
 	nums    []uint64 // int64 bits / uint64 / float64 bits / bool 0|1
 	offsets []uint32 // len rows+1, for bytes/string
 	payload []byte
+
+	base   uint64 // bitpack: minimum sort key
+	width  uint8  // bitpack: delta width; dict: code width
+	packed []uint64
+
+	dictOffsets []uint32 // len ndict+1
+	dictPayload []byte
+
+	runEnds    []uint32 // cumulative end row of each run; last == rows
+	runNums    []uint64
+	runOffsets []uint32 // len runs+1
+	runPayload []byte
+
+	bloom *bloom
 }
 
 // Block is an immutable columnar data block.
@@ -105,13 +134,17 @@ type Block struct {
 	maxs   []keyenc.Value
 }
 
-// Builder accumulates rows and produces an immutable Block.
+// Builder accumulates rows and produces an immutable Block. Rows are
+// buffered plain; Build() rewrites each column to its best encoding.
 type Builder struct {
-	schema *Schema
-	rows   int
-	cols   []column
-	mins   []keyenc.Value
-	maxs   []keyenc.Value
+	schema    *Schema
+	rows      int
+	cols      []column
+	mins      []keyenc.Value
+	maxs      []keyenc.Value
+	arena     arena
+	bloomCols []int
+	forceEnc  *Encoding
 }
 
 // NewBuilder returns a builder for the schema.
@@ -128,6 +161,42 @@ func NewBuilder(schema *Schema) *Builder {
 		}
 	}
 	return b
+}
+
+// AddBloom designates columns (by ordinal) to carry bloom filters in the
+// built block. Must be called before Build.
+func (b *Builder) AddBloom(ordinals ...int) {
+	b.bloomCols = append(b.bloomCols, ordinals...)
+}
+
+// ForceEncoding overrides automatic encoding selection: every column the
+// encoding applies to uses it, the rest stay plain. For tests and
+// benchmarks.
+func (b *Builder) ForceEncoding(enc Encoding) {
+	b.forceEnc = &enc
+}
+
+// arena batches the small copies the builder makes of string/bytes
+// min/max candidates. Chunks are allocated with spare capacity and
+// appended to in place — a chunk is never reallocated, so slices handed
+// out earlier stay valid.
+type arena struct {
+	cur []byte
+}
+
+const arenaChunk = 4096
+
+func (a *arena) copy(b []byte) []byte {
+	if len(a.cur)+len(b) > cap(a.cur) {
+		n := arenaChunk
+		for n < len(b) {
+			n *= 2
+		}
+		a.cur = make([]byte, 0, n)
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, b...)
+	return a.cur[start : start+len(b) : start+len(b)]
 }
 
 // Append adds one row. The row must have exactly one value per column with
@@ -168,22 +237,22 @@ func (b *Builder) Append(row []keyenc.Value) error {
 		// Min/max must not alias caller-owned buffers: Raw retains its
 		// slice, and callers commonly reuse row buffers across Appends.
 		if b.rows == 0 || keyenc.Compare(v, b.mins[i]) < 0 {
-			b.mins[i] = cloneValue(v)
+			b.mins[i] = b.cloneValue(v)
 		}
 		if b.rows == 0 || keyenc.Compare(v, b.maxs[i]) > 0 {
-			b.maxs[i] = cloneValue(v)
+			b.maxs[i] = b.cloneValue(v)
 		}
 	}
 	b.rows++
 	return nil
 }
 
-func cloneValue(v keyenc.Value) keyenc.Value {
+func (b *Builder) cloneValue(v keyenc.Value) keyenc.Value {
 	switch v.Kind() {
 	case keyenc.KindBytes:
-		return keyenc.Raw(append([]byte(nil), v.Bytes()...))
+		return keyenc.Raw(b.arena.copy(v.Bytes()))
 	case keyenc.KindString:
-		return keyenc.Str(string(v.Bytes()))
+		return keyenc.StrBytes(b.arena.copy(v.Bytes()))
 	default:
 		return v
 	}
@@ -192,9 +261,35 @@ func cloneValue(v keyenc.Value) keyenc.Value {
 // NumRows returns the number of rows appended so far.
 func (b *Builder) NumRows() int { return b.rows }
 
-// Build freezes the builder into a Block. The builder must not be used
+// Build freezes the builder into a Block: blooms are built for the
+// designated columns, then each column is rewritten to the encoding with
+// the smallest estimated wire size. The builder must not be used
 // afterwards.
 func (b *Builder) Build() *Block {
+	for _, ord := range b.bloomCols {
+		if ord < 0 || ord >= len(b.cols) || b.rows == 0 {
+			continue
+		}
+		c := &b.cols[ord]
+		if c.bloom != nil {
+			continue
+		}
+		f := newBloom(b.rows)
+		if b.schema.Col(ord).Kind.Fixed() {
+			kind := b.schema.Col(ord).Kind
+			for _, raw := range c.nums {
+				f.add(bloomHashKey(keyenc.SortKeyBits(kind, raw)))
+			}
+		} else {
+			for r := 0; r < b.rows; r++ {
+				f.add(bloomHashBytes(c.payload[c.offsets[r]:c.offsets[r+1]]))
+			}
+		}
+		c.bloom = f
+	}
+	for i := range b.cols {
+		chooseEncoding(&b.cols[i], b.schema.Col(i).Kind, b.rows, b.forceEnc)
+	}
 	return &Block{schema: b.schema, rows: b.rows, cols: b.cols, mins: b.mins, maxs: b.maxs}
 }
 
@@ -204,23 +299,97 @@ func (blk *Block) Schema() *Schema { return blk.schema }
 // NumRows returns the number of rows in the block.
 func (blk *Block) NumRows() int { return blk.rows }
 
-// Value returns the value at (row, col). It panics on out-of-range
-// indices, mirroring slice semantics.
-func (blk *Block) Value(row, col int) keyenc.Value {
+// ColumnEncoding returns the physical encoding of the column.
+func (blk *Block) ColumnEncoding(col int) Encoding { return blk.cols[col].enc }
+
+// HasBloom reports whether the column carries a bloom filter.
+func (blk *Block) HasBloom(col int) bool { return blk.cols[col].bloom != nil }
+
+// BloomMightContain reports whether the column's bloom filter admits v.
+// It returns true when the column has no filter (no exclusion possible).
+func (blk *Block) BloomMightContain(col int, v keyenc.Value) bool {
+	f := blk.cols[col].bloom
+	if f == nil {
+		return true
+	}
+	return f.mightContain(bloomHashValue(blk.schema.Col(col).Kind, v))
+}
+
+// rawBits returns the 64-bit raw representation of a fixed-kind value,
+// as stored in a plain column's nums.
+func rawBits(v keyenc.Value) uint64 {
+	switch v.Kind() {
+	case keyenc.KindInt64:
+		return uint64(v.Int())
+	case keyenc.KindUint64:
+		return v.Uint()
+	case keyenc.KindFloat64:
+		return math.Float64bits(v.Float())
+	case keyenc.KindBool:
+		if v.Bool() {
+			return 1
+		}
+		return 0
+	default:
+		panic("columnar: rawBits of variable-kind value")
+	}
+}
+
+// numAt returns the raw 64-bit word of a fixed column at row, whatever
+// the encoding.
+func (blk *Block) numAt(col, row int) uint64 {
 	c := &blk.cols[col]
+	switch c.enc {
+	case EncPlain:
+		return c.nums[row]
+	case EncBitPack:
+		kind := blk.schema.Col(col).Kind
+		return keyenc.SortKeyBitsInv(kind, c.base+packGet(c.packed, c.width, row))
+	case EncRLE:
+		return c.runNums[runIndex(c.runEnds, row)]
+	default:
+		panic("columnar: numAt on variable-kind encoding")
+	}
+}
+
+// varAt returns the payload bytes of a variable column at row, whatever
+// the encoding. The slice aliases block-owned memory.
+func (blk *Block) varAt(col, row int) []byte {
+	c := &blk.cols[col]
+	switch c.enc {
+	case EncPlain:
+		return c.payload[c.offsets[row]:c.offsets[row+1]]
+	case EncDict:
+		code := packGet(c.packed, c.width, row)
+		return c.dictPayload[c.dictOffsets[code]:c.dictOffsets[code+1]]
+	case EncRLE:
+		run := runIndex(c.runEnds, row)
+		return c.runPayload[c.runOffsets[run]:c.runOffsets[run+1]]
+	default:
+		panic("columnar: varAt on fixed-kind encoding")
+	}
+}
+
+// Value returns the value at (row, col). It panics on out-of-range
+// indices, mirroring slice semantics. Values of variable kinds alias
+// block-owned memory; the block is immutable, so the slices are stable.
+func (blk *Block) Value(row, col int) keyenc.Value {
+	if row < 0 || row >= blk.rows {
+		panic(fmt.Sprintf("columnar: row %d out of range [0,%d)", row, blk.rows))
+	}
 	switch blk.schema.Col(col).Kind {
 	case keyenc.KindInt64:
-		return keyenc.I64(int64(c.nums[row]))
+		return keyenc.I64(int64(blk.numAt(col, row)))
 	case keyenc.KindUint64:
-		return keyenc.U64(c.nums[row])
+		return keyenc.U64(blk.numAt(col, row))
 	case keyenc.KindFloat64:
-		return keyenc.F64(math.Float64frombits(c.nums[row]))
+		return keyenc.F64(math.Float64frombits(blk.numAt(col, row)))
 	case keyenc.KindBool:
-		return keyenc.B(c.nums[row] != 0)
+		return keyenc.B(blk.numAt(col, row) != 0)
 	case keyenc.KindBytes:
-		return keyenc.Raw(c.payload[c.offsets[row]:c.offsets[row+1]])
+		return keyenc.Raw(blk.varAt(col, row))
 	case keyenc.KindString:
-		return keyenc.Str(string(c.payload[c.offsets[row]:c.offsets[row+1]]))
+		return keyenc.StrBytes(blk.varAt(col, row))
 	default:
 		panic("columnar: invalid column kind")
 	}
@@ -232,6 +401,34 @@ func (blk *Block) Row(row int, dst []keyenc.Value) []keyenc.Value {
 		dst = append(dst, blk.Value(row, c))
 	}
 	return dst
+}
+
+// AppendNums appends the raw 64-bit words of a fixed column (int64 bits,
+// uint64, float64 bits, bool 0/1) for every row to dst and returns it —
+// the bulk decode used by scan loops that touch one narrow column, such
+// as the executor's beginTS visibility pass.
+func (blk *Block) AppendNums(col int, dst []uint64) []uint64 {
+	c := &blk.cols[col]
+	switch c.enc {
+	case EncPlain:
+		return append(dst, c.nums...)
+	case EncBitPack:
+		kind := blk.schema.Col(col).Kind
+		for r := 0; r < blk.rows; r++ {
+			dst = append(dst, keyenc.SortKeyBitsInv(kind, c.base+packGet(c.packed, c.width, r)))
+		}
+		return dst
+	case EncRLE:
+		prev := 0
+		for i, end := range c.runEnds {
+			for ; prev < int(end); prev++ {
+				dst = append(dst, c.runNums[i])
+			}
+		}
+		return dst
+	default:
+		panic("columnar: AppendNums on variable-kind column")
+	}
 }
 
 // ColumnMin returns the minimum value of the column; ok is false for an
@@ -250,4 +447,204 @@ func (blk *Block) ColumnMax(col int) (keyenc.Value, bool) {
 		return keyenc.Value{}, false
 	}
 	return blk.maxs[col], true
+}
+
+// CmpSelect compares every row of the column against v and writes the
+// selection into out, one bit per row (word w bit b = row 64w+b), fully
+// overwriting len(out) = ceil(rows/64) words; tail bits beyond the row
+// count are left zero. A row is selected when its three-way comparison
+// against v lands on an enabled flag: lt selects rows < v, eq rows == v,
+// gt rows > v (so e.g. lt && eq is "<="). The comparison runs directly
+// over the encoded column — sort-key words for fixed kinds, dictionary
+// codes for dict columns, one comparison per run for RLE — which is what
+// makes the vectorized filter path cheap.
+func (blk *Block) CmpSelect(col int, v keyenc.Value, lt, eq, gt bool, out []uint64) {
+	for i := range out {
+		out[i] = 0
+	}
+	if blk.rows == 0 {
+		return
+	}
+	c := &blk.cols[col]
+	kind := blk.schema.Col(col).Kind
+	if kind.Fixed() {
+		tv := keyenc.SortKeyBits(kind, rawBits(v))
+		switch c.enc {
+		case EncPlain:
+			var w uint64
+			for r, raw := range c.nums {
+				k := keyenc.SortKeyBits(kind, raw)
+				if (lt && k < tv) || (eq && k == tv) || (gt && k > tv) {
+					w |= 1 << uint(r&63)
+				}
+				if r&63 == 63 {
+					out[r>>6] = w
+					w = 0
+				}
+			}
+			if blk.rows&63 != 0 {
+				out[(blk.rows-1)>>6] = w
+			}
+		case EncBitPack:
+			blk.cmpSelectBitPack(c, tv, lt, eq, gt, out)
+		case EncRLE:
+			setRuns(c.runEnds, out, func(i int) bool {
+				k := keyenc.SortKeyBits(kind, c.runNums[i])
+				return (lt && k < tv) || (eq && k == tv) || (gt && k > tv)
+			})
+		}
+		return
+	}
+	tb := v.Bytes()
+	switch c.enc {
+	case EncPlain:
+		var w uint64
+		for r := 0; r < blk.rows; r++ {
+			cmp := bytes.Compare(c.payload[c.offsets[r]:c.offsets[r+1]], tb)
+			if (lt && cmp < 0) || (eq && cmp == 0) || (gt && cmp > 0) {
+				w |= 1 << uint(r&63)
+			}
+			if r&63 == 63 {
+				out[r>>6] = w
+				w = 0
+			}
+		}
+		if blk.rows&63 != 0 {
+			out[(blk.rows-1)>>6] = w
+		}
+	case EncDict:
+		blk.cmpSelectDict(c, tb, lt, eq, gt, out)
+	case EncRLE:
+		setRuns(c.runEnds, out, func(i int) bool {
+			cmp := bytes.Compare(c.runPayload[c.runOffsets[i]:c.runOffsets[i+1]], tb)
+			return (lt && cmp < 0) || (eq && cmp == 0) || (gt && cmp > 0)
+		})
+	}
+}
+
+// cmpSelectBitPack compares bit-packed deltas against the target sort
+// key tv without reconstructing values: rows match on their delta's
+// position relative to d = tv - base, and targets outside the delta
+// domain collapse to a constant fill.
+func (blk *Block) cmpSelectBitPack(c *column, tv uint64, lt, eq, gt bool, out []uint64) {
+	if tv < c.base {
+		// Every row's key >= base > tv.
+		if gt {
+			fillBits(out, blk.rows)
+		}
+		return
+	}
+	d := tv - c.base
+	if c.width < 64 && d >= 1<<c.width {
+		// Every row's delta < d, i.e. every key < tv.
+		if lt {
+			fillBits(out, blk.rows)
+		}
+		return
+	}
+	if c.width == 0 {
+		// All rows equal base; tv >= base and d == 0 here.
+		if eq {
+			fillBits(out, blk.rows)
+		}
+		return
+	}
+	var w uint64
+	for r := 0; r < blk.rows; r++ {
+		dv := packGet(c.packed, c.width, r)
+		if (lt && dv < d) || (eq && dv == d) || (gt && dv > d) {
+			w |= 1 << uint(r&63)
+		}
+		if r&63 == 63 {
+			out[r>>6] = w
+			w = 0
+		}
+	}
+	if blk.rows&63 != 0 {
+		out[(blk.rows-1)>>6] = w
+	}
+}
+
+// cmpSelectDict resolves the target value to a dictionary position once,
+// then compares bit-packed codes against that position — one value
+// comparison per distinct value instead of per row.
+func (blk *Block) cmpSelectDict(c *column, tb []byte, lt, eq, gt bool, out []uint64) {
+	ndict := len(c.dictOffsets) - 1
+	lo, hi := 0, ndict
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(c.dictPayload[c.dictOffsets[mid]:c.dictOffsets[mid+1]], tb) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ci := uint64(lo)
+	found := lo < ndict && bytes.Equal(c.dictPayload[c.dictOffsets[lo]:c.dictOffsets[lo+1]], tb)
+	// Codes below ci are < target; codes >= ci are > target, except code
+	// ci itself when the target is present in the dictionary.
+	var w uint64
+	for r := 0; r < blk.rows; r++ {
+		code := packGet(c.packed, c.width, r)
+		var match bool
+		switch {
+		case code < ci:
+			match = lt
+		case found && code == ci:
+			match = eq
+		default:
+			match = gt
+		}
+		if match {
+			w |= 1 << uint(r&63)
+		}
+		if r&63 == 63 {
+			out[r>>6] = w
+			w = 0
+		}
+	}
+	if blk.rows&63 != 0 {
+		out[(blk.rows-1)>>6] = w
+	}
+}
+
+// setRuns sets the bit ranges of the runs for which match(run) is true.
+func setRuns(runEnds []uint32, out []uint64, match func(i int) bool) {
+	start := 0
+	for i, end := range runEnds {
+		if match(i) {
+			setRange(out, start, int(end))
+		}
+		start = int(end)
+	}
+}
+
+// setRange sets bits [from, to) of out.
+func setRange(out []uint64, from, to int) {
+	for b := from; b < to; {
+		w := b >> 6
+		lo := uint(b & 63)
+		n := 64 - int(lo)
+		if b+n > to {
+			n = to - b
+		}
+		var mask uint64
+		if n == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (1<<uint(n) - 1) << lo
+		}
+		out[w] |= mask
+		b += n
+	}
+}
+
+// fillBits sets the first n bits of out.
+func fillBits(out []uint64, n int) {
+	for i := 0; i < n/64; i++ {
+		out[i] = ^uint64(0)
+	}
+	if n&63 != 0 {
+		out[n>>6] = 1<<uint(n&63) - 1
+	}
 }

@@ -7,9 +7,9 @@ import (
 	"umzi/internal/keyenc"
 )
 
-// Wire format of a Block (all integers big-endian):
+// Wire format of a Block (all integers big-endian), version 2:
 //
-//	magic   [8]byte  "UMZICOL1"
+//	magic   [8]byte  "UMZICOL2"
 //	rows    u32
 //	ncols   u16
 //	per column:
@@ -18,34 +18,35 @@ import (
 //	    has      u8 (1 if min/max present, i.e. rows > 0)
 //	    minLen   u32, min encoding (keyenc ascending)
 //	    maxLen   u32, max encoding
-//	    if fixed kind:
-//	        nums  rows × u64
-//	    else:
-//	        offsets  (rows+1) × u32
-//	        payload  offsets[rows] bytes
+//	    enc      u8 (Encoding)
+//	    bloomK   u8 (0: no bloom filter)
+//	    if bloomK > 0:
+//	        bloomWords  u32, words × u64
+//	    column body, by enc:
+//	        plain, fixed kind:  nums  rows × u64
+//	        plain, var kind:    offsets (rows+1) × u32, payload
+//	        bitpack:            base u64, width u8, nwords u32, words × u64
+//	        dict:               ndict u32, dictOffsets (ndict+1) × u32,
+//	                            dictPayload, width u8, nwords u32, words × u64
+//	        rle:                nruns u32, runEnds nruns × u32, then
+//	                            fixed: nruns × u64
+//	                            var:   runOffsets (nruns+1) × u32, runPayload
 //
 // The format is self-describing: Unmarshal rebuilds the schema from the
-// header, so readers need no side-channel schema registry.
+// header, so readers need no side-channel schema registry. Version 1
+// blocks ("UMZICOL1": plain columns only, no blooms) still load — the
+// reader dispatches on the magic — so stores written before the encoding
+// work keep working without a rewrite.
 
-const blockMagic = "UMZICOL1"
+const (
+	blockMagicV1 = "UMZICOL1"
+	blockMagicV2 = "UMZICOL2"
+)
 
 // Marshal encodes the block for storage as one immutable object.
 func (blk *Block) Marshal() []byte {
-	size := 8 + 4 + 2
-	for i := 0; i < blk.schema.NumCols(); i++ {
-		size += 1 + 2 + len(blk.schema.Col(i).Name) + 1 + 4 + 4
-		c := &blk.cols[i]
-		if blk.schema.Col(i).Kind.Fixed() {
-			size += 8 * blk.rows
-		} else {
-			size += 4*(blk.rows+1) + len(c.payload)
-		}
-		if blk.rows > 0 {
-			size += keyenc.EncodedLen(blk.mins[i]) + keyenc.EncodedLen(blk.maxs[i])
-		}
-	}
-	out := make([]byte, 0, size)
-	out = append(out, blockMagic...)
+	out := make([]byte, 0, blk.marshalSize())
+	out = append(out, blockMagicV2...)
 	out = binary.BigEndian.AppendUint32(out, uint32(blk.rows))
 	out = binary.BigEndian.AppendUint16(out, uint16(blk.schema.NumCols()))
 	for i := 0; i < blk.schema.NumCols(); i++ {
@@ -67,25 +68,136 @@ func (blk *Block) Marshal() []byte {
 			out = binary.BigEndian.AppendUint32(out, 0)
 		}
 		c := &blk.cols[i]
-		if col.Kind.Fixed() {
-			for _, n := range c.nums {
-				out = binary.BigEndian.AppendUint64(out, n)
+		out = append(out, byte(c.enc))
+		if c.bloom != nil {
+			out = append(out, c.bloom.k)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(c.bloom.words)))
+			for _, w := range c.bloom.words {
+				out = binary.BigEndian.AppendUint64(out, w)
 			}
 		} else {
-			for _, o := range c.offsets {
-				out = binary.BigEndian.AppendUint32(out, o)
+			out = append(out, 0)
+		}
+		switch c.enc {
+		case EncPlain:
+			if col.Kind.Fixed() {
+				for _, n := range c.nums {
+					out = binary.BigEndian.AppendUint64(out, n)
+				}
+			} else {
+				out = appendU32s(out, c.offsets)
+				out = append(out, c.payload...)
 			}
-			out = append(out, c.payload...)
+		case EncBitPack:
+			out = binary.BigEndian.AppendUint64(out, c.base)
+			out = append(out, c.width)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(c.packed)))
+			for _, w := range c.packed {
+				out = binary.BigEndian.AppendUint64(out, w)
+			}
+		case EncDict:
+			ndict := len(c.dictOffsets) - 1
+			out = binary.BigEndian.AppendUint32(out, uint32(ndict))
+			out = appendU32s(out, c.dictOffsets)
+			out = append(out, c.dictPayload...)
+			out = append(out, c.width)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(c.packed)))
+			for _, w := range c.packed {
+				out = binary.BigEndian.AppendUint64(out, w)
+			}
+		case EncRLE:
+			out = binary.BigEndian.AppendUint32(out, uint32(len(c.runEnds)))
+			out = appendU32s(out, c.runEnds)
+			if col.Kind.Fixed() {
+				for _, n := range c.runNums {
+					out = binary.BigEndian.AppendUint64(out, n)
+				}
+			} else {
+				out = appendU32s(out, c.runOffsets)
+				out = append(out, c.runPayload...)
+			}
 		}
 	}
 	return out
 }
 
-// Unmarshal decodes a block previously produced by Marshal.
+func appendU32s(out []byte, vals []uint32) []byte {
+	for _, v := range vals {
+		out = binary.BigEndian.AppendUint32(out, v)
+	}
+	return out
+}
+
+// marshalSize computes the exact length Marshal will produce.
+func (blk *Block) marshalSize() int {
+	size := 8 + 4 + 2
+	for i := 0; i < blk.schema.NumCols(); i++ {
+		size += 1 + 2 + len(blk.schema.Col(i).Name) + 1 + 4 + 4
+		if blk.rows > 0 {
+			size += keyenc.EncodedLen(blk.mins[i]) + keyenc.EncodedLen(blk.maxs[i])
+		}
+		c := &blk.cols[i]
+		size += 1 + 1 // enc, bloomK
+		if c.bloom != nil {
+			size += 4 + 8*len(c.bloom.words)
+		}
+		switch c.enc {
+		case EncPlain:
+			size += plainBodySize(c, blk.schema.Col(i).Kind.Fixed())
+		case EncBitPack:
+			size += 8 + 1 + 4 + 8*len(c.packed)
+		case EncDict:
+			size += 4 + 4*len(c.dictOffsets) + len(c.dictPayload) + 1 + 4 + 8*len(c.packed)
+		case EncRLE:
+			size += 4 + 4*len(c.runEnds)
+			if blk.schema.Col(i).Kind.Fixed() {
+				size += 8 * len(c.runNums)
+			} else {
+				size += 4*len(c.runOffsets) + len(c.runPayload)
+			}
+		}
+	}
+	return size
+}
+
+// PlainSize returns the number of bytes the block would occupy marshaled
+// with every column plain and no bloom filters — the version-1 layout.
+// Inspection and benchmarks use it as the uncompressed baseline when
+// reporting encoding savings.
+func (blk *Block) PlainSize() int {
+	size := 8 + 4 + 2
+	for i := 0; i < blk.schema.NumCols(); i++ {
+		col := blk.schema.Col(i)
+		size += 1 + 2 + len(col.Name) + 1 + 4 + 4
+		if blk.rows > 0 {
+			size += keyenc.EncodedLen(blk.mins[i]) + keyenc.EncodedLen(blk.maxs[i])
+		}
+		if col.Kind.Fixed() {
+			size += 8 * blk.rows
+		} else {
+			size += 4 * (blk.rows + 1)
+			for r := 0; r < blk.rows; r++ {
+				size += len(blk.varAt(i, r))
+			}
+		}
+	}
+	return size
+}
+
+// Unmarshal decodes a block previously produced by Marshal, accepting
+// both the current version-2 format and the legacy version-1 format.
 func Unmarshal(data []byte) (*Block, error) {
 	r := reader{b: data}
 	magic, err := r.take(8)
-	if err != nil || string(magic) != blockMagic {
+	if err != nil {
+		return nil, fmt.Errorf("columnar: bad magic")
+	}
+	var v2 bool
+	switch string(magic) {
+	case blockMagicV1:
+	case blockMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("columnar: bad magic")
 	}
 	rows64, err := r.u32()
@@ -155,38 +267,15 @@ func Unmarshal(data []byte) (*Block, error) {
 			maxs[i] = v
 		}
 
-		if kind.Fixed() {
-			raw, err := r.take(8 * rows)
-			if err != nil {
+		c := &data2[i]
+		if v2 {
+			if err := readColumnV2(&r, c, kind, rows, i); err != nil {
 				return nil, err
 			}
-			nums := make([]uint64, rows)
-			for j := 0; j < rows; j++ {
-				nums[j] = binary.BigEndian.Uint64(raw[8*j:])
-			}
-			data2[i].nums = nums
 		} else {
-			raw, err := r.take(4 * (rows + 1))
-			if err != nil {
+			if err := readColumnV1(&r, c, kind, rows); err != nil {
 				return nil, err
 			}
-			offsets := make([]uint32, rows+1)
-			for j := range offsets {
-				offsets[j] = binary.BigEndian.Uint32(raw[4*j:])
-			}
-			payload, err := r.take(int(offsets[rows]))
-			if err != nil {
-				return nil, err
-			}
-			// Validate monotonic offsets so Value never panics on
-			// corrupted input.
-			for j := 0; j < rows; j++ {
-				if offsets[j] > offsets[j+1] {
-					return nil, fmt.Errorf("columnar: column %d offsets not monotonic", i)
-				}
-			}
-			data2[i].offsets = offsets
-			data2[i].payload = append([]byte(nil), payload...)
 		}
 	}
 	schema, err := NewSchema(cols...)
@@ -194,6 +283,191 @@ func Unmarshal(data []byte) (*Block, error) {
 		return nil, err
 	}
 	return &Block{schema: schema, rows: rows, cols: data2, mins: mins, maxs: maxs}, nil
+}
+
+// readColumnV1 reads a version-1 (always plain, no bloom) column body.
+func readColumnV1(r *reader, c *column, kind keyenc.Kind, rows int) error {
+	c.enc = EncPlain
+	if kind.Fixed() {
+		nums, err := r.u64s(rows)
+		if err != nil {
+			return err
+		}
+		c.nums = nums
+		return nil
+	}
+	offsets, err := r.u32s(rows + 1)
+	if err != nil {
+		return err
+	}
+	payload, err := r.take(int(offsets[rows]))
+	if err != nil {
+		return err
+	}
+	// Validate monotonic offsets so Value never panics on corrupted
+	// input.
+	for j := 0; j < rows; j++ {
+		if offsets[j] > offsets[j+1] {
+			return fmt.Errorf("columnar: offsets not monotonic")
+		}
+	}
+	c.offsets = offsets
+	c.payload = append([]byte(nil), payload...)
+	return nil
+}
+
+// readColumnV2 reads a version-2 column: encoding tag, optional bloom
+// filter, and the encoding-specific body, validating every structural
+// invariant so a corrupted block fails Unmarshal instead of panicking in
+// Value.
+func readColumnV2(r *reader, c *column, kind keyenc.Kind, rows, col int) error {
+	encB, err := r.u8()
+	if err != nil {
+		return err
+	}
+	c.enc = Encoding(encB)
+	bloomK, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if bloomK > 0 {
+		nwords, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if nwords == 0 || nwords&(nwords-1) != 0 || nwords > 1<<26 {
+			return fmt.Errorf("columnar: column %d: bad bloom size %d", col, nwords)
+		}
+		words, err := r.u64s(int(nwords))
+		if err != nil {
+			return err
+		}
+		c.bloom = &bloom{k: bloomK, words: words}
+	}
+	switch c.enc {
+	case EncPlain:
+		return readColumnV1(r, c, kind, rows)
+	case EncBitPack:
+		if !kind.Fixed() {
+			return fmt.Errorf("columnar: column %d: bitpack on %v", col, kind)
+		}
+		base, err := r.u64s(1)
+		if err != nil {
+			return err
+		}
+		c.base = base[0]
+		width, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if width > 64 {
+			return fmt.Errorf("columnar: column %d: bit width %d", col, width)
+		}
+		c.width = width
+		c.packed, err = r.packedBody(rows, width, col)
+		return err
+	case EncDict:
+		if kind.Fixed() {
+			return fmt.Errorf("columnar: column %d: dict on %v", col, kind)
+		}
+		ndict64, err := r.u32()
+		if err != nil {
+			return err
+		}
+		ndict := int(ndict64)
+		if rows > 0 && ndict == 0 {
+			return fmt.Errorf("columnar: column %d: empty dictionary", col)
+		}
+		offs, err := r.u32s(ndict + 1)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < ndict; j++ {
+			if offs[j] > offs[j+1] {
+				return fmt.Errorf("columnar: column %d: dict offsets not monotonic", col)
+			}
+		}
+		pay, err := r.take(int(offs[ndict]))
+		if err != nil {
+			return err
+		}
+		c.dictOffsets = offs
+		c.dictPayload = append([]byte(nil), pay...)
+		width, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if width > 64 {
+			return fmt.Errorf("columnar: column %d: code width %d", col, width)
+		}
+		c.width = width
+		if c.packed, err = r.packedBody(rows, width, col); err != nil {
+			return err
+		}
+		for j := 0; j < rows; j++ {
+			if packGet(c.packed, width, j) >= uint64(ndict) {
+				return fmt.Errorf("columnar: column %d: dict code out of range at row %d", col, j)
+			}
+		}
+		return nil
+	case EncRLE:
+		nruns64, err := r.u32()
+		if err != nil {
+			return err
+		}
+		nruns := int(nruns64)
+		if (nruns == 0) != (rows == 0) {
+			return fmt.Errorf("columnar: column %d: %d runs for %d rows", col, nruns, rows)
+		}
+		ends, err := r.u32s(nruns)
+		if err != nil {
+			return err
+		}
+		for j, e := range ends {
+			if (j > 0 && e <= ends[j-1]) || (j == 0 && e == 0) {
+				return fmt.Errorf("columnar: column %d: run ends not increasing", col)
+			}
+		}
+		if nruns > 0 && int(ends[nruns-1]) != rows {
+			return fmt.Errorf("columnar: column %d: runs cover %d of %d rows", col, ends[nruns-1], rows)
+		}
+		c.runEnds = ends
+		if kind.Fixed() {
+			c.runNums, err = r.u64s(nruns)
+			return err
+		}
+		roffs, err := r.u32s(nruns + 1)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nruns; j++ {
+			if roffs[j] > roffs[j+1] {
+				return fmt.Errorf("columnar: column %d: run offsets not monotonic", col)
+			}
+		}
+		pay, err := r.take(int(roffs[nruns]))
+		if err != nil {
+			return err
+		}
+		c.runOffsets = roffs
+		c.runPayload = append([]byte(nil), pay...)
+		return nil
+	default:
+		return fmt.Errorf("columnar: column %d: unknown encoding %d", col, encB)
+	}
+}
+
+// packedBody reads a bit-packed word array, validating the word count
+// against the row count and width.
+func (r *reader) packedBody(rows int, width uint8, col int) ([]uint64, error) {
+	nwords, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nwords) != packedWords(rows, width) {
+		return nil, fmt.Errorf("columnar: column %d: %d packed words for %d rows at width %d", col, nwords, rows, width)
+	}
+	return r.u64s(int(nwords))
 }
 
 // reader is a tiny bounds-checked cursor.
@@ -233,4 +507,28 @@ func (r *reader) u32() (uint32, error) {
 		return 0, err
 	}
 	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) u32s(n int) ([]uint32, error) {
+	raw, err := r.take(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(raw[4*i:])
+	}
+	return out, nil
+}
+
+func (r *reader) u64s(n int) ([]uint64, error) {
+	raw, err := r.take(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(raw[8*i:])
+	}
+	return out, nil
 }

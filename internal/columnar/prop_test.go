@@ -1,6 +1,7 @@
 package columnar
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -91,6 +92,269 @@ func TestRandomBlocksRoundTrip(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		check(decoded, "round-tripped")
+	}
+}
+
+// TestForcedEncodingsRoundTrip exercises every encoding explicitly: for
+// each forced encoding it builds random blocks (with bloom filters on
+// every column), checks that kind-compatible columns actually took the
+// forced encoding, and verifies values, encodings, and bloom filters
+// survive Marshal/Unmarshal.
+func TestForcedEncodingsRoundTrip(t *testing.T) {
+	kinds := []keyenc.Kind{
+		keyenc.KindInt64, keyenc.KindUint64, keyenc.KindFloat64,
+		keyenc.KindString, keyenc.KindBytes, keyenc.KindBool,
+	}
+	encs := []Encoding{EncPlain, EncDict, EncBitPack, EncRLE}
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	for _, force := range encs {
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*31 + int64(force)))
+			nCols := 1 + rng.Intn(5)
+			cols := make([]Column, nCols)
+			bloomOrds := make([]int, nCols)
+			for i := range cols {
+				cols[i] = Column{Name: fmt.Sprintf("c%d", i), Kind: kinds[rng.Intn(len(kinds))]}
+				bloomOrds[i] = i
+			}
+			b := NewBuilder(MustSchema(cols...))
+			b.ForceEncoding(force)
+			b.AddBloom(bloomOrds...)
+			nRows := 1 + rng.Intn(150)
+			rows := make([][]keyenc.Value, nRows)
+			for r := range rows {
+				row := make([]keyenc.Value, nCols)
+				for c := range row {
+					// Low-cardinality draws so dict and RLE have something
+					// to chew on; the forced path must hold regardless.
+					if rng.Intn(2) == 0 {
+						row[c] = lowCardVal(rng, cols[c].Kind)
+					} else {
+						row[c] = randVal(rng, cols[c].Kind)
+					}
+				}
+				rows[r] = row
+				if err := b.Append(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blk := b.Build()
+
+			check := func(blk *Block, label string) {
+				t.Helper()
+				for c := range cols {
+					got := blk.ColumnEncoding(c)
+					want := force
+					if (force == EncDict && cols[c].Kind.Fixed()) ||
+						(force == EncBitPack && !cols[c].Kind.Fixed()) {
+						want = EncPlain // kind-incompatible force falls back
+					}
+					if got != want {
+						t.Fatalf("%v trial %d %s: col %d (%v) encoding = %v, want %v",
+							force, trial, label, c, cols[c].Kind, got, want)
+					}
+					if !blk.HasBloom(c) {
+						t.Fatalf("%v trial %d %s: col %d missing bloom", force, trial, label, c)
+					}
+				}
+				for r := range rows {
+					for c := range rows[r] {
+						if keyenc.Compare(blk.Value(r, c), rows[r][c]) != 0 {
+							t.Fatalf("%v trial %d %s: (%d,%d) = %v, want %v",
+								force, trial, label, r, c, blk.Value(r, c), rows[r][c])
+						}
+						if !blk.BloomMightContain(c, rows[r][c]) {
+							t.Fatalf("%v trial %d %s: bloom rejects present value (%d,%d)",
+								force, trial, label, r, c)
+						}
+					}
+				}
+			}
+			check(blk, "built")
+			decoded, err := Unmarshal(blk.Marshal())
+			if err != nil {
+				t.Fatalf("%v trial %d: %v", force, trial, err)
+			}
+			check(decoded, "round-tripped")
+			if ps := blk.PlainSize(); len(blk.Marshal()) <= 0 || ps <= 0 {
+				t.Fatalf("%v trial %d: non-positive sizes", force, trial)
+			}
+		}
+	}
+}
+
+// TestAutoEncodingPicksCompact checks the auto selector's headline cases:
+// repeated strings dictionary-encode, small-range ints bit-pack, sorted
+// repetitive columns run-length-encode, and incompressible data stays
+// plain — and that the encoded marshal never exceeds the plain layout.
+func TestAutoEncodingPicksCompact(t *testing.T) {
+	schema := MustSchema(
+		Column{"region", keyenc.KindString},
+		Column{"qty", keyenc.KindInt64},
+		Column{"day", keyenc.KindUint64},
+		Column{"blob", keyenc.KindBytes},
+	)
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(schema)
+	for r := 0; r < 512; r++ {
+		blob := make([]byte, 16)
+		rng.Read(blob)
+		row := []keyenc.Value{
+			keyenc.Str(fmt.Sprintf("region-%d", r%4)),
+			keyenc.I64(int64(r % 100)),
+			keyenc.U64(uint64(r / 128)), // sorted, 4 distinct values
+			keyenc.Raw(blob),
+		}
+		if err := b.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blk := b.Build()
+	wantEnc := []Encoding{EncDict, EncBitPack, EncRLE, EncPlain}
+	for c, want := range wantEnc {
+		if got := blk.ColumnEncoding(c); got != want {
+			t.Errorf("col %d encoding = %v, want %v", c, got, want)
+		}
+	}
+	if enc, plain := len(blk.Marshal()), blk.PlainSize(); enc >= plain {
+		t.Errorf("encoded size %d not smaller than plain %d", enc, plain)
+	}
+}
+
+// TestV1BlockCompat writes blocks in the legacy version-1 layout with a
+// test-local writer and checks that Unmarshal still loads them — values,
+// min/max, and a subsequent re-marshal in the current format all intact.
+func TestV1BlockCompat(t *testing.T) {
+	kinds := []keyenc.Kind{
+		keyenc.KindInt64, keyenc.KindUint64, keyenc.KindFloat64,
+		keyenc.KindString, keyenc.KindBytes, keyenc.KindBool,
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1000))
+		nCols := 1 + rng.Intn(5)
+		cols := make([]Column, nCols)
+		for i := range cols {
+			cols[i] = Column{Name: fmt.Sprintf("c%d", i), Kind: kinds[rng.Intn(len(kinds))]}
+		}
+		nRows := rng.Intn(120)
+		rows := make([][]keyenc.Value, nRows)
+		for r := range rows {
+			row := make([]keyenc.Value, nCols)
+			for c := range row {
+				row[c] = randVal(rng, cols[c].Kind)
+			}
+			rows[r] = row
+		}
+
+		data := marshalV1(cols, rows)
+		blk, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("trial %d: v1 block rejected: %v", trial, err)
+		}
+		check := func(blk *Block, label string) {
+			t.Helper()
+			if blk.NumRows() != nRows {
+				t.Fatalf("trial %d %s: rows = %d, want %d", trial, label, blk.NumRows(), nRows)
+			}
+			for c := range cols {
+				if blk.HasBloom(c) {
+					t.Fatalf("trial %d %s: v1 column %d grew a bloom filter", trial, label, c)
+				}
+			}
+			for r := range rows {
+				for c := range rows[r] {
+					if keyenc.Compare(blk.Value(r, c), rows[r][c]) != 0 {
+						t.Fatalf("trial %d %s: (%d,%d) = %v, want %v",
+							trial, label, r, c, blk.Value(r, c), rows[r][c])
+					}
+				}
+			}
+		}
+		check(blk, "v1")
+		// Upgrade path: re-marshal in the current format and reload.
+		upgraded, err := Unmarshal(blk.Marshal())
+		if err != nil {
+			t.Fatalf("trial %d: re-marshal: %v", trial, err)
+		}
+		check(upgraded, "upgraded")
+	}
+}
+
+// marshalV1 writes the legacy version-1 block layout: plain columns only,
+// no encoding tag, no bloom filters. It exists only in tests — production
+// code always writes the current version — so compatibility coverage does
+// not keep dead code in the shipping binary.
+func marshalV1(cols []Column, rows [][]keyenc.Value) []byte {
+	out := []byte(blockMagicV1)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(rows)))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(cols)))
+	for c, col := range cols {
+		out = append(out, byte(col.Kind))
+		out = binary.BigEndian.AppendUint16(out, uint16(len(col.Name)))
+		out = append(out, col.Name...)
+		if len(rows) > 0 {
+			min, max := rows[0][c], rows[0][c]
+			for _, row := range rows[1:] {
+				if keyenc.Compare(row[c], min) < 0 {
+					min = row[c]
+				}
+				if keyenc.Compare(row[c], max) > 0 {
+					max = row[c]
+				}
+			}
+			out = append(out, 1)
+			minEnc := keyenc.Append(nil, min)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(minEnc)))
+			out = append(out, minEnc...)
+			maxEnc := keyenc.Append(nil, max)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(maxEnc)))
+			out = append(out, maxEnc...)
+		} else {
+			out = append(out, 0)
+			out = binary.BigEndian.AppendUint32(out, 0)
+			out = binary.BigEndian.AppendUint32(out, 0)
+		}
+		if col.Kind.Fixed() {
+			for _, row := range rows {
+				out = binary.BigEndian.AppendUint64(out, rawBits(row[c]))
+			}
+		} else {
+			off := uint32(0)
+			offs := []uint32{0}
+			for _, row := range rows {
+				off += uint32(len(row[c].Bytes()))
+				offs = append(offs, off)
+			}
+			for _, o := range offs {
+				out = binary.BigEndian.AppendUint32(out, o)
+			}
+			for _, row := range rows {
+				out = append(out, row[c].Bytes()...)
+			}
+		}
+	}
+	return out
+}
+
+// lowCardVal draws from a handful of distinct values per kind.
+func lowCardVal(rng *rand.Rand, k keyenc.Kind) keyenc.Value {
+	n := int64(rng.Intn(5))
+	switch k {
+	case keyenc.KindInt64:
+		return keyenc.I64(n * 100)
+	case keyenc.KindUint64:
+		return keyenc.U64(uint64(n))
+	case keyenc.KindFloat64:
+		return keyenc.F64(float64(n) * 2.5)
+	case keyenc.KindString:
+		return keyenc.Str(fmt.Sprintf("v%d", n))
+	case keyenc.KindBytes:
+		return keyenc.Raw([]byte{byte(n), byte(n)})
+	default:
+		return keyenc.B(n%2 == 1)
 	}
 }
 

@@ -119,6 +119,12 @@ type boundExpr interface {
 	canMatch(minmax func(col int) (min, max keyenc.Value, ok bool)) bool
 	// columns reports every column ordinal the predicate reads.
 	columns(add func(col int))
+	// evalVec evaluates the predicate over every row of the block at
+	// once, fully overwriting out with the selection (vector.go).
+	evalVec(blk *columnar.Block, out *Bitmap)
+	// bloomMatch conservatively reports whether any block row could
+	// satisfy the predicate, judged by per-column bloom filters.
+	bloomMatch(blk *columnar.Block) bool
 }
 
 type boundCmp struct {

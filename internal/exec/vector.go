@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"math/bits"
+
+	"umzi/internal/columnar"
+)
+
+// The vectorized filter path. Instead of evaluating the predicate tree
+// row-at-a-time through RowView (Matches), FilterBlock evaluates each
+// comparison leaf over the whole block at once with columnar.CmpSelect —
+// which runs directly on the encoded column — and combines leaves with
+// word-wise AND/OR over selection bitmaps. Rows materialize only after
+// selection (late materialization): the executor walks the surviving
+// bits and touches data columns for those rows alone.
+//
+// BlockSkip extends the min/max synopsis pruning with per-column bloom
+// filters: an equality leaf whose probe value the column's bloom filter
+// rejects cannot match anywhere in the block, and the usual AND/OR
+// short-circuit rules lift leaf verdicts to the whole filter.
+
+// Bitmap is a fixed-length selection vector: bit i is set when row i is
+// selected. Bits at positions >= Len are always zero.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an empty (all-zero) bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of rows the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Words exposes the backing words for vectorized producers
+// (columnar.CmpSelect writes into them). len(Words) == ceil(Len/64).
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// Get reports whether row i is selected.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// SetAll selects every row.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clampTail()
+}
+
+// clampTail zeroes the bits beyond Len in the last word.
+func (b *Bitmap) clampTail() {
+	if b.n&63 != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= 1<<uint(b.n&63) - 1
+	}
+}
+
+// And intersects o into b. The bitmaps must have equal length.
+func (b *Bitmap) And(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into b. The bitmaps must have equal length.
+func (b *Bitmap) Or(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// None reports whether no row is selected.
+func (b *Bitmap) None() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of selected rows.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for every selected row in ascending order.
+func (b *Bitmap) ForEach(fn func(row int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// opFlags decomposes a comparison operator into the three-way-comparison
+// flags CmpSelect consumes: which of {<, ==, >} outcomes select a row.
+func opFlags(op CmpOp) (lt, eq, gt bool) {
+	switch op {
+	case OpEq:
+		return false, true, false
+	case OpNe:
+		return true, false, true
+	case OpLt:
+		return true, false, false
+	case OpLe:
+		return true, true, false
+	case OpGt:
+		return false, false, true
+	default: // OpGe
+		return false, true, true
+	}
+}
+
+func (b boundCmp) evalVec(blk *columnar.Block, out *Bitmap) {
+	lt, eq, gt := opFlags(b.op)
+	blk.CmpSelect(b.col, b.val, lt, eq, gt, out.words)
+}
+
+func (b boundAnd) evalVec(blk *columnar.Block, out *Bitmap) {
+	b.kids[0].evalVec(blk, out)
+	var scratch *Bitmap
+	for _, k := range b.kids[1:] {
+		if out.None() {
+			return
+		}
+		if scratch == nil {
+			scratch = NewBitmap(out.n)
+		}
+		k.evalVec(blk, scratch)
+		out.And(scratch)
+	}
+}
+
+func (b boundOr) evalVec(blk *columnar.Block, out *Bitmap) {
+	b.kids[0].evalVec(blk, out)
+	var scratch *Bitmap
+	for _, k := range b.kids[1:] {
+		if scratch == nil {
+			scratch = NewBitmap(out.n)
+		}
+		k.evalVec(blk, scratch)
+		out.Or(scratch)
+	}
+}
+
+// bloomMatch conservatively reports whether any row of the block could
+// satisfy the predicate, judged only by per-column bloom filters:
+// equality leaves probe the filter, every other leaf (and columns
+// without a filter) passes.
+func (b boundCmp) bloomMatch(blk *columnar.Block) bool {
+	if b.op != OpEq {
+		return true
+	}
+	return blk.BloomMightContain(b.col, b.val)
+}
+
+func (b boundAnd) bloomMatch(blk *columnar.Block) bool {
+	for _, k := range b.kids {
+		if !k.bloomMatch(blk) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b boundOr) bloomMatch(blk *columnar.Block) bool {
+	for _, k := range b.kids {
+		if k.bloomMatch(blk) {
+			return true
+		}
+	}
+	return false
+}
+
+// SkipReason classifies a block-skip decision.
+type SkipReason int
+
+// Block-skip outcomes, ordered by check sequence: synopses are consulted
+// before bloom filters, so SkipBloom means "inside the min/max range but
+// provably absent".
+const (
+	SkipNone     SkipReason = iota // block must be scanned
+	SkipSynopsis                   // excluded by min/max synopsis
+	SkipBloom                      // excluded by a bloom filter
+)
+
+// String implements fmt.Stringer.
+func (s SkipReason) String() string {
+	switch s {
+	case SkipNone:
+		return "none"
+	case SkipSynopsis:
+		return "synopsis"
+	case SkipBloom:
+		return "bloom"
+	default:
+		return "skip(?)"
+	}
+}
+
+// BlockSkip reports whether the filter provably matches no row of the
+// block, and which pruning structure proved it: min/max synopses first,
+// then per-column bloom filters.
+func (b *BoundPlan) BlockSkip(blk *columnar.Block) SkipReason {
+	if !b.CanMatchBlock(blk) {
+		return SkipSynopsis
+	}
+	if b.filter != nil && !b.filter.bloomMatch(blk) {
+		return SkipBloom
+	}
+	return SkipNone
+}
+
+// FilterBlock evaluates the plan's filter vectorized over the block and
+// returns the selection bitmap. A plan without a filter selects every
+// row.
+func (b *BoundPlan) FilterBlock(blk *columnar.Block) *Bitmap {
+	bm := NewBitmap(blk.NumRows())
+	if b.filter == nil {
+		bm.SetAll()
+		return bm
+	}
+	b.filter.evalVec(blk, bm)
+	return bm
+}

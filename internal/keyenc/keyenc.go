@@ -86,6 +86,11 @@ func F64(v float64) Value { return Value{kind: KindFloat64, num: math.Float64bit
 // Str returns a string value.
 func Str(v string) Value { return Value{kind: KindString, str: []byte(v)} }
 
+// StrBytes returns a string value aliasing b without copying. The slice
+// is retained; callers must not mutate it afterwards. Columnar blocks
+// use this to hand out string cells without a per-access allocation.
+func StrBytes(b []byte) Value { return Value{kind: KindString, str: b} }
+
 // Raw returns a bytes value. The slice is retained, not copied.
 func Raw(v []byte) Value { return Value{kind: KindBytes, str: v} }
 
@@ -191,6 +196,36 @@ func cmpOrdered[T int64 | uint64](a, b T) int {
 		return 1
 	default:
 		return 0
+	}
+}
+
+// SortKeyBits maps the raw 64-bit representation of a fixed-width kind
+// (int64 two's-complement bits, uint64, IEEE-754 float bits, bool 0/1)
+// to a uint64 whose unsigned order equals the kind's natural order. It
+// is the 64-bit analogue of the byte encodings produced by Append, and
+// lets numeric comparison loops run on plain uint64s regardless of the
+// column's kind. SortKeyBitsInv is its inverse.
+func SortKeyBits(k Kind, bits uint64) uint64 {
+	switch k {
+	case KindInt64:
+		return bits ^ (1 << 63)
+	case KindFloat64:
+		return floatSortKey(bits)
+	default: // uint64, bool: already in natural unsigned order
+		return bits
+	}
+}
+
+// SortKeyBitsInv maps a sort key produced by SortKeyBits back to the raw
+// 64-bit representation of the kind.
+func SortKeyBitsInv(k Kind, key uint64) uint64 {
+	switch k {
+	case KindInt64:
+		return key ^ (1 << 63)
+	case KindFloat64:
+		return floatSortKeyInv(key)
+	default:
+		return key
 	}
 }
 

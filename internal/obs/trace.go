@@ -23,21 +23,23 @@ type QueryTrace struct {
 	index string
 	spans []TraceSpan
 
-	blocksRead       atomic.Int64
-	blocksSkipped    atomic.Int64
-	liveUnion        atomic.Int64
-	backChecked      atomic.Int64
-	backCheckDropped atomic.Int64
-	rowsEmitted      atomic.Int64
+	blocksRead         atomic.Int64
+	blocksSkipped      atomic.Int64
+	blocksBloomSkipped atomic.Int64
+	liveUnion          atomic.Int64
+	backChecked        atomic.Int64
+	backCheckDropped   atomic.Int64
+	rowsEmitted        atomic.Int64
 }
 
 // TraceSpan is one shard's slice of a query.
 type TraceSpan struct {
-	Shard         string        `json:"shard"`
-	BlocksRead    int64         `json:"blocks_read"`
-	BlocksSkipped int64         `json:"blocks_skipped"`
-	LiveUnion     int64         `json:"live_union"`
-	Elapsed       time.Duration `json:"elapsed_ns"`
+	Shard              string        `json:"shard"`
+	BlocksRead         int64         `json:"blocks_read"`
+	BlocksSkipped      int64         `json:"blocks_skipped"`
+	BlocksBloomSkipped int64         `json:"blocks_bloom_skipped"`
+	LiveUnion          int64         `json:"live_union"`
+	Elapsed            time.Duration `json:"elapsed_ns"`
 }
 
 // NewQueryTrace returns an empty trace ready to attach to a query.
@@ -78,6 +80,14 @@ func (t *QueryTrace) AddBlocksSkipped(n int64) {
 	}
 }
 
+// AddBlocksBloomSkipped counts the subset of skipped blocks that a
+// per-column bloom filter excluded (the min/max synopsis admitted them).
+func (t *QueryTrace) AddBlocksBloomSkipped(n int64) {
+	if t != nil {
+		t.blocksBloomSkipped.Add(n)
+	}
+}
+
 // AddLiveUnion counts live-zone rows unioned over the groomed zones.
 func (t *QueryTrace) AddLiveUnion(n int64) {
 	if t != nil {
@@ -110,15 +120,16 @@ func (t *QueryTrace) AddRowsEmitted(n int64) {
 
 // TraceSnapshot is an immutable copy of a QueryTrace.
 type TraceSnapshot struct {
-	Plan             string      `json:"plan"`
-	Index            string      `json:"index,omitempty"`
-	BlocksRead       int64       `json:"blocks_read"`
-	BlocksSkipped    int64       `json:"blocks_skipped"`
-	LiveUnion        int64       `json:"live_union"`
-	BackChecked      int64       `json:"back_checked"`
-	BackCheckDropped int64       `json:"back_check_dropped"`
-	RowsEmitted      int64       `json:"rows_emitted"`
-	Spans            []TraceSpan `json:"spans,omitempty"`
+	Plan               string      `json:"plan"`
+	Index              string      `json:"index,omitempty"`
+	BlocksRead         int64       `json:"blocks_read"`
+	BlocksSkipped      int64       `json:"blocks_skipped"`
+	BlocksBloomSkipped int64       `json:"blocks_bloom_skipped"`
+	LiveUnion          int64       `json:"live_union"`
+	BackChecked        int64       `json:"back_checked"`
+	BackCheckDropped   int64       `json:"back_check_dropped"`
+	RowsEmitted        int64       `json:"rows_emitted"`
+	Spans              []TraceSpan `json:"spans,omitempty"`
 }
 
 // Snapshot copies the trace. Counts settle as the query's rows are
@@ -134,15 +145,16 @@ func (t *QueryTrace) Snapshot() TraceSnapshot {
 	t.mu.Unlock()
 	sort.Slice(spans, func(i, j int) bool { return spans[i].Shard < spans[j].Shard })
 	return TraceSnapshot{
-		Plan:             plan,
-		Index:            index,
-		BlocksRead:       t.blocksRead.Load(),
-		BlocksSkipped:    t.blocksSkipped.Load(),
-		LiveUnion:        t.liveUnion.Load(),
-		BackChecked:      t.backChecked.Load(),
-		BackCheckDropped: t.backCheckDropped.Load(),
-		RowsEmitted:      t.rowsEmitted.Load(),
-		Spans:            spans,
+		Plan:               plan,
+		Index:              index,
+		BlocksRead:         t.blocksRead.Load(),
+		BlocksSkipped:      t.blocksSkipped.Load(),
+		BlocksBloomSkipped: t.blocksBloomSkipped.Load(),
+		LiveUnion:          t.liveUnion.Load(),
+		BackChecked:        t.backChecked.Load(),
+		BackCheckDropped:   t.backCheckDropped.Load(),
+		RowsEmitted:        t.rowsEmitted.Load(),
+		Spans:              spans,
 	}
 }
 
@@ -157,8 +169,8 @@ func (t *QueryTrace) String() string {
 	if s.Index != "" {
 		fmt.Fprintf(&b, " index=%s", s.Index)
 	}
-	fmt.Fprintf(&b, " blocks=%d read/%d skipped live_union=%d back_checked=%d (%d dropped) rows=%d",
-		s.BlocksRead, s.BlocksSkipped, s.LiveUnion, s.BackChecked, s.BackCheckDropped, s.RowsEmitted)
+	fmt.Fprintf(&b, " blocks=%d read/%d skipped (%d by bloom) live_union=%d back_checked=%d (%d dropped) rows=%d",
+		s.BlocksRead, s.BlocksSkipped, s.BlocksBloomSkipped, s.LiveUnion, s.BackChecked, s.BackCheckDropped, s.RowsEmitted)
 	for _, sp := range s.Spans {
 		fmt.Fprintf(&b, "\n  shard %s: blocks=%d read/%d skipped live_union=%d in %s",
 			sp.Shard, sp.BlocksRead, sp.BlocksSkipped, sp.LiveUnion, sp.Elapsed)

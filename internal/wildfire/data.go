@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"umzi/internal/columnar"
+	"umzi/internal/keyenc"
 	"umzi/internal/types"
 )
 
@@ -14,6 +15,10 @@ import (
 
 type blockEntry struct {
 	blk *columnar.Block
+	// pkUnique memoizes whether every row of the block carries a
+	// distinct full primary key (nil: not yet computed). Guarded by
+	// blockMu; consumed by the executor's direct-emit fast path.
+	pkUnique *bool
 }
 
 // fetchBlock returns the parsed columnar block with the given object
@@ -56,6 +61,67 @@ func (e *Engine) dropCachedBlock(name string) {
 	e.blockMu.Lock()
 	delete(e.blockCache, name)
 	e.blockMu.Unlock()
+}
+
+// blockPKUnique reports whether every row of the block carries a
+// distinct full primary key — the per-block half of the executor's
+// fast-path eligibility check — memoizing the verdict on the block's
+// cache entry so repeated queries pay for the scan once.
+func (e *Engine) blockPKUnique(name string, blk *columnar.Block, pkIdx []int) bool {
+	e.blockMu.Lock()
+	if be, ok := e.blockCache[name]; ok && be.blk == blk && be.pkUnique != nil {
+		u := *be.pkUnique
+		e.blockMu.Unlock()
+		return u
+	}
+	e.blockMu.Unlock()
+	u := pkAllDistinct(blk, pkIdx)
+	e.blockMu.Lock()
+	if be, ok := e.blockCache[name]; ok && be.blk == blk {
+		be.pkUnique = &u
+	}
+	e.blockMu.Unlock()
+	return u
+}
+
+func pkAllDistinct(blk *columnar.Block, pkIdx []int) bool {
+	seen := make(map[string]struct{}, blk.NumRows())
+	var buf []byte
+	for r := 0; r < blk.NumRows(); r++ {
+		buf = buf[:0]
+		for _, c := range pkIdx {
+			buf = keyenc.Append(buf, blk.Value(r, c))
+		}
+		if _, dup := seen[string(buf)]; dup {
+			return false
+		}
+		seen[string(buf)] = struct{}{}
+	}
+	return true
+}
+
+// bloomOrdinals returns the block-schema ordinals that carry bloom
+// filters in groomed and post-groomed blocks: the primary-key columns
+// plus every index's equality columns — exactly the columns point
+// lookups and selective equality predicates probe by content.
+func (e *Engine) bloomOrdinals() []int {
+	seen := make(map[int]bool)
+	var ords []int
+	add := func(name string) {
+		if i := e.table.colIndex(name); i >= 0 && !seen[i] {
+			seen[i] = true
+			ords = append(ords, i)
+		}
+	}
+	for _, k := range e.table.PrimaryKey {
+		add(k)
+	}
+	for _, ti := range e.indexSet() {
+		for _, c := range ti.spec.Equality {
+			add(c)
+		}
+	}
+	return ords
 }
 
 // Record is a fully resolved record version: the user row plus the hidden

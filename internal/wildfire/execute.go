@@ -3,6 +3,7 @@ package wildfire
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"umzi/internal/columnar"
@@ -79,15 +80,49 @@ func (e *Engine) zoneSnapshot() (groomed, post []uint64) {
 }
 
 // execCandidate is one primary key's newest visible version found so
-// far: either a (block, row) reference or a live-zone row. canMatch is
-// false when the version sits in a block the filter synopsis excluded —
-// the version still shadows older ones but cannot itself qualify.
+// far: either a (block, row) reference or a live-zone row. sel is the
+// block's vectorized selection bitmap; it is nil when the version sits
+// in a block the skip structures excluded — the version still shadows
+// older ones but cannot itself qualify.
 type execCandidate struct {
-	beginTS  uint64
-	blk      *columnar.Block
-	row      int
-	liveRow  Row
-	canMatch bool
+	beginTS uint64
+	blk     *columnar.Block
+	row     int
+	liveRow Row
+	sel     *exec.Bitmap
+}
+
+// liveBest is the newest committed-but-ungroomed version of one key.
+type liveBest struct {
+	row Row
+	seq uint64
+}
+
+// liveOverlay collects the newest live version per primary key when the
+// query's snapshot covers the live zone. Like Get, live records are
+// only consulted for reads at the newest snapshot.
+func (e *Engine) liveOverlay(ts types.TS, opts QueryOptions) map[string]liveBest {
+	if !opts.IncludeLive || ts < e.LastGroomTS() {
+		return nil
+	}
+	live := make(map[string]liveBest)
+	for _, rep := range e.replicas {
+		rep.scan(func(rec logRecord) {
+			pk := e.table.pkEncoding(rec.row)
+			if best, ok := live[pk]; !ok || rec.commitSeq >= best.seq {
+				live[pk] = liveBest{row: rec.row, seq: rec.commitSeq}
+			}
+		})
+	}
+	return live
+}
+
+// scanBlk is one visible zone block of a query, with its skip verdict
+// and object name (the block-cache key the fast path memoizes under).
+type scanBlk struct {
+	name string
+	blk  *columnar.Block
+	skip exec.SkipReason
 }
 
 // executeBound evaluates a bound plan on this shard into a partial
@@ -97,13 +132,246 @@ type execCandidate struct {
 // reconciled row — an old version whose key was since updated never
 // leaks into the result.
 //
-// Block-at-a-time with two levels of skipping: a block whose minimum
+// Block-at-a-time with three levels of skipping: a block whose minimum
 // beginTS exceeds the timestamp holds no visible rows and is skipped
-// outright; a block excluded by the filter synopses is scanned for its
-// key and beginTS columns only (its versions may still shadow older
-// versions of the same keys elsewhere), never materializing data
-// columns.
+// outright; a block excluded by the filter synopses or by a per-column
+// bloom filter is scanned for its key and beginTS columns only (its
+// versions may still shadow older versions of the same keys elsewhere),
+// never materializing data columns.
+//
+// Predicates evaluate vectorized (exec.BoundPlan.FilterBlock): one
+// selection bitmap per block, computed directly over the encoded
+// columns, with rows materialized only after selection. When the
+// visible blocks provably hold at most one version per key — pairwise
+// disjoint primary-key ranges across blocks and distinct keys within
+// each scanned block — the per-row winner reconciliation is skipped
+// entirely and selected visible rows feed the partial directly; blocks
+// under groom/post-groom migration overlap transiently and fall back to
+// the winner map. QueryOptions.ScalarExec forces the legacy
+// row-at-a-time path (the Figure S5 baseline).
 func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts QueryOptions) (*exec.Partial, error) {
+	if opts.ScalarExec {
+		return e.executeBoundScalar(ctx, bound, opts)
+	}
+	if e.closed.Load() {
+		return nil, fmt.Errorf("wildfire: engine closed")
+	}
+	epoch := e.gate.enter()
+	defer e.gate.exit(epoch)
+	ts := e.resolveTS(opts)
+	start := time.Now()
+	var blocksRead, blocksSkipped, blocksBloomSkipped int64
+
+	pkIdx := make([]int, len(e.table.PrimaryKey))
+	for i, k := range e.table.PrimaryKey {
+		pkIdx[i] = e.table.colIndex(k)
+	}
+	nUser := len(e.table.Columns)
+
+	// Phase 1: fetch the zone snapshot and classify every block.
+	groomedIDs, postIDs := e.zoneSnapshot()
+	blks := make([]scanBlk, 0, len(groomedIDs)+len(postIDs))
+	visit := func(name string) error {
+		blk, err := e.fetchBlock(ctx, name)
+		if err != nil {
+			return err
+		}
+		if min, ok := blk.ColumnMin(nUser); !ok || types.TS(min.Uint()) > ts {
+			blocksSkipped++
+			return nil // empty, or nothing visible at this timestamp
+		}
+		skip := bound.BlockSkip(blk)
+		switch skip {
+		case exec.SkipNone:
+			blocksRead++
+		case exec.SkipBloom:
+			blocksSkipped++
+			blocksBloomSkipped++
+		default:
+			// Key/beginTS columns only: the synopsis proved no row can
+			// qualify, so the scan counts as skipped for skip-ratio purposes.
+			blocksSkipped++
+		}
+		blks = append(blks, scanBlk{name: name, blk: blk, skip: skip})
+		return nil
+	}
+	for _, id := range groomedIDs {
+		if err := visit(groomedBlockName(e.table.Name, id)); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range postIDs {
+		if err := visit(postBlockName(e.table.Name, id)); err != nil {
+			return nil, err
+		}
+	}
+
+	live := e.liveOverlay(ts, opts)
+	liveUnion := int64(len(live))
+
+	e.mx.execBlocksRead.Add(blocksRead)
+	e.mx.execBlocksSkipped.Add(blocksSkipped)
+	e.mx.execBlocksBloomSkipped.Add(blocksBloomSkipped)
+	opts.Trace.AddBlocksRead(blocksRead)
+	opts.Trace.AddBlocksSkipped(blocksSkipped)
+	opts.Trace.AddBlocksBloomSkipped(blocksBloomSkipped)
+	opts.Trace.AddLiveUnion(liveUnion)
+	defer func() {
+		opts.Trace.AddSpan(obs.TraceSpan{
+			Shard:              e.table.Name,
+			BlocksRead:         blocksRead,
+			BlocksSkipped:      blocksSkipped,
+			BlocksBloomSkipped: blocksBloomSkipped,
+			LiveUnion:          liveUnion,
+			Elapsed:            time.Since(start),
+		})
+	}()
+
+	part := bound.NewPartial()
+	var keyBuf []byte
+	var tsBuf []uint64
+
+	// Phase 2: if no key can have two versions across the visible blocks,
+	// winner reconciliation is a no-op — emit selected visible rows
+	// directly, suppressing only live-superseded keys.
+	if e.disjointUniqueBlocks(blks, pkIdx) {
+		for _, sb := range blks {
+			if sb.skip != exec.SkipNone {
+				continue // proved unmatchable; shadows nothing (unique keys)
+			}
+			sel := bound.FilterBlock(sb.blk)
+			if sel.None() {
+				continue
+			}
+			blk := sb.blk
+			tsBuf = blk.AppendNums(nUser, tsBuf[:0])
+			sel.ForEach(func(r int) {
+				if types.TS(tsBuf[r]) > ts {
+					return
+				}
+				if len(live) > 0 {
+					keyBuf = keyBuf[:0]
+					for _, c := range pkIdx {
+						keyBuf = keyenc.Append(keyBuf, blk.Value(r, c))
+					}
+					if _, shadowed := live[string(keyBuf)]; shadowed {
+						return
+					}
+				}
+				part.Add(func(c int) keyenc.Value { return blk.Value(r, c) })
+			})
+		}
+		addLiveRows(part, bound, live)
+		return part, nil
+	}
+
+	// Phase 3: general path — reconcile the newest visible version per
+	// primary key across blocks, then emit the winners their block's
+	// selection bitmap accepts.
+	winners := make(map[string]execCandidate)
+	for _, sb := range blks {
+		var sel *exec.Bitmap
+		if sb.skip == exec.SkipNone {
+			sel = bound.FilterBlock(sb.blk)
+		}
+		blk := sb.blk
+		tsBuf = blk.AppendNums(nUser, tsBuf[:0])
+		for r := 0; r < blk.NumRows(); r++ {
+			beginTS := tsBuf[r]
+			if types.TS(beginTS) > ts {
+				continue
+			}
+			keyBuf = keyBuf[:0]
+			for _, c := range pkIdx {
+				keyBuf = keyenc.Append(keyBuf, blk.Value(r, c))
+			}
+			if w, ok := winners[string(keyBuf)]; ok && w.beginTS >= beginTS {
+				continue
+			}
+			winners[string(keyBuf)] = execCandidate{beginTS: beginTS, blk: blk, row: r, sel: sel}
+		}
+	}
+	// Committed-but-ungroomed records are newer than every groomed
+	// version of their key (the groomer will assign them a larger
+	// beginTS), so the newest live version per key supersedes any zone
+	// candidate.
+	for pk, best := range live {
+		winners[pk] = execCandidate{beginTS: uint64(types.MaxTS), liveRow: best.row}
+	}
+	for _, w := range winners {
+		if w.liveRow != nil {
+			row := w.liveRow
+			view := exec.RowView(func(c int) keyenc.Value { return row[c] })
+			if bound.Matches(view) {
+				part.Add(view)
+			}
+			continue
+		}
+		if w.sel == nil || !w.sel.Get(w.row) {
+			continue
+		}
+		blk, r := w.blk, w.row
+		part.Add(func(c int) keyenc.Value { return blk.Value(r, c) })
+	}
+	return part, nil
+}
+
+// addLiveRows feeds the qualifying live-zone rows into the partial.
+func addLiveRows(part *exec.Partial, bound *exec.BoundPlan, live map[string]liveBest) {
+	for _, best := range live {
+		row := best.row
+		view := exec.RowView(func(c int) keyenc.Value { return row[c] })
+		if bound.Matches(view) {
+			part.Add(view)
+		}
+	}
+}
+
+// disjointUniqueBlocks decides fast-path eligibility: true when no
+// primary key can have versions in two visible blocks (the blocks'
+// leading-primary-key-column ranges are pairwise disjoint) and no
+// scanned block holds two versions of one key (distinct full keys,
+// memoized per cached block). Blocks mid-migration between the groomed
+// and post-groomed zones appear twice with identical ranges and fail
+// the disjointness test, falling back to winner reconciliation.
+func (e *Engine) disjointUniqueBlocks(blks []scanBlk, pkIdx []int) bool {
+	if len(blks) == 0 {
+		return true
+	}
+	pk0 := pkIdx[0]
+	type krange struct{ min, max keyenc.Value }
+	ranges := make([]krange, len(blks))
+	for i, sb := range blks {
+		min, ok := sb.blk.ColumnMin(pk0)
+		if !ok {
+			return false
+		}
+		max, _ := sb.blk.ColumnMax(pk0)
+		ranges[i] = krange{min: min, max: max}
+	}
+	sort.Slice(ranges, func(i, j int) bool { return keyenc.Compare(ranges[i].min, ranges[j].min) < 0 })
+	for i := 1; i < len(ranges); i++ {
+		if keyenc.Compare(ranges[i-1].max, ranges[i].min) >= 0 {
+			return false
+		}
+	}
+	for _, sb := range blks {
+		if sb.skip != exec.SkipNone {
+			continue // never emitted; within-block duplicates are unobservable
+		}
+		if !e.blockPKUnique(sb.name, sb.blk, pkIdx) {
+			return false
+		}
+	}
+	return true
+}
+
+// executeBoundScalar is the legacy row-at-a-time zone scan, preserved
+// verbatim as the vectorized path's baseline (QueryOptions.ScalarExec;
+// Figure S5 sweeps one against the other): min/max synopsis skipping
+// only, per-row beginTS decode through Value, and per-winner predicate
+// evaluation through RowView.
+func (e *Engine) executeBoundScalar(ctx context.Context, bound *exec.BoundPlan, opts QueryOptions) (*exec.Partial, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("wildfire: engine closed")
 	}
@@ -131,9 +399,10 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 			blocksSkipped++
 			return nil // empty, or nothing visible at this timestamp
 		}
-		canMatch := bound.CanMatchBlock(blk)
-		if canMatch {
+		var sel *exec.Bitmap
+		if bound.CanMatchBlock(blk) {
 			blocksRead++
+			sel = allRowsBitmap(blk.NumRows())
 		} else {
 			// Key/beginTS columns only: the synopsis proved no row can
 			// qualify, so the scan counts as skipped for skip-ratio purposes.
@@ -151,7 +420,7 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 			if w, ok := winners[string(keyBuf)]; ok && w.beginTS >= beginTS {
 				continue
 			}
-			winners[string(keyBuf)] = execCandidate{beginTS: beginTS, blk: blk, row: r, canMatch: canMatch}
+			winners[string(keyBuf)] = execCandidate{beginTS: beginTS, blk: blk, row: r, sel: sel}
 		}
 		return nil
 	}
@@ -166,31 +435,11 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 		}
 	}
 
-	// Union the live zone: committed-but-ungroomed records are newer than
-	// every groomed version of their key (the groomer will assign them a
-	// larger beginTS), so the newest live version per key supersedes any
-	// zone candidate. Like Get, live records are only consulted for reads
-	// at the newest snapshot.
-	var liveUnion int64
-	if opts.IncludeLive && ts >= e.LastGroomTS() {
-		type liveBest struct {
-			row Row
-			seq uint64
-		}
-		live := make(map[string]liveBest)
-		for _, rep := range e.replicas {
-			rep.scan(func(rec logRecord) {
-				pk := e.table.pkEncoding(rec.row)
-				if best, ok := live[pk]; !ok || rec.commitSeq >= best.seq {
-					live[pk] = liveBest{row: rec.row, seq: rec.commitSeq}
-				}
-			})
-		}
-		for pk, best := range live {
-			winners[pk] = execCandidate{beginTS: uint64(types.MaxTS), liveRow: best.row, canMatch: true}
-		}
-		liveUnion = int64(len(live))
+	live := e.liveOverlay(ts, opts)
+	for pk, best := range live {
+		winners[pk] = execCandidate{beginTS: uint64(types.MaxTS), liveRow: best.row}
 	}
+	liveUnion := int64(len(live))
 
 	e.mx.execBlocksRead.Add(blocksRead)
 	e.mx.execBlocksSkipped.Add(blocksSkipped)
@@ -208,13 +457,13 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 	part := bound.NewPartial()
 	for _, w := range winners {
 		var view exec.RowView
-		if !w.canMatch {
-			continue
-		}
 		if w.liveRow != nil {
 			row := w.liveRow
 			view = func(c int) keyenc.Value { return row[c] }
 		} else {
+			if w.sel == nil {
+				continue
+			}
 			blk, r := w.blk, w.row
 			view = func(c int) keyenc.Value { return blk.Value(r, c) }
 		}
@@ -224,6 +473,14 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 		part.Add(view)
 	}
 	return part, nil
+}
+
+// allRowsBitmap is a fully set selection bitmap; the scalar path uses
+// it as the "block scanned" marker so both paths share execCandidate.
+func allRowsBitmap(n int) *exec.Bitmap {
+	bm := exec.NewBitmap(n)
+	bm.SetAll()
+	return bm
 }
 
 // Execute runs an analytical plan across all shards: the bound plan is

@@ -289,6 +289,11 @@ func executeEquivalence(t *testing.T, seed int64) {
 		}{
 			{"single", func() (*exec.Result, error) { return single.Execute(p, opts) }},
 			{"sharded", func() (*exec.Result, error) { return sharded.Execute(p, opts) }},
+			{"scalar", func() (*exec.Result, error) {
+				o := opts
+				o.ScalarExec = true
+				return single.Execute(p, o)
+			}},
 		} {
 			got, err := eng.run()
 			if err != nil {
