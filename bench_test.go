@@ -89,6 +89,12 @@ func BenchmarkAblationAggPushdown(b *testing.B) { benchFigure(b, bench.AblationA
 // evaluation).
 func BenchmarkFigS1ShardScaling(b *testing.B) { benchFigure(b, bench.FigS1ShardScaling) }
 
+// BenchmarkFigS4Serving regenerates Figure S4 (the serving layer's
+// client-count sweep over real TCP, with and without write admission
+// control) — so the figure, server boot included, runs on every PR via
+// bench-smoke.
+func BenchmarkFigS4Serving(b *testing.B) { benchFigure(b, bench.FigS4Serving) }
+
 // Scatter-gather benchmarks: the same dataset partitioned across 1, 2, 4
 // and 8 shards, queried through the sharded engine. Shared storage
 // carries a simulated per-read latency (as the Figure 14 benchmark does)

@@ -1,0 +1,87 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"umzi"
+	"umzi/client"
+	"umzi/internal/server"
+)
+
+// BenchmarkRemoteQuery measures one point query over the wire —
+// request frame, server-side point get, one row batch back — against a
+// pooled client, parallel across connections. Compare with the local
+// point-get numbers in Figure S2 to see what the network hop costs.
+func BenchmarkRemoteQuery(b *testing.B) {
+	ctx := context.Background()
+	db, err := umzi.OpenDB(umzi.DBConfig{Store: umzi.NewMemStore(umzi.LatencyModel{})})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(umzi.TableDef{
+		Name: "bench",
+		Columns: []umzi.TableColumn{
+			{Name: "k", Kind: umzi.KindInt64},
+			{Name: "v", Kind: umzi.KindInt64},
+		},
+		PrimaryKey: []string{"k"},
+		ShardKey:   []string{"k"},
+	}, umzi.TableOptions{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 4096
+	batch := make([]umzi.Row, 0, rows)
+	for i := int64(0); i < rows; i++ {
+		batch = append(batch, umzi.Row{umzi.I64(i), umzi.I64(i * 3)})
+	}
+	if err := tbl.Upsert(ctx, batch...); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.Groom(); err != nil {
+		b.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{DB: db})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
+	cdb, err := client.Open(client.Config{Addr: ln.Addr().String(), MaxConns: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cdb.Close()
+	ctbl := cdb.Table("bench")
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := int64(0)
+		for pb.Next() {
+			row, found, err := ctbl.Query().Where(umzi.Eq("k", umzi.I64(k%rows))).One(ctx)
+			if err != nil || !found {
+				b.Errorf("point query k=%d: found=%v err=%v", k%rows, found, err)
+				return
+			}
+			if row[1].Int() != (k%rows)*3 {
+				b.Errorf("k=%d: wrong row %v", k%rows, row)
+				return
+			}
+			k++
+		}
+	})
+}

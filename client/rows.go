@@ -1,0 +1,239 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"umzi"
+	"umzi/internal/wire"
+)
+
+// errPinned is the sentinel a streaming request returns through withConn
+// to say "the connection now belongs to a Rows; do not release it".
+var errPinned = errors.New("client: conn pinned to stream")
+
+// drainGrace bounds how long Close waits for the server to acknowledge
+// a Cancel with the stream's terminal Done frame before giving the
+// connection up for dead.
+const drainGrace = 10 * time.Second
+
+// Rows streams one remote query result. It mirrors umzi.Rows: call Next
+// until false, read Values/Scan per row, check Err, and always Close.
+// The Rows owns its connection until the stream ends; Close on a
+// half-read stream sends a Cancel frame — stopping the server-side
+// cursor and its shard workers — and drains to the terminal Done so the
+// connection returns to the pool at a frame boundary.
+type Rows struct {
+	db   *DB
+	cn   *conn
+	ctx  context.Context
+	cols []string
+
+	// stopWatch tears down the context watcher goroutine.
+	stopWatch chan struct{}
+
+	batch [][]umzi.Value
+	idx   int // position in batch; -1 before the first Next
+
+	err      error
+	done     bool // terminal Done consumed; cn released
+	closed   bool
+	canceled bool // we sent a Cancel frame
+}
+
+func newRows(db *DB, cn *conn, ctx context.Context, cols []string) *Rows {
+	r := &Rows{db: db, cn: cn, ctx: ctx, cols: cols, idx: -1, stopWatch: make(chan struct{})}
+	if ctx.Done() != nil {
+		// The watcher translates context cancellation into a Cancel frame.
+		// The server answers with Done(Canceled), so the blocked Next read
+		// completes; no read-deadline games needed on this path.
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.sendCancel()
+			case <-r.stopWatch:
+			}
+		}()
+	}
+	return r
+}
+
+// Columns returns the result's output column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// sendCancel sends one Cancel frame (idempotence is the server's
+// problem; stale cancels are ignored there) and bounds the drain that
+// must follow.
+func (r *Rows) sendCancel() {
+	r.cn.c.SetReadDeadline(time.Now().Add(drainGrace))
+	if err := r.cn.write(wire.FrameCancel, nil); err != nil {
+		r.cn.broken = true
+	}
+}
+
+// Next advances to the next row, pulling RowBatch frames off the wire
+// as needed. It returns false at the end of the stream or on error;
+// check Err to tell the two apart.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.idx+1 < len(r.batch) {
+		r.idx++
+		return true
+	}
+	if r.done {
+		return false
+	}
+	// Batch exhausted: read the next frame.
+	for {
+		typ, payload, err := wire.ReadFrame(r.cn.br)
+		if err != nil {
+			r.fail(fmt.Errorf("client: reading query stream: %w", err))
+			return false
+		}
+		switch typ {
+		case wire.FrameRowBatch:
+			d := wire.NewDec(payload)
+			n := d.Count(1 << 20)
+			batch := r.batch[:0]
+			for i := 0; i < n && d.Err() == nil; i++ {
+				batch = append(batch, d.Row())
+			}
+			if err := d.Err(); err != nil {
+				r.fail(err)
+				return false
+			}
+			if n == 0 {
+				continue // defensive: empty batch, keep reading
+			}
+			r.batch, r.idx = batch, 0
+			return true
+		case wire.FrameDone:
+			r.finish(doneError(doneParts(payload)))
+			return false
+		default:
+			r.fail(fmt.Errorf("client: unexpected frame 0x%02x in query stream", typ))
+			return false
+		}
+	}
+}
+
+// fail records a transport-level error: the connection is mid-stream
+// and unpoolable.
+func (r *Rows) fail(err error) {
+	if r.err == nil {
+		// A read unblocked by the context watcher surfaces as a deadline
+		// error; report the context's instead.
+		if ctxErr := r.ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+		r.err = err
+	}
+	if !r.done {
+		r.done = true
+		close(r.stopWatch)
+		r.cn.destroy()
+		r.db.release(r.cn)
+	}
+}
+
+// finish consumes the stream's terminal Done: the connection is at a
+// frame boundary and goes back to the pool.
+func (r *Rows) finish(err error) {
+	if r.err == nil {
+		if err != nil && errors.Is(err, context.Canceled) && r.ctx.Err() != nil {
+			err = r.ctx.Err()
+		}
+		r.err = err
+	}
+	if !r.done {
+		r.done = true
+		close(r.stopWatch)
+		r.cn.c.SetReadDeadline(time.Time{})
+		r.db.release(r.cn)
+	}
+}
+
+// Values returns the current row. The slice is reused; copy it to keep
+// it past the next call to Next.
+func (r *Rows) Values() []umzi.Value {
+	if r.idx < 0 || r.idx >= len(r.batch) {
+		return nil
+	}
+	return r.batch[r.idx]
+}
+
+// Scan copies the current row's values into dest pointers
+// (*int64, *uint64, *float64, *bool, *string, *[]byte, *umzi.Value, or
+// *any), one per output column.
+func (r *Rows) Scan(dest ...any) error {
+	vals := r.Values()
+	if vals == nil {
+		return fmt.Errorf("client: Scan called without a current row")
+	}
+	if len(dest) != len(vals) {
+		return fmt.Errorf("client: Scan got %d destinations for %d columns", len(dest), len(vals))
+	}
+	for i, v := range vals {
+		if err := umzi.ScanValue(v, dest[i]); err != nil {
+			return fmt.Errorf("column %d (%s): %w", i, r.cols[i], err)
+		}
+	}
+	return nil
+}
+
+// Err returns the first error hit while streaming (nil after a clean
+// end of stream). A context-driven cancellation reports the context's
+// error; a server-reported admission or execution failure arrives here
+// too.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the result. On a half-read stream it cancels the
+// server-side cursor (Cancel frame) and drains to the terminal Done so
+// the connection is reusable; either way the connection goes back to
+// the pool or, if the protocol state is lost, is torn down. Close is
+// idempotent and returns the stream's first error, matching the local
+// umzi.Rows contract that teardown failures are not silently dropped.
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.closeErr()
+	}
+	r.closed = true
+	if r.done {
+		return r.closeErr()
+	}
+	r.canceled = true
+	r.sendCancel()
+	// Drain to Done. The server owes exactly one terminal frame; row
+	// batches in flight before the cancel took effect are discarded.
+	for {
+		typ, payload, err := wire.ReadFrame(r.cn.br)
+		if err != nil {
+			r.fail(fmt.Errorf("client: draining canceled stream: %w", err))
+			return r.closeErr()
+		}
+		switch typ {
+		case wire.FrameRowBatch:
+			continue
+		case wire.FrameDone:
+			r.finish(doneError(doneParts(payload)))
+			return r.closeErr()
+		default:
+			r.fail(fmt.Errorf("client: unexpected frame 0x%02x draining stream", typ))
+			return r.closeErr()
+		}
+	}
+}
+
+// closeErr is the error Close reports: an early Close that canceled a
+// healthy stream is a success, not a context.Canceled.
+func (r *Rows) closeErr() error {
+	err := r.Err()
+	if r.canceled && (errors.Is(err, context.Canceled) && r.ctx.Err() == nil) {
+		return nil
+	}
+	return err
+}

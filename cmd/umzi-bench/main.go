@@ -42,6 +42,7 @@ func drivers() []driver {
 		{"s1", "Figure S1: scatter-gather shard scaling (extension)", bench.FigS1ShardScaling},
 		{"s2", "Figure S2: unified query surface vs legacy entry points (extension)", bench.FigS2QuerySurface},
 		{"s3", "Figure S3: ingest throughput vs sync policy and group commit (extension)", bench.FigS3GroupCommit},
+		{"s4", "Figure S4: serving layer — throughput vs concurrent clients (extension)", bench.FigS4Serving},
 		{"s5", "Figure S5: encoded vectorized scan vs scalar executor (extension)", bench.FigS5EncodedScan},
 		{"a1", "Ablation A1: offset array width", bench.AblationOffsetArray},
 		{"a2", "Ablation A2: set vs priority-queue reconciliation", bench.AblationReconcile},

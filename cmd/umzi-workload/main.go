@@ -13,6 +13,7 @@
 //	umzi-workload -attr read-heavy,write-heavy      # OR of attributes
 //	umzi-workload -attr 'write-heavy&!crash-injecting'
 //	umzi-workload -attr crash-injecting -scale 2 -seed 7 -v
+//	umzi-workload -remote 127.0.0.1:7777 -token s3cret -run server.SlowConsumer
 //
 // Exit status is 0 when every selected scenario passes, 1 otherwise.
 package main
@@ -37,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	timeout := flag.Duration("timeout", 0, "override every scenario's timeout (0 keeps per-scenario defaults)")
 	verbose := flag.Bool("v", false, "log scenario progress to stderr")
+	remote := flag.String("remote", "", "umzi-server addr:port for remote scenarios (empty skips them)")
+	token := flag.String("token", "", "auth token for -remote connections")
 	flag.Parse()
 
 	if *list {
@@ -71,6 +74,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "umzi-workload: %v\n", err)
 			os.Exit(2)
 		}
+		if *remote == "" {
+			// Remote scenarios need a server; without -remote they are
+			// skipped, not failed (explicit -run still forces them).
+			kept := scenarios[:0]
+			for _, s := range scenarios {
+				if hasAttr(s, workload.AttrRemote) {
+					fmt.Fprintf(os.Stderr, "umzi-workload: skipping %s (needs -remote)\n", s.Name())
+					continue
+				}
+				kept = append(kept, s)
+			}
+			scenarios = kept
+		}
 	}
 	if len(scenarios) == 0 {
 		fmt.Fprintf(os.Stderr, "umzi-workload: no scenarios match %q\n", selection)
@@ -78,9 +94,11 @@ func main() {
 	}
 
 	opts := workload.RunOptions{
-		Scale:   *scale,
-		Seed:    *seed,
-		Timeout: *timeout,
+		Scale:       *scale,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		RemoteAddr:  *remote,
+		RemoteToken: *token,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
@@ -99,4 +117,13 @@ func main() {
 	if !rep.Passed {
 		os.Exit(1)
 	}
+}
+
+func hasAttr(s *workload.Scenario, attr string) bool {
+	for _, a := range s.Attrs {
+		if a == attr {
+			return true
+		}
+	}
+	return false
 }

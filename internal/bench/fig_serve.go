@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"umzi"
+	"umzi/client"
+	"umzi/internal/server"
+)
+
+// Figure S4 (extension): the serving layer under concurrent clients.
+// The paper evaluates Umzi inside one Wildfire process; this experiment
+// puts the network front end in the loop — real TCP, the streaming wire
+// protocol, the client connection pool — and sweeps the number of
+// concurrent clients, each running an HTAP op loop (one small commit,
+// one point query). It runs twice: against a plain server, and against
+// one whose write admission control queues commits whenever the
+// live-zone backpressure gauge crosses a threshold the workload is sure
+// to hit, with a background groomer draining the pressure. The
+// comparison shows what admission control costs in throughput and what
+// it buys: the live zone stays bounded instead of growing with client
+// count.
+
+// FigS4Serving sweeps concurrent network clients against umzi-server,
+// with and without write admission control.
+func FigS4Serving(s Scale) (*Result, error) {
+	res := &Result{
+		Figure:   "Figure S4",
+		Title:    "Serving layer: throughput vs concurrent clients (extension)",
+		XLabel:   "# clients",
+		YLabel:   "normalized throughput (1 client, no admission = 1)",
+		Baseline: "one client against the plain server",
+	}
+	clients := s.ServeClients
+	if len(clients) == 0 {
+		clients = []int{1, 4}
+	}
+	ops := s.ServeOpsPerClient
+	if ops <= 0 {
+		ops = 8
+	}
+
+	configs := []struct {
+		name string
+		adm  server.AdmissionConfig
+	}{
+		{"no admission", server.AdmissionConfig{}},
+		// The threshold is low enough that every cell crosses it: each
+		// op commits rows into the live zone faster than the groomer
+		// drains it, so queued commits measure the control loop itself.
+		{"admission (queue on live-zone pressure)", server.AdmissionConfig{
+			MaxLiveRecords: 2_000,
+			Queue:          true,
+			QueueTimeout:   time.Minute,
+			SampleEvery:    2 * time.Millisecond,
+		}},
+	}
+
+	var base float64 // ops/s of the first cell
+	for _, cfg := range configs {
+		series := Series{Name: cfg.name}
+		var tailP50, tailP99 time.Duration
+		for _, nClients := range clients {
+			qps, p50, p99, err := serveCell(cfg.adm, nClients, ops)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = qps
+			}
+			series.Y = append(series.Y, qps/base)
+			tailP50, tailP99 = p50, p99
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s at %d clients: p50 %.2fms, p99 %.2fms per op (commit+query)",
+			cfg.name, clients[len(clients)-1],
+			float64(tailP50.Microseconds())/1000, float64(tailP99.Microseconds())/1000))
+		res.Series = append(res.Series, series)
+	}
+	for _, c := range clients {
+		res.X = append(res.X, fmt.Sprintf("%d", c))
+	}
+	return res, nil
+}
+
+// serveCell runs one figure cell: a fresh DB and server, nClients
+// concurrent clients each performing ops operations (a 4-row commit
+// plus a point query), returning aggregate throughput and op latency
+// percentiles.
+func serveCell(adm server.AdmissionConfig, nClients, ops int) (qps float64, p50, p99 time.Duration, err error) {
+	ctx := context.Background()
+	db, err := umzi.OpenDB(umzi.DBConfig{
+		Store: umzi.NewMemStore(umzi.LatencyModel{}),
+		// The groomer is the drain admission control waits on; it must
+		// run fast enough that queued writes make progress.
+		GroomEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(umzi.TableDef{
+		Name: "serve",
+		Columns: []umzi.TableColumn{
+			{Name: "k", Kind: umzi.KindInt64},
+			{Name: "v", Kind: umzi.KindInt64},
+		},
+		PrimaryKey: []string{"k"},
+		ShardKey:   []string{"k"},
+	}, umzi.TableOptions{Shards: 4})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Seed and groom so point queries have groomed blocks to hit.
+	seed := make([]umzi.Row, 0, 1024)
+	for i := int64(0); i < 1024; i++ {
+		seed = append(seed, umzi.Row{umzi.I64(i), umzi.I64(i)})
+	}
+	if err := tbl.Upsert(ctx, seed...); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := tbl.Groom(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	srv, err := server.New(server.Config{DB: db, MaxConns: nClients + 8, Admission: adm})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+
+	lats := make([][]time.Duration, nClients)
+	errs := make(chan error, nClients)
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		go func(c int) {
+			cdb, err := client.Open(client.Config{Addr: ln.Addr().String(), MaxConns: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cdb.Close()
+			t := cdb.Table("serve")
+			lats[c] = make([]time.Duration, 0, ops)
+			for i := 0; i < ops; i++ {
+				opStart := time.Now()
+				base := int64(1024 + c*ops*4 + i*4)
+				rows := make([]umzi.Row, 4)
+				for j := range rows {
+					k := base + int64(j)
+					rows[j] = umzi.Row{umzi.I64(k), umzi.I64(k)}
+				}
+				if err := t.Upsert(ctx, rows...); err != nil {
+					errs <- fmt.Errorf("client %d commit: %w", c, err)
+					return
+				}
+				k := int64((c*ops + i) % 1024)
+				_, found, err := t.Query().Where(umzi.Eq("k", umzi.I64(k))).One(ctx)
+				if err != nil || !found {
+					errs <- fmt.Errorf("client %d point query k=%d: found=%v err=%v", c, k, found, err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(opStart))
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < nClients; c++ {
+		if werr := <-errs; werr != nil {
+			return 0, 0, 0, werr
+		}
+	}
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pctl := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return float64(len(all)) / elapsed.Seconds(), pctl(0.50), pctl(0.99), nil
+}

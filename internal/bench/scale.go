@@ -61,6 +61,13 @@ type Scale struct {
 	WALCommits int
 	// WALRowsPerCommit is the rows per transaction in Figure S3.
 	WALRowsPerCommit int
+
+	// ServeClients sweeps the number of concurrent network clients of
+	// the serving-layer experiment (Figure S4).
+	ServeClients []int
+	// ServeOpsPerClient is the operations (one commit + one point query)
+	// each client performs per Figure S4 cell.
+	ServeOpsPerClient int
 }
 
 // SmallScale returns the default laptop-scale configuration used by the
@@ -88,6 +95,8 @@ func SmallScale() Scale {
 		WALWriters:             []int{1, 8, 32},
 		WALCommits:             120,
 		WALRowsPerCommit:       4,
+		ServeClients:           []int{1, 4, 16, 64},
+		ServeOpsPerClient:      40,
 	}
 }
 
@@ -117,6 +126,8 @@ func PaperScale() Scale {
 		WALWriters:             []int{1, 8, 32, 128},
 		WALCommits:             400,
 		WALRowsPerCommit:       4,
+		ServeClients:           []int{1, 4, 16, 32, 64},
+		ServeOpsPerClient:      200,
 	}
 }
 
@@ -144,5 +155,7 @@ func TinyScale() Scale {
 		WALWriters:             []int{1, 8},
 		WALCommits:             24,
 		WALRowsPerCommit:       4,
+		ServeClients:           []int{1, 4},
+		ServeOpsPerClient:      8,
 	}
 }

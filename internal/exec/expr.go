@@ -105,6 +105,37 @@ func joinExprs(kids []Expr, sep string) string {
 func (e andExpr) String() string { return joinExprs(e.kids, " AND ") }
 func (e orExpr) String() string  { return joinExprs(e.kids, " OR ") }
 
+// ExprNode is the one-level structural view of an Expr that Decompose
+// exposes, so serializers (the wire protocol's QuerySpec marshaler) can
+// walk a predicate tree without this package exporting its node types.
+type ExprNode struct {
+	// Leaf marks a comparison; Col/Op/Val describe it.
+	Leaf bool
+	Col  string
+	Op   CmpOp
+	Val  keyenc.Value
+	// Interior nodes: And distinguishes conjunction from disjunction,
+	// Kids are the operands (decompose each recursively).
+	And  bool
+	Kids []Expr
+}
+
+// Decompose exposes the top-level structure of an expression built by
+// this package. It errors on foreign Expr implementations, which have
+// no portable form.
+func Decompose(e Expr) (ExprNode, error) {
+	switch v := e.(type) {
+	case cmpExpr:
+		return ExprNode{Leaf: true, Col: v.col, Op: v.op, Val: v.val}, nil
+	case andExpr:
+		return ExprNode{And: true, Kids: v.kids}, nil
+	case orExpr:
+		return ExprNode{Kids: v.kids}, nil
+	default:
+		return ExprNode{}, fmt.Errorf("exec: cannot decompose foreign expression %T", e)
+	}
+}
+
 // RowView accesses one row's column values by table-column ordinal. Both
 // materialized rows and columnar block rows adapt to it, so predicates and
 // aggregates read only the columns they touch.

@@ -132,8 +132,9 @@ func TestWALFlushErrorCounted(t *testing.T) {
 }
 
 // TestScatterStreamReleaseErrorCounted checks the other audited path: a
-// cancelled scatter worker closing its shard cursor cannot surface the
-// Close error through the merged cursor, so it must be counted.
+// cancelled scatter worker closing its shard cursor counts the Close
+// error AND surfaces the first one through the merged cursor's Close —
+// the mid-stream-disconnect teardown the network server runs.
 func TestScatterStreamReleaseErrorCounted(t *testing.T) {
 	var released atomic.Int64
 	open := func(ctx context.Context, shard int) (*Cursor[int], error) {
@@ -153,11 +154,39 @@ func TestScatterStreamReleaseErrorCounted(t *testing.T) {
 	if !cur.Next() {
 		t.Fatalf("no first row: %v", cur.Err())
 	}
-	if err := cur.Close(); err != nil {
-		t.Fatalf("merged close: %v", err)
+	err := cur.Close()
+	if err == nil || !strings.Contains(err.Error(), "release failed") {
+		t.Fatalf("merged close must surface the first release error, got %v", err)
 	}
 	// Close waited for both workers; both were cancelled mid-scan and
 	// their cursor release errors must have been observed.
+	if got := released.Load(); got != 2 {
+		t.Errorf("release errors observed = %d, want 2", got)
+	}
+}
+
+// TestScatterStreamReleaseCancelNoiseFiltered checks the filter on the
+// surfaced release error: a shard cursor whose Close merely restates
+// the cancellation (context.Canceled) is counted for the audit metric
+// but does NOT turn an orderly early Close into a failure.
+func TestScatterStreamReleaseCancelNoiseFiltered(t *testing.T) {
+	var released atomic.Int64
+	open := func(ctx context.Context, shard int) (*Cursor[int], error) {
+		v := shard * 1000
+		return newCursor(
+			func() (int, bool, error) { v++; return v, true, nil },
+			func() error { return context.Canceled },
+		), nil
+	}
+	keyOf := func(v int) []byte { return []byte{byte(v >> 8), byte(v)} }
+	onErr := func(err error) { released.Add(1) }
+	cur := scatterStream(context.Background(), newGatherPool(2), 2, 0, open, keyOf, onErr)
+	if !cur.Next() {
+		t.Fatalf("no first row: %v", cur.Err())
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("cancellation-shaped release errors must not fail Close: %v", err)
+	}
 	if got := released.Load(); got != 2 {
 		t.Errorf("release errors observed = %d, want 2", got)
 	}

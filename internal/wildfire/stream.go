@@ -157,10 +157,13 @@ func (h *streamHeap[T]) Pop() interface{} {
 //
 // onReleaseErr (nil ok) observes the error of a shard cursor's Close
 // when the worker exits without reaching its own error reporting — a
-// cancelled worker closing its cursor mid-scan. Such errors cannot
-// surface through the merged cursor (the consumer is gone or a sibling's
-// failure already owns the attribution), so they are counted instead of
-// silently dropped.
+// cancelled worker closing its cursor mid-scan. Such errors rarely
+// surface through the merged cursor's fetch path (the consumer is gone
+// or a sibling's failure already owns the attribution), so they are
+// counted — and additionally the first one is returned from the merged
+// cursor's own Close, so a caller tearing a stream down mid-flight (the
+// network server after a client disconnect) still learns its release
+// path failed instead of reading a silent nil.
 //
 // The goroutines themselves are per query (a cursor may stay open at
 // the consumer's pleasure, so tying its streaming to a shared pool
@@ -182,6 +185,12 @@ func scatterStream[T any](
 	sources := make([]*shardSource[T], nShards)
 	errCh := make(chan error, nShards)
 	var wg sync.WaitGroup
+	// releaseErr records the first shard-cursor Close failure; release()
+	// returns it after the workers are drained. Cancellation noise is
+	// filtered like fail() filters it: a context-shaped Close error just
+	// restates that the stream was torn down.
+	var relMu sync.Mutex
+	var releaseErr error
 	for i := 0; i < nShards; i++ {
 		src := &shardSource[T]{ch: make(chan shardItem[T], streamBuf), shard: i}
 		sources[i] = src
@@ -220,8 +229,19 @@ func scatterStream[T any](
 				return
 			}
 			defer func() {
-				if err := cur.Close(); err != nil && onReleaseErr != nil {
+				err := cur.Close()
+				if err == nil {
+					return
+				}
+				if onReleaseErr != nil {
 					onReleaseErr(err)
+				}
+				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					relMu.Lock()
+					if releaseErr == nil {
+						releaseErr = err
+					}
+					relMu.Unlock()
 				}
 			}()
 			for cur.Next() {
@@ -240,7 +260,9 @@ func scatterStream[T any](
 	release := func() error {
 		cancel()
 		wg.Wait()
-		return nil
+		relMu.Lock()
+		defer relMu.Unlock()
+		return releaseErr
 	}
 
 	// terminalErr resolves what ended the stream: a worker's error wins

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"umzi/internal/keyenc"
+)
+
+// randValue draws one value covering every encodable kind, including
+// the edges the fixed-width encodings must round-trip exactly.
+func randValue(rng *rand.Rand) keyenc.Value {
+	switch rng.Intn(9) {
+	case 8:
+		return keyenc.Value{} // null: what aggregates over empty groups yield
+	case 0:
+		return keyenc.I64(rng.Int63() - rng.Int63())
+	case 1:
+		return keyenc.I64([]int64{0, 1, -1, math.MinInt64, math.MaxInt64}[rng.Intn(5)])
+	case 2:
+		return keyenc.U64(rng.Uint64())
+	case 3:
+		return keyenc.F64([]float64{0, -0.0, 1.5, -1e308, math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64}[rng.Intn(7)])
+	case 4:
+		return keyenc.B(rng.Intn(2) == 0)
+	case 5:
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		rng.Read(b)
+		return keyenc.Str(string(b))
+	case 6:
+		return keyenc.Str("")
+	default:
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		rng.Read(b)
+		return keyenc.Raw(b)
+	}
+}
+
+// sameValue compares two values through their encodings, which treats
+// an empty byte payload and a nil one as the same value (they are).
+func sameValue(a, b keyenc.Value) bool {
+	ab, aerr := AppendValue(nil, a)
+	bb, berr := AppendValue(nil, b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := randValue(rng)
+		b, err := AppendValue(nil, v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		d := NewDec(b)
+		got := d.Value()
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if d.Len() != 0 {
+			t.Fatalf("decode %v left %d bytes", v, d.Len())
+		}
+		if got.Kind() != v.Kind() || !sameValue(got, v) {
+			t.Fatalf("round-trip changed value: %#v -> %#v", v, got)
+		}
+	}
+}
+
+func TestFloatBitsExact(t *testing.T) {
+	// NaN payloads and signed zero must survive: the equivalence
+	// property between local and remote execution rests on bit-exact
+	// floats, not on ==.
+	for _, bits := range []uint64{
+		math.Float64bits(math.NaN()),
+		0x7ff8000000000001, // NaN with a payload
+		math.Float64bits(math.Copysign(0, -1)),
+	} {
+		v := keyenc.F64(math.Float64frombits(bits))
+		b, err := AppendValue(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewDec(b).Value()
+		if math.Float64bits(got.Float()) != bits {
+			t.Errorf("float bits %x -> %x", bits, math.Float64bits(got.Float()))
+		}
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		row := make([]keyenc.Value, rng.Intn(8))
+		for j := range row {
+			row[j] = randValue(rng)
+		}
+		b, err := AppendRow(nil, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDec(b)
+		got := d.Row()
+		if err := d.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(row) {
+			t.Fatalf("row length %d -> %d", len(row), len(got))
+		}
+		for j := range row {
+			if got[j].Kind() != row[j].Kind() || !sameValue(got[j], row[j]) {
+				t.Fatalf("row[%d] changed: %#v -> %#v", j, row[j], got[j])
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte("x"), 100000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d type %d", i, typ)
+		}
+		if len(got) != len(p) {
+			t.Fatalf("frame %d payload %d bytes, want %d", i, len(got), len(p))
+		}
+		if len(p) > 0 && !bytes.Equal(got, p) {
+			t.Fatalf("frame %d payload changed", i)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	if err := WriteFrame(&bytes.Buffer{}, 1, make([]byte, MaxFrame)); err == nil {
+		t.Error("oversized frame written")
+	}
+	// A peer announcing an absurd length must fail before allocating.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("absurd frame length accepted")
+	}
+	// Zero-length frames have no type byte and are invalid.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+}
+
+func TestDecShortInputsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(32))
+		rng.Read(b)
+		d := NewDec(b)
+		// Exercise every reader on garbage; the sticky error must absorb
+		// all failures without panics or giant allocations.
+		d.Byte()
+		d.Uvarint()
+		d.U64()
+		_ = d.String()
+		d.Strings()
+		d.Value()
+		d.Row()
+		d.Count(10)
+	}
+}
+
+func TestDecCountBounds(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40)
+	d := NewDec(b)
+	if d.Count(1 << 16); d.Err() == nil {
+		t.Error("absurd count accepted")
+	}
+}

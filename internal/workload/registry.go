@@ -40,6 +40,10 @@ const (
 	// AttrLongRunning marks scenarios meant to soak (the runner still
 	// bounds them with the scenario timeout).
 	AttrLongRunning = "long-running"
+	// AttrRemote marks scenarios that drive a running umzi-server over
+	// the network (State.OpenClient); they need -remote addr:port and are
+	// skipped by attribute selection when none is configured.
+	AttrRemote = "remote"
 )
 
 var knownAttrs = map[string]bool{
@@ -47,6 +51,7 @@ var knownAttrs = map[string]bool{
 	AttrWriteHeavy:     true,
 	AttrCrashInjecting: true,
 	AttrLongRunning:    true,
+	AttrRemote:         true,
 }
 
 // DefaultTimeout bounds a scenario that does not declare its own.

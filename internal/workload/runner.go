@@ -25,6 +25,11 @@ type RunOptions struct {
 	Timeout time.Duration
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// RemoteAddr is the umzi-server address remote scenarios run
+	// against; empty disables them.
+	RemoteAddr string
+	// RemoteToken authenticates State.OpenClient connections.
+	RemoteToken string
 }
 
 // Result is one scenario's outcome in the report.

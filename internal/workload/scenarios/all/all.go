@@ -8,5 +8,6 @@ import (
 	_ "umzi/internal/workload/scenarios/crash"
 	_ "umzi/internal/workload/scenarios/htap"
 	_ "umzi/internal/workload/scenarios/iot"
+	_ "umzi/internal/workload/scenarios/server"
 	_ "umzi/internal/workload/scenarios/stream"
 )

@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"umzi"
+	"umzi/client"
 	"umzi/internal/storage"
 )
 
@@ -188,4 +190,35 @@ func (s *State) OpenDB(cfg umzi.DBConfig) *umzi.DB {
 		db.Close()
 	})
 	return db
+}
+
+// RemoteAddr returns the umzi-server address configured with -remote
+// ("" when this run has no server to talk to).
+func (s *State) RemoteAddr() string { return s.opts.RemoteAddr }
+
+// OpenClient connects to the -remote umzi-server and registers the
+// client's Close as a cleanup. Fatalf when no remote address is
+// configured — remote scenarios declare AttrRemote, so attribute
+// selection keeps them out of serverless runs; reaching this without an
+// address means someone forced one with -run.
+func (s *State) OpenClient() *client.DB {
+	if s.opts.RemoteAddr == "" {
+		s.Fatalf("scenario needs a server: rerun with -remote addr:port")
+	}
+	cdb, err := client.Open(client.Config{Addr: s.opts.RemoteAddr, Token: s.opts.RemoteToken})
+	if err != nil {
+		s.Fatalf("OpenClient(%s): %v", s.opts.RemoteAddr, err)
+	}
+	s.Cleanup(func() { cdb.Close() })
+	return cdb
+}
+
+// uniqueSeq distinguishes names minted by UniqueName within a process.
+var uniqueSeq atomic.Int64
+
+// UniqueName mints a table name unique across scenarios and processes
+// sharing one long-lived server, so remote scenarios can re-run without
+// colliding with their previous tables.
+func (s *State) UniqueName(prefix string) string {
+	return fmt.Sprintf("%s_%d_%d_%d", prefix, os.Getpid(), time.Now().UnixNano()%1e9, uniqueSeq.Add(1))
 }

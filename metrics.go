@@ -52,6 +52,12 @@ func (db *DB) Metrics() *MetricsSnapshot {
 	return db.obs.Snapshot()
 }
 
+// Registry exposes the DB's metric registry so subsystems layered on
+// top of a DB (the network server's admission control and connection
+// accounting) can register their own metric families next to the engine
+// ones — one registry, one exposition surface.
+func (db *DB) Registry() *obs.Registry { return db.obs }
+
 // MetricsHandler returns an http.Handler exposing the DB's metrics:
 // Prometheus text format by default, JSON when the request asks for it
 // (?format=json or an Accept header containing application/json).

@@ -132,13 +132,7 @@ func (q *Query) Explain() *QueryTrace {
 // — or closing the Rows early — stops per-shard workers, k-way merging
 // and block fetches.
 func (q *Query) Run(ctx context.Context) (*Rows, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	qr, err := q.tbl.topo.RunQuery(ctx, q.spec)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	return &Rows{qr: qr, cancel: cancel}, nil
+	return q.tbl.RunSpec(ctx, q.spec)
 }
 
 // All runs the query and materializes every row — a convenience for

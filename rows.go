@@ -100,6 +100,11 @@ func (r *Rows) Scan(dest ...any) error {
 	return nil
 }
 
+// ScanValue copies one value into a destination pointer under Scan's
+// conversion rules — exported so result surfaces outside this package
+// (the network client's Rows) scan identically to local ones.
+func ScanValue(v Value, dest any) error { return scanValue(v, dest) }
+
 func scanValue(v Value, dest any) error {
 	switch d := dest.(type) {
 	case *Value:

@@ -47,6 +47,8 @@ func TestExamplesAndCommandsSmoke(t *testing.T) {
 		{"examples/sharded", []string{"-rows", "20000", "-shards", "4"}, "global id order verified"},
 		{"examples/analytics", []string{"-rows", "20000", "-shards", "4"}, "pushdown verified against client-side aggregation"},
 		{"examples/secondary", []string{"-rows", "20000", "-customers", "128", "-shards", "4"}, "index plan, zone scan and covered scan agree"},
+		{"examples/server", nil, "local and remote agree"},
+		{"cmd/umzi-server", []string{"-selftest"}, "selftest ok"},
 		{"cmd/umzi-bench", []string{"-list"}, "available figures"},
 		{"cmd/umzi-bench", []string{"-figure", "s1", "-scale", "tiny"}, "Figure S1"},
 		{"cmd/umzi-bench", []string{"-figure", "s2", "-scale", "tiny"}, "Figure S2"},

@@ -81,6 +81,10 @@ func (t *Table) Def() TableDef { return t.topo.Table() }
 // NumShards returns the table's shard count (1 for unsharded tables).
 func (t *Table) NumShards() int { return t.topo.NumShards() }
 
+// PrimaryIndex returns the table's primary Umzi index layout as created
+// (or derived from the defaults) and persisted in the DB catalog.
+func (t *Table) PrimaryIndex() IndexSpec { return t.catalogEntry.Index }
+
 // entry returns the table's catalog record for persisting the DB
 // catalog.
 func (t *Table) entry() dbCatalogEntry { return t.catalogEntry }
@@ -89,6 +93,21 @@ func (t *Table) entry() dbCatalogEntry { return t.catalogEntry }
 // the builder surface and Run for execution.
 func (t *Table) Query() *Query {
 	return &Query{tbl: t}
+}
+
+// RunSpec compiles and starts one pre-built declarative query spec,
+// returning the same streaming Rows that Query().…Run(ctx) would. The
+// builder lowers to it; the server front end calls it directly with
+// specs that arrived over the wire (wildfire.UnmarshalQuerySpec), so
+// local and remote execution share one entry point.
+func (t *Table) RunSpec(ctx context.Context, spec wildfire.QuerySpec) (*Rows, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	qr, err := t.topo.RunQuery(ctx, spec)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return &Rows{qr: qr, cancel: cancel}, nil
 }
 
 // Upsert runs one auto-committed transaction staging the rows on
