@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"umzi/internal/wire"
@@ -142,7 +143,10 @@ type conn struct {
 	writeMu       sync.Mutex
 	tenant        string
 	serverVersion string
-	broken        bool // protocol state lost; do not pool
+	// broken means protocol state is lost; do not pool. Atomic because a
+	// Rows' context watcher and DB.Close set it from goroutines racing
+	// the connection's owner.
+	broken atomic.Bool
 }
 
 func (db *DB) dial() (*conn, error) {
@@ -206,7 +210,7 @@ func (cn *conn) write(typ byte, payload []byte) error {
 	return cn.bw.Flush()
 }
 
-func (cn *conn) destroy() { cn.broken = true; cn.c.Close() }
+func (cn *conn) destroy() { cn.broken.Store(true); cn.c.Close() }
 
 // acquire checks a connection out of the pool, dialing when below the
 // limit, queueing otherwise.
@@ -277,7 +281,7 @@ func (db *DB) acquire(ctx context.Context) (*conn, error) {
 // waiter); broken connections close and free their slot.
 func (db *DB) release(cn *conn) {
 	db.mu.Lock()
-	if cn.broken || db.closed {
+	if cn.broken.Load() || db.closed {
 		delete(db.open, cn)
 		db.numOpen--
 		waiters := db.waiters
@@ -294,6 +298,9 @@ func (db *DB) release(cn *conn) {
 		}
 		return
 	}
+	// Defense in depth: no request's leftover read deadline may follow a
+	// connection back into the pool.
+	cn.c.SetReadDeadline(time.Time{})
 	for len(db.waiters) > 0 {
 		w := db.waiters[0]
 		db.waiters = db.waiters[1:]
@@ -310,8 +317,10 @@ func (db *DB) release(cn *conn) {
 
 // ---- Request running -------------------------------------------------
 
-// errRetryable marks a failure on a stale pooled connection where no
-// response byte arrived: safe to retry once on a fresh dial.
+// errRetryable marks a failure where the request cannot have taken
+// effect server-side — the write never completed (a partial frame is
+// unparseable), or the response vanished for a request that is safe to
+// re-run — so withConn may retry once on a fresh connection.
 type errRetryable struct{ err error }
 
 func (e errRetryable) Error() string { return e.err.Error() }
@@ -371,21 +380,31 @@ func doneError(status byte, msg string) error {
 }
 
 // roundTrip sends one request frame and reads the one Done that answers
-// it, honoring ctx via a read-deadline watcher.
-func (cn *conn) roundTrip(ctx context.Context, typ byte, payload []byte) (err error) {
+// it, honoring ctx via a read-deadline watcher. idempotent declares
+// whether the request is safe to re-run when the response never
+// arrives: a write failure leaves at most a partial (unparseable) frame
+// on the wire, so it is always retryable, but a read failure after a
+// completed write is ambiguous — the server may already have applied
+// the request — so only idempotent round-trips (Ping, reads) report it
+// as retryable; Commit and CreateTable surface the ambiguity instead of
+// risking a silent double-apply.
+func (cn *conn) roundTrip(ctx context.Context, typ byte, payload []byte, idempotent bool) (err error) {
 	stop := cn.watch(ctx)
 	defer func() { err = stop(err) }()
 	if err := cn.write(typ, payload); err != nil {
-		cn.broken = true
+		cn.broken.Store(true)
 		return errRetryable{err}
 	}
 	ftyp, resp, err := wire.ReadFrame(cn.br)
 	if err != nil {
-		cn.broken = true
-		return errRetryable{err}
+		cn.broken.Store(true)
+		if idempotent {
+			return errRetryable{err}
+		}
+		return fmt.Errorf("client: connection lost awaiting response (request may have been applied): %w", err)
 	}
 	if ftyp != wire.FrameDone {
-		cn.broken = true
+		cn.broken.Store(true)
 		return fmt.Errorf("client: unexpected frame 0x%02x awaiting Done", ftyp)
 	}
 	return doneError(doneParts(resp))
@@ -412,12 +431,12 @@ func (cn *conn) watch(ctx context.Context) func(error) error {
 		if ctxErr := ctx.Err(); ctxErr != nil && err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				cn.broken = true
+				cn.broken.Store(true)
 				return ctxErr
 			}
 			var r errRetryable
 			if errors.As(err, &r) {
-				cn.broken = true
+				cn.broken.Store(true)
 				return ctxErr
 			}
 		}
@@ -429,6 +448,6 @@ func (cn *conn) watch(ctx context.Context) func(error) error {
 // Ping round-trips a health check.
 func (db *DB) Ping(ctx context.Context) error {
 	return db.withConn(ctx, func(cn *conn) error {
-		return cn.roundTrip(ctx, wire.FramePing, nil)
+		return cn.roundTrip(ctx, wire.FramePing, nil, true)
 	})
 }

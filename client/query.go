@@ -131,12 +131,12 @@ func (t *Table) RunSpec(ctx context.Context, spec wildfire.QuerySpec) (*Rows, er
 	var rows *Rows
 	err = t.db.withConn(ctx, func(cn *conn) error {
 		if err := cn.write(wire.FrameQuery, payload); err != nil {
-			cn.broken = true
+			cn.broken.Store(true)
 			return errRetryable{err}
 		}
 		typ, resp, err := wire.ReadFrame(cn.br)
 		if err != nil {
-			cn.broken = true
+			cn.broken.Store(true)
 			return errRetryable{err}
 		}
 		switch typ {
@@ -144,7 +144,7 @@ func (t *Table) RunSpec(ctx context.Context, spec wildfire.QuerySpec) (*Rows, er
 			d := wire.NewDec(resp)
 			cols := d.Strings()
 			if err := d.Err(); err != nil {
-				cn.broken = true
+				cn.broken.Store(true)
 				return err
 			}
 			rows = newRows(t.db, cn, ctx, cols)
@@ -154,7 +154,7 @@ func (t *Table) RunSpec(ctx context.Context, spec wildfire.QuerySpec) (*Rows, er
 		case wire.FrameDone:
 			return doneError(doneParts(resp))
 		default:
-			cn.broken = true
+			cn.broken.Store(true)
 			return fmt.Errorf("client: unexpected frame 0x%02x awaiting query header", typ)
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"umzi"
@@ -34,11 +35,17 @@ type Rows struct {
 	// stopWatch tears down the context watcher goroutine.
 	stopWatch chan struct{}
 
+	// mu guards the done transition. The context watcher's select can
+	// pick ctx.Done over an already-closed stopWatch, so sendCancel must
+	// re-check ownership under mu before touching a connection that
+	// finish/fail may have released to the pool.
+	mu sync.Mutex
+
 	batch [][]umzi.Value
 	idx   int // position in batch; -1 before the first Next
 
 	err      error
-	done     bool // terminal Done consumed; cn released
+	done     bool // terminal Done consumed; cn released (guarded by mu)
 	closed   bool
 	canceled bool // we sent a Cancel frame
 }
@@ -65,11 +72,18 @@ func (r *Rows) Columns() []string { return r.cols }
 
 // sendCancel sends one Cancel frame (idempotence is the server's
 // problem; stale cancels are ignored there) and bounds the drain that
-// must follow.
+// must follow. It is a no-op once the stream is done: the connection
+// then belongs to the pool (or another request), and arming a deadline
+// or writing a frame on it would poison an unrelated round-trip.
 func (r *Rows) sendCancel() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
 	r.cn.c.SetReadDeadline(time.Now().Add(drainGrace))
 	if err := r.cn.write(wire.FrameCancel, nil); err != nil {
-		r.cn.broken = true
+		r.cn.broken.Store(true)
 	}
 }
 
@@ -124,6 +138,7 @@ func (r *Rows) Next() bool {
 // fail records a transport-level error: the connection is mid-stream
 // and unpoolable.
 func (r *Rows) fail(err error) {
+	r.mu.Lock()
 	if r.err == nil {
 		// A read unblocked by the context watcher surfaces as a deadline
 		// error; report the context's instead.
@@ -132,29 +147,36 @@ func (r *Rows) fail(err error) {
 		}
 		r.err = err
 	}
-	if !r.done {
-		r.done = true
-		close(r.stopWatch)
-		r.cn.destroy()
-		r.db.release(r.cn)
+	if r.done {
+		r.mu.Unlock()
+		return
 	}
+	r.done = true
+	r.mu.Unlock()
+	close(r.stopWatch)
+	r.cn.destroy()
+	r.db.release(r.cn)
 }
 
 // finish consumes the stream's terminal Done: the connection is at a
 // frame boundary and goes back to the pool.
 func (r *Rows) finish(err error) {
+	r.mu.Lock()
 	if r.err == nil {
 		if err != nil && errors.Is(err, context.Canceled) && r.ctx.Err() != nil {
 			err = r.ctx.Err()
 		}
 		r.err = err
 	}
-	if !r.done {
-		r.done = true
-		close(r.stopWatch)
-		r.cn.c.SetReadDeadline(time.Time{})
-		r.db.release(r.cn)
+	if r.done {
+		r.mu.Unlock()
+		return
 	}
+	r.done = true
+	r.mu.Unlock()
+	close(r.stopWatch)
+	r.cn.c.SetReadDeadline(time.Time{})
+	r.db.release(r.cn)
 }
 
 // Values returns the current row. The slice is reused; copy it to keep

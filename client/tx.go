@@ -52,7 +52,7 @@ func (db *DB) CreateTable(ctx context.Context, def umzi.TableDef, opts TableOpti
 		return nil, err
 	}
 	err = db.withConn(ctx, func(cn *conn) error {
-		return cn.roundTrip(ctx, wire.FrameCreateTable, payload)
+		return cn.roundTrip(ctx, wire.FrameCreateTable, payload, false)
 	})
 	if err != nil {
 		return nil, err
@@ -67,12 +67,12 @@ func (db *DB) Catalog(ctx context.Context) ([]TableInfo, error) {
 		stop := cn.watch(ctx)
 		err := func() error {
 			if err := cn.write(wire.FrameCatalog, nil); err != nil {
-				cn.broken = true
+				cn.broken.Store(true)
 				return errRetryable{err}
 			}
 			typ, resp, err := wire.ReadFrame(cn.br)
 			if err != nil {
-				cn.broken = true
+				cn.broken.Store(true)
 				return errRetryable{err}
 			}
 			switch typ {
@@ -89,7 +89,7 @@ func (db *DB) Catalog(ctx context.Context) ([]TableInfo, error) {
 			case wire.FrameDone:
 				return doneError(doneParts(resp))
 			default:
-				cn.broken = true
+				cn.broken.Store(true)
 				return fmt.Errorf("client: unexpected frame 0x%02x awaiting catalog", typ)
 			}
 		}()
@@ -169,7 +169,7 @@ func (tx *Tx) Commit(ctx context.Context) error {
 	}
 	tx.staged = nil
 	return tx.db.withConn(ctx, func(cn *conn) error {
-		return cn.roundTrip(ctx, wire.FrameCommit, payload)
+		return cn.roundTrip(ctx, wire.FrameCommit, payload, false)
 	})
 }
 

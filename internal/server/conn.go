@@ -93,6 +93,9 @@ func (h *connHandler) run() {
 		case <-h.s.ctx.Done():
 			return // server shutdown; socket close unblocks the reader
 		}
+		// Clear any cancel-grace write deadline fireCancel armed for the
+		// previous request; every handler starts with a fresh write path.
+		h.c.SetWriteDeadline(time.Time{})
 		var err error
 		switch f.typ {
 		case wire.FrameQuery:
@@ -251,7 +254,6 @@ func (h *connHandler) replyErr(err error) error {
 // handleQuery serves one Query frame: header, streamed batches, Done.
 func (h *connHandler) handleQuery(payload []byte) error {
 	h.s.mx.queries.Inc()
-	h.c.SetWriteDeadline(time.Time{}) // clear any cancel-grace leftover
 	d := wire.NewDec(payload)
 	timeoutNS := d.U64()
 	table := d.String()
@@ -354,7 +356,6 @@ func (h *connHandler) handleQuery(payload []byte) error {
 
 // handleCommit applies one Commit frame under admission control.
 func (h *connHandler) handleCommit(payload []byte) error {
-	h.c.SetWriteDeadline(time.Time{})
 	d := wire.NewDec(payload)
 	replica := int(d.Uvarint())
 	nTables := d.Count(1 << 12)
@@ -381,7 +382,12 @@ func (h *connHandler) handleCommit(payload []byte) error {
 	// any row is staged; reads never pass through here.
 	for _, st := range stages {
 		if err := h.s.adm.admit(h.s.ctx, st.table); err != nil {
-			h.s.mx.admissionRejected(st.table).Inc()
+			// Only true refusals count; a context error (server shutdown
+			// while queued) is not an admission rejection.
+			var adm *AdmissionError
+			if errors.As(err, &adm) {
+				h.s.mx.admissionRejected(st.table).Inc()
+			}
 			return h.replyErr(err)
 		}
 	}
@@ -407,7 +413,6 @@ func (h *connHandler) handleCommit(payload []byte) error {
 
 // handleCreateTable serves one CreateTable frame.
 func (h *connHandler) handleCreateTable(payload []byte) error {
-	h.c.SetWriteDeadline(time.Time{})
 	var req wildfire.CreateTableRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return h.replyErr(fmt.Errorf("malformed CreateTable request: %w", err))
@@ -429,7 +434,6 @@ func (h *connHandler) handleCreateTable(payload []byte) error {
 
 // handleCatalog serves one Catalog frame.
 func (h *connHandler) handleCatalog() error {
-	h.c.SetWriteDeadline(time.Time{})
 	var resp wildfire.CatalogResponse
 	for _, name := range h.s.db.Tables() {
 		tbl, err := h.s.db.Table(name)

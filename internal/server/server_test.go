@@ -312,6 +312,58 @@ func TestCancelMidStream(t *testing.T) {
 	}
 }
 
+// TestCancelAtStreamCompletion exercises the standard defer-cancel()
+// pattern: the context is canceled just as its stream completes, racing
+// the Rows' context watcher against finish() releasing the connection.
+// A late watcher firing must not touch the released connection — a
+// stray Cancel frame or armed read deadline on the pooled conn would
+// spuriously cancel the next query that checks it out.
+func TestCancelAtStreamCompletion(t *testing.T) {
+	db, _, addr := boot(t, server.Config{})
+	tbl := mkTable(t, db, "small", 2)
+	ctx := context.Background()
+	rowsIn := make([]umzi.Row, 64)
+	for i := range rowsIn {
+		rowsIn[i] = umzi.Row{umzi.I64(int64(i)), umzi.Str("v")}
+	}
+	if err := tbl.Upsert(ctx, rowsIn...); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Groom(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One connection: every iteration reuses the conn the previous one
+	// released, so any post-release poison hits the next query.
+	cdb, err := client.Open(client.Config{Addr: addr, MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+
+	for i := 0; i < 300; i++ {
+		qctx, cancel := context.WithCancel(ctx)
+		rows, err := cdb.Table("small").Query().Run(qctx)
+		if err != nil {
+			t.Fatalf("iter %d: run: %v", i, err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		cancel() // races the watcher against stream completion
+		if err := rows.Err(); err != nil {
+			t.Fatalf("iter %d: stream err = %v", i, err)
+		}
+		if n != len(rowsIn) {
+			t.Fatalf("iter %d: got %d rows, want %d", i, n, len(rowsIn))
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", i, err)
+		}
+	}
+}
+
 // TestDisconnectMidStream injects an abrupt client disconnect while the
 // server is streaming: the reader loop must fire the cursor's cancel so
 // shard workers release, and the server's goroutines must all return —
