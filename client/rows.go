@@ -20,6 +20,17 @@ var errPinned = errors.New("client: conn pinned to stream")
 // connection up for dead.
 const drainGrace = 10 * time.Second
 
+// frameBufPool recycles the per-stream frame read buffer. RowBatch
+// payloads decode into it, and wire.Dec copies byte strings out, so the
+// buffer is reusable the moment a batch is decoded — one buffer serves
+// a whole stream, and streams recycle it through the pool.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
 // Rows streams one remote query result. It mirrors umzi.Rows: call Next
 // until false, read Values/Scan per row, check Err, and always Close.
 // The Rows owns its connection until the stream ends; Close on a
@@ -44,6 +55,10 @@ type Rows struct {
 	batch [][]umzi.Value
 	idx   int // position in batch; -1 before the first Next
 
+	// rbuf is the pooled frame read buffer; released once the stream
+	// reaches a terminal state (finish or fail).
+	rbuf *[]byte
+
 	err      error
 	done     bool // terminal Done consumed; cn released (guarded by mu)
 	closed   bool
@@ -51,7 +66,8 @@ type Rows struct {
 }
 
 func newRows(db *DB, cn *conn, ctx context.Context, cols []string) *Rows {
-	r := &Rows{db: db, cn: cn, ctx: ctx, cols: cols, idx: -1, stopWatch: make(chan struct{})}
+	r := &Rows{db: db, cn: cn, ctx: ctx, cols: cols, idx: -1,
+		stopWatch: make(chan struct{}), rbuf: frameBufPool.Get().(*[]byte)}
 	if ctx.Done() != nil {
 		// The watcher translates context cancellation into a Cancel frame.
 		// The server answers with Done(Canceled), so the blocked Next read
@@ -101,9 +117,11 @@ func (r *Rows) Next() bool {
 	if r.done {
 		return false
 	}
-	// Batch exhausted: read the next frame.
+	// Batch exhausted: read the next frame. The previous batch's values
+	// were copied out of rbuf at decode time, so reusing it here cannot
+	// corrupt rows a caller still holds.
 	for {
-		typ, payload, err := wire.ReadFrame(r.cn.br)
+		typ, payload, err := wire.ReadFrameInto(r.cn.br, r.rbuf)
 		if err != nil {
 			r.fail(fmt.Errorf("client: reading query stream: %w", err))
 			return false
@@ -154,6 +172,7 @@ func (r *Rows) fail(err error) {
 	r.done = true
 	r.mu.Unlock()
 	close(r.stopWatch)
+	r.releaseBuf()
 	r.cn.destroy()
 	r.db.release(r.cn)
 }
@@ -175,8 +194,18 @@ func (r *Rows) finish(err error) {
 	r.done = true
 	r.mu.Unlock()
 	close(r.stopWatch)
+	r.releaseBuf()
 	r.cn.c.SetReadDeadline(time.Time{})
 	r.db.release(r.cn)
+}
+
+// releaseBuf returns the frame read buffer to the pool; finish and fail
+// are mutually exclusive and run once, so this never double-releases.
+func (r *Rows) releaseBuf() {
+	if r.rbuf != nil {
+		frameBufPool.Put(r.rbuf)
+		r.rbuf = nil
+	}
 }
 
 // Values returns the current row. The slice is reused; copy it to keep
@@ -232,7 +261,7 @@ func (r *Rows) Close() error {
 	// Drain to Done. The server owes exactly one terminal frame; row
 	// batches in flight before the cancel took effect are discarded.
 	for {
-		typ, payload, err := wire.ReadFrame(r.cn.br)
+		typ, payload, err := wire.ReadFrameInto(r.cn.br, r.rbuf)
 		if err != nil {
 			r.fail(fmt.Errorf("client: draining canceled stream: %w", err))
 			return r.closeErr()

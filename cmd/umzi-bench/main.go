@@ -44,6 +44,7 @@ func drivers() []driver {
 		{"s3", "Figure S3: ingest throughput vs sync policy and group commit (extension)", bench.FigS3GroupCommit},
 		{"s4", "Figure S4: serving layer — throughput vs concurrent clients (extension)", bench.FigS4Serving},
 		{"s5", "Figure S5: encoded vectorized scan vs scalar executor (extension)", bench.FigS5EncodedScan},
+		{"s6", "Figure S6: intra-shard parallel scans and block cache (extension)", bench.FigS6ReadPath},
 		{"a1", "Ablation A1: offset array width", bench.AblationOffsetArray},
 		{"a2", "Ablation A2: set vs priority-queue reconciliation", bench.AblationReconcile},
 		{"a3", "Ablation A3: synopsis pruning", bench.AblationSynopsis},

@@ -128,7 +128,51 @@ func inspectMetrics(store storage.ObjectStore, tableFilter string) error {
 	defer db.Close()
 	fmt.Println("(gauges reflect the recovered durable state; counters reflect this inspection process only)")
 	fmt.Print(db.MetricsText(tableFilter))
+	printReadPathSummary(db, tableFilter)
 	return nil
+}
+
+// printReadPathSummary condenses the read-path metric families into one
+// block per table: decoded-block cache occupancy against its byte
+// budget and the hit ratio, plus the server statement cache when a
+// server shares this registry (umzi-inspect opens the DB without one,
+// so the statement-cache line appears only behind a live server's
+// metrics endpoint or in embedding processes).
+func printReadPathSummary(db *umzi.DB, tableFilter string) {
+	fmt.Println("\nread path:")
+	for _, name := range db.Tables() {
+		if tableFilter != "" && name != tableFilter {
+			continue
+		}
+		tbl, err := db.Table(name)
+		if err != nil {
+			continue
+		}
+		st := tbl.BlockCacheStats()
+		fmt.Printf("  %-12s block cache %d / %d bytes (%.1f%% of budget), %d blocks resident\n",
+			name, st.Bytes, st.Budget, 100*float64(st.Bytes)/float64(st.Budget), st.Blocks)
+		lookups := st.Hits + st.Misses
+		ratio := 0.0
+		if lookups > 0 {
+			ratio = 100 * float64(st.Hits) / float64(lookups)
+		}
+		fmt.Printf("  %-12s %d hits / %d misses (%.1f%% hit ratio), %d evictions, %d dedup'd fetches\n",
+			"", st.Hits, st.Misses, ratio, st.Evictions, st.Dedups)
+	}
+	snap := db.Metrics()
+	if m := snap.Get("server_stmt_cache_hits", nil); m != nil {
+		hits := m.Value
+		misses := snap.Sum("server_stmt_cache_misses", nil)
+		entries := snap.Sum("server_stmt_cache_entries", nil)
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("  %-12s statement cache %d entries, %d hits / %d misses (%.1f%% hit ratio)\n",
+			"(server)", entries, hits, misses, ratio)
+	} else {
+		fmt.Println("  (statement-cache metrics appear when a umzi-server shares this registry)")
+	}
 }
 
 // inspectDB reads the multi-table DB catalog and lists every table:
@@ -158,6 +202,19 @@ func inspectDB(store storage.ObjectStore) (bool, error) {
 		fmt.Println()
 		fmt.Printf("  primary index: equality=%v sort=%v included=%v\n",
 			tbl.Index.Equality, tbl.Index.Sort, tbl.Index.Included)
+
+		// Read-path configuration as persisted in the catalog; zeros mean
+		// the engine derives the value at open (GOMAXPROCS workers, the
+		// default cache budget).
+		cacheDesc := "default"
+		if tbl.BlockCacheBytes > 0 {
+			cacheDesc = fmt.Sprintf("%d bytes", tbl.BlockCacheBytes)
+		}
+		scanDesc := "auto (GOMAXPROCS/shards)"
+		if tbl.ScanParallelism > 0 {
+			scanDesc = fmt.Sprintf("%d workers/shard", tbl.ScanParallelism)
+		}
+		fmt.Printf("  read path:     block cache budget %s, scan parallelism %s\n", cacheDesc, scanDesc)
 
 		// Index set and record counts, summed across the shards.
 		var groomedRows, postRows uint64

@@ -40,6 +40,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log scenario progress to stderr")
 	remote := flag.String("remote", "", "umzi-server addr:port for remote scenarios (empty skips them)")
 	token := flag.String("token", "", "auth token for -remote connections")
+	blockCache := flag.Int64("block-cache-bytes", 0, "decoded-block cache budget for scenario DBs (0 keeps the default; small values force eviction churn)")
 	flag.Parse()
 
 	if *list {
@@ -94,11 +95,12 @@ func main() {
 	}
 
 	opts := workload.RunOptions{
-		Scale:       *scale,
-		Seed:        *seed,
-		Timeout:     *timeout,
-		RemoteAddr:  *remote,
-		RemoteToken: *token,
+		Scale:           *scale,
+		Seed:            *seed,
+		Timeout:         *timeout,
+		RemoteAddr:      *remote,
+		RemoteToken:     *token,
+		BlockCacheBytes: *blockCache,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

@@ -42,6 +42,10 @@ type DBConfig struct {
 	// is full per-commit durability with group commit. Recovered tables
 	// reopen with the durability options persisted in the catalog.
 	Durability DurabilityOptions
+	// BlockCacheBytes is the default per-table decoded-block cache
+	// budget for tables created without their own
+	// TableOptions.BlockCacheBytes (<=0 selects the engine default).
+	BlockCacheBytes int64
 }
 
 // TableOptions configures one table at creation.
@@ -62,6 +66,13 @@ type TableOptions struct {
 	Partitions int
 	// Parallelism bounds the scatter-gather pool of a sharded table.
 	Parallelism int
+	// ScanParallelism bounds each shard's intra-shard scan worker pool
+	// (0 derives a default from GOMAXPROCS; 1 scans sequentially).
+	ScanParallelism int
+	// BlockCacheBytes budgets the table's decoded-block cache, shared
+	// across its shards (<=0 inherits DBConfig.BlockCacheBytes, then the
+	// engine default).
+	BlockCacheBytes int64
 	// IndexTuning forwards merge-policy knobs to every Umzi instance.
 	IndexTuning Config
 	// Durability configures the table's per-shard commit logs; it is
@@ -73,11 +84,12 @@ type TableOptions struct {
 
 // DB is one Wildfire-style multi-table database over a shared store.
 type DB struct {
-	store          ObjectStore
-	cache          *SSDCache
-	groomEvery     time.Duration
-	postGroomEvery time.Duration
-	durability     DurabilityOptions
+	store           ObjectStore
+	cache           *SSDCache
+	groomEvery      time.Duration
+	postGroomEvery  time.Duration
+	durability      DurabilityOptions
+	blockCacheBytes int64
 	// obs is the DB-wide metric registry every table's engines register
 	// into; Metrics/MetricsHandler expose it.
 	obs *obs.Registry
@@ -97,13 +109,14 @@ func OpenDB(cfg DBConfig) (*DB, error) {
 		return nil, fmt.Errorf("umzi: DBConfig.Store is required")
 	}
 	db := &DB{
-		store:          cfg.Store,
-		cache:          cfg.Cache,
-		groomEvery:     cfg.GroomEvery,
-		postGroomEvery: cfg.PostGroomEvery,
-		durability:     cfg.Durability,
-		obs:            obs.NewRegistry(),
-		tables:         make(map[string]*Table),
+		store:           cfg.Store,
+		cache:           cfg.Cache,
+		groomEvery:      cfg.GroomEvery,
+		postGroomEvery:  cfg.PostGroomEvery,
+		durability:      cfg.Durability,
+		blockCacheBytes: cfg.BlockCacheBytes,
+		obs:             obs.NewRegistry(),
+		tables:          make(map[string]*Table),
 	}
 	db.registerStorageGauges()
 	entries, seq, err := loadDBCatalog(cfg.Store)
@@ -138,19 +151,24 @@ func (db *DB) CreateTable(def TableDef, opts TableOptions) (*Table, error) {
 		return nil, err
 	}
 	entry := dbCatalogEntry{
-		Def:         def,
-		Index:       opts.Index,
-		Shards:      opts.Shards,
-		Replicas:    opts.Replicas,
-		Partitions:  opts.Partitions,
-		Parallelism: opts.Parallelism,
-		Durability:  opts.Durability,
+		Def:             def,
+		Index:           opts.Index,
+		Shards:          opts.Shards,
+		Replicas:        opts.Replicas,
+		Partitions:      opts.Partitions,
+		Parallelism:     opts.Parallelism,
+		ScanParallelism: opts.ScanParallelism,
+		BlockCacheBytes: opts.BlockCacheBytes,
+		Durability:      opts.Durability,
 	}
 	if specZero(entry.Index) {
 		entry.Index = defaultIndexSpec(def)
 	}
 	if entry.Durability == (DurabilityOptions{}) {
 		entry.Durability = db.durability
+	}
+	if entry.BlockCacheBytes <= 0 {
+		entry.BlockCacheBytes = db.blockCacheBytes
 	}
 	entry.tuning = opts.IndexTuning
 	tbl, err := db.openTable(entry)
@@ -184,17 +202,19 @@ func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
 	var topo topology
 	if e.Shards > 1 {
 		eng, err := wildfire.NewShardedEngine(wildfire.ShardedConfig{
-			Table:       e.Def,
-			Index:       e.Index,
-			Shards:      e.Shards,
-			Parallelism: e.Parallelism,
-			Store:       db.store,
-			Cache:       db.cache,
-			Replicas:    e.Replicas,
-			Partitions:  e.Partitions,
-			IndexTuning: e.tuning,
-			Durability:  e.Durability,
-			Obs:         db.obs,
+			Table:           e.Def,
+			Index:           e.Index,
+			Shards:          e.Shards,
+			Parallelism:     e.Parallelism,
+			ScanParallelism: e.ScanParallelism,
+			BlockCacheBytes: e.BlockCacheBytes,
+			Store:           db.store,
+			Cache:           db.cache,
+			Replicas:        e.Replicas,
+			Partitions:      e.Partitions,
+			IndexTuning:     e.tuning,
+			Durability:      e.Durability,
+			Obs:             db.obs,
 		})
 		if err != nil {
 			return nil, err
@@ -202,15 +222,17 @@ func (db *DB) openTable(e dbCatalogEntry) (*Table, error) {
 		topo = shardedTopo{eng}
 	} else {
 		eng, err := wildfire.NewEngine(wildfire.Config{
-			Table:       e.Def,
-			Index:       e.Index,
-			Store:       db.store,
-			Cache:       db.cache,
-			Replicas:    e.Replicas,
-			Partitions:  e.Partitions,
-			IndexTuning: e.tuning,
-			Durability:  e.Durability,
-			Obs:         db.obs,
+			Table:           e.Def,
+			Index:           e.Index,
+			Store:           db.store,
+			Cache:           db.cache,
+			ScanParallelism: e.ScanParallelism,
+			BlockCacheBytes: e.BlockCacheBytes,
+			Replicas:        e.Replicas,
+			Partitions:      e.Partitions,
+			IndexTuning:     e.tuning,
+			Durability:      e.Durability,
+			Obs:             db.obs,
 		})
 		if err != nil {
 			return nil, err
@@ -393,12 +415,14 @@ func (tx *Tx) Abort() {
 
 // dbCatalogEntry is one table of the catalog.
 type dbCatalogEntry struct {
-	Def         TableDef
-	Index       IndexSpec
-	Shards      int `json:",omitempty"`
-	Replicas    int `json:",omitempty"`
-	Partitions  int `json:",omitempty"`
-	Parallelism int `json:",omitempty"`
+	Def             TableDef
+	Index           IndexSpec
+	Shards          int   `json:",omitempty"`
+	Replicas        int   `json:",omitempty"`
+	Partitions      int   `json:",omitempty"`
+	Parallelism     int   `json:",omitempty"`
+	ScanParallelism int   `json:",omitempty"`
+	BlockCacheBytes int64 `json:",omitempty"`
 	// Durability is the table's commit-log configuration; persisting it
 	// means OpenDB replays every table's un-groomed log tail under the
 	// policy it was written with, with no per-table setup.
@@ -493,7 +517,13 @@ func InspectDBCatalog(store ObjectStore) ([]DBTableInfo, error) {
 		if shards < 1 {
 			shards = 1
 		}
-		out = append(out, DBTableInfo{Def: e.Def, Index: e.Index, Shards: shards})
+		out = append(out, DBTableInfo{
+			Def:             e.Def,
+			Index:           e.Index,
+			Shards:          shards,
+			ScanParallelism: e.ScanParallelism,
+			BlockCacheBytes: e.BlockCacheBytes,
+		})
 	}
 	return out, nil
 }
@@ -503,6 +533,12 @@ type DBTableInfo struct {
 	Def    TableDef
 	Index  IndexSpec
 	Shards int
+	// ScanParallelism is the configured per-shard scan worker bound
+	// (0: derived from GOMAXPROCS at open).
+	ScanParallelism int
+	// BlockCacheBytes is the configured decoded-block cache budget
+	// (0: the engine default applies at open).
+	BlockCacheBytes int64
 }
 
 // ShardTableName returns the storage-level table name of one shard of a

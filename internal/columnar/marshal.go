@@ -184,6 +184,32 @@ func (blk *Block) PlainSize() int {
 	return size
 }
 
+// MemSize estimates the decoded block's resident memory: every encoded
+// column body plus fixed per-column and per-block struct overhead. Block
+// caches use it as the charge unit for byte budgeting, so it only needs
+// to track the real footprint closely enough that a budget of N bytes
+// holds roughly N bytes of blocks.
+func (blk *Block) MemSize() int {
+	const (
+		blockOverhead  = 96  // Block struct + schema pointer + slice headers
+		columnOverhead = 160 // column struct: encoding tag + 8 slice headers
+		valueOverhead  = 48  // keyenc.Value tagged union (min + max entries)
+	)
+	size := blockOverhead
+	for i := range blk.cols {
+		c := &blk.cols[i]
+		size += columnOverhead + valueOverhead
+		size += 8*len(c.nums) + 4*len(c.offsets) + len(c.payload)
+		size += 8 * len(c.packed)
+		size += 4*len(c.dictOffsets) + len(c.dictPayload)
+		size += 4*len(c.runEnds) + 8*len(c.runNums) + 4*len(c.runOffsets) + len(c.runPayload)
+		if c.bloom != nil {
+			size += 8*len(c.bloom.words) + 16
+		}
+	}
+	return size
+}
+
 // Unmarshal decodes a block previously produced by Marshal, accepting
 // both the current version-2 format and the legacy version-1 format.
 func Unmarshal(data []byte) (*Block, error) {

@@ -51,6 +51,16 @@ type frame struct {
 	payload []byte
 }
 
+// batchBufPool recycles RowBatch encode buffers — the per-batch row
+// buffer and the framed payload it is copied into. Sized for a full
+// batch so steady-state streaming stops allocating per frame.
+var batchBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, batchBytes+1024)
+		return &b
+	},
+}
+
 type connHandler struct {
 	s      *Server
 	c      net.Conn
@@ -261,9 +271,20 @@ func (h *connHandler) handleQuery(payload []byte) error {
 	if err := d.Err(); err != nil {
 		return h.replyErr(fmt.Errorf("malformed query frame: %w", err))
 	}
-	spec, err := wildfire.UnmarshalQuerySpec(specBytes)
-	if err != nil {
-		return h.replyErr(err)
+	// Statement cache: a repeated spec (same tenant, same raw bytes)
+	// skips decode and validation. The cached spec is handed out by
+	// value; the engine never mutates it (see stmtCache).
+	spec, cached := h.s.stmts.lookup(h.tenant, specBytes)
+	if cached {
+		h.s.mx.stmtHits.Inc()
+	} else {
+		h.s.mx.stmtMisses.Inc()
+		var err error
+		spec, err = wildfire.UnmarshalQuerySpec(specBytes)
+		if err != nil {
+			return h.replyErr(err)
+		}
+		h.s.stmts.store(h.tenant, specBytes, spec)
 	}
 	tbl, err := h.s.db.Table(table)
 	if err != nil {
@@ -297,17 +318,29 @@ func (h *connHandler) handleQuery(payload []byte) error {
 	// Stream: encode rows into one batch buffer, flush at the bounds.
 	// The cursor honors qctx, so a fired cancel ends the loop within the
 	// current batch; a stalled peer blocks the flush and, transitively,
-	// the engine's bounded per-shard streams.
-	var batch []byte
+	// the engine's bounded per-shard streams. Both the batch buffer and
+	// the framed payload come from batchBufPool — send copies into the
+	// bufio writer before returning, so the buffers are reusable the
+	// moment it does.
+	batchBuf := batchBufPool.Get().(*[]byte)
+	batch := (*batchBuf)[:0]
+	defer func() {
+		*batchBuf = batch[:0]
+		batchBufPool.Put(batchBuf)
+	}()
 	nRows := 0
 	flush := func() error {
 		if nRows == 0 {
 			return nil
 		}
-		payload := wire.AppendUvarint(nil, uint64(nRows))
+		pb := batchBufPool.Get().(*[]byte)
+		payload := wire.AppendUvarint((*pb)[:0], uint64(nRows))
 		payload = append(payload, batch...)
 		batch, nRows = batch[:0], 0
-		return h.send(wire.FrameRowBatch, payload)
+		err := h.send(wire.FrameRowBatch, payload)
+		*pb = payload[:0]
+		batchBufPool.Put(pb)
+		return err
 	}
 	var streamErr error
 	for rows.Next() {

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"umzi/internal/wildfire"
+)
+
+// stmtCache is the server-side statement cache: an LRU of decoded
+// QuerySpecs keyed by tenant plus the raw spec bytes, so a repeated
+// spec skips UnmarshalQuerySpec — decode and validation — entirely.
+// Handing the cached spec out by value is safe: the engine treats a
+// spec as read-only (RunQuery stamps the timestamp on its own copy),
+// the compiled expressions inside are immutable, and a trace handle
+// never travels the wire. Keying per tenant keeps one tenant's cache
+// pressure from observing another's statements.
+type stmtCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // of *stmtEntry, front = most recently used
+}
+
+type stmtEntry struct {
+	key  string
+	spec wildfire.QuerySpec
+}
+
+func newStmtCache(max int) *stmtCache {
+	return &stmtCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+func stmtKey(tenant string, raw []byte) string {
+	return tenant + "\x00" + string(raw)
+}
+
+// lookup returns the decoded spec for the raw bytes, promoting the
+// entry. A nil cache (statement caching disabled) always misses.
+func (c *stmtCache) lookup(tenant string, raw []byte) (wildfire.QuerySpec, bool) {
+	if c == nil {
+		return wildfire.QuerySpec{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[stmtKey(tenant, raw)]
+	if !ok {
+		return wildfire.QuerySpec{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*stmtEntry).spec, true
+}
+
+// store caches a freshly decoded spec, evicting from the LRU tail past
+// the size bound. No-op on a nil cache.
+func (c *stmtCache) store(tenant string, raw []byte, spec wildfire.QuerySpec) {
+	if c == nil {
+		return
+	}
+	key := stmtKey(tenant, raw)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*stmtEntry).spec = spec
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&stmtEntry{key: key, spec: spec})
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*stmtEntry).key)
+	}
+}
+
+// size returns the number of cached statements.
+func (c *stmtCache) size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"umzi/internal/exec"
+	"umzi/internal/keyenc"
+	"umzi/internal/wildfire"
+)
+
+func testSpecBytes(t testing.TB, n int64) []byte {
+	t.Helper()
+	spec := wildfire.QuerySpec{
+		Filter:  exec.And(exec.Cmp("k", exec.OpGe, keyenc.I64(n)), exec.Cmp("v", exec.OpNe, keyenc.Str("x"))),
+		GroupBy: []string{"v"},
+		Aggs:    []exec.Agg{{Func: exec.Count}, {Func: exec.Sum, Col: "k"}},
+		Limit:   100,
+	}
+	b, err := wildfire.MarshalQuerySpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStmtCacheLRU(t *testing.T) {
+	c := newStmtCache(2)
+	specs := [][]byte{testSpecBytes(t, 0), testSpecBytes(t, 1), testSpecBytes(t, 2)}
+	for i, raw := range specs {
+		if _, ok := c.lookup("a", raw); ok {
+			t.Fatalf("spec %d hit before store", i)
+		}
+		spec, err := wildfire.UnmarshalQuerySpec(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.store("a", raw, spec)
+	}
+	// Capacity 2: spec 0 is the LRU victim; 1 and 2 remain.
+	if _, ok := c.lookup("a", specs[0]); ok {
+		t.Error("LRU victim still cached")
+	}
+	for _, i := range []int{1, 2} {
+		spec, ok := c.lookup("a", specs[i])
+		if !ok {
+			t.Fatalf("spec %d evicted out of LRU order", i)
+		}
+		if spec.Limit != 100 || len(spec.Aggs) != 2 {
+			t.Fatalf("spec %d decoded shape lost in cache: %+v", i, spec)
+		}
+	}
+	// Tenants do not share entries.
+	if _, ok := c.lookup("b", specs[1]); ok {
+		t.Error("tenant b sees tenant a's statement")
+	}
+	if got := c.size(); got != 2 {
+		t.Errorf("size = %d, want 2", got)
+	}
+	// A nil cache (disabled) misses and ignores stores.
+	var nilCache *stmtCache
+	if _, ok := nilCache.lookup("a", specs[0]); ok {
+		t.Error("nil cache hit")
+	}
+	nilCache.store("a", specs[0], wildfire.QuerySpec{})
+	if nilCache.size() != 0 {
+		t.Error("nil cache grew")
+	}
+}
+
+// BenchmarkStatementCache compares the per-query spec cost with and
+// without the statement cache: a cached lookup against a full
+// UnmarshalQuerySpec decode+validate of the same bytes.
+func BenchmarkStatementCache(b *testing.B) {
+	raw := testSpecBytes(b, 5)
+	spec, err := wildfire.UnmarshalQuerySpec(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wildfire.UnmarshalQuerySpec(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := newStmtCache(256)
+		c.store("bench", raw, spec)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.lookup("bench", raw); !ok {
+				b.Fatal("lookup missed")
+			}
+		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		c := newStmtCache(256)
+		// Distinct tenants spread map pressure the way a busy multi-tenant
+		// server would.
+		for i := 0; i < 8; i++ {
+			c.store(fmt.Sprintf("t%d", i), raw, spec)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, ok := c.lookup(fmt.Sprintf("t%d", i%8), raw); !ok {
+					b.Fatal("lookup missed")
+				}
+				i++
+			}
+		})
+	})
+}

@@ -10,77 +10,75 @@ import (
 )
 
 // Data-block access path: groomed and post-groomed blocks are immutable
-// columnar objects in shared storage; the engine memoizes parsed blocks
-// (the engine-side analogue of the SSD data cache of Figure 1).
-
-type blockEntry struct {
-	blk *columnar.Block
-	// pkUnique memoizes whether every row of the block carries a
-	// distinct full primary key (nil: not yet computed). Guarded by
-	// blockMu; consumed by the executor's direct-emit fast path.
-	pkUnique *bool
-}
+// columnar objects in shared storage; the engine reads them through a
+// bounded decoded-block cache (the engine-side analogue of the SSD data
+// cache of Figure 1, with a byte budget instead of a device size).
 
 // fetchBlock returns the parsed columnar block with the given object
-// name, reading through the block cache. The context is checked before
-// paying for a shared-storage read, so cancelled queries stop at block
-// granularity — the unit of I/O — without a partial-parse state to
-// clean up.
+// name, reading through the block cache. Concurrent misses for one name
+// collapse into a single storage read and parse (singleflight). The
+// context is checked before paying for a shared-storage read, so
+// cancelled queries stop at block granularity — the unit of I/O —
+// without a partial-parse state to clean up. Blocks already deleted
+// from storage but awaiting query-epoch drain are served from the
+// retired overlay.
 func (e *Engine) fetchBlock(ctx context.Context, name string) (*columnar.Block, error) {
-	e.blockMu.Lock()
-	if be, ok := e.blockCache[name]; ok {
-		e.blockMu.Unlock()
+	if blk := e.retiredBlock(name); blk != nil {
 		e.mx.blockCacheHits.Inc()
-		return be.blk, nil
+		return blk, nil
 	}
-	e.blockMu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	blk, dedup, err := e.blocks.getOrFetch(ctx, name, func() (*columnar.Block, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e.mx.blockFetches.Inc()
+		data, err := e.store.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		blk, err := columnar.Unmarshal(data)
+		if err != nil {
+			return nil, fmt.Errorf("wildfire: corrupt block %s: %w", name, err)
+		}
+		return blk, nil
+	})
+	if dedup {
+		e.mx.blockCacheHits.Inc()
 	}
-
-	e.mx.blockFetches.Inc()
-	data, err := e.store.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	blk, err := columnar.Unmarshal(data)
-	if err != nil {
-		return nil, fmt.Errorf("wildfire: corrupt block %s: %w", name, err)
-	}
-	e.cacheBlock(name, blk)
-	return blk, nil
+	return blk, err
 }
 
+// cacheBlock pre-populates the cache with a block the engine just built
+// (groom and post-groom both write the object and keep the decode hot).
 func (e *Engine) cacheBlock(name string, blk *columnar.Block) {
-	e.blockMu.Lock()
-	e.blockCache[name] = &blockEntry{blk: blk}
-	e.blockMu.Unlock()
+	e.blocks.put(name, blk)
 }
 
 func (e *Engine) dropCachedBlock(name string) {
-	e.blockMu.Lock()
-	delete(e.blockCache, name)
-	e.blockMu.Unlock()
+	e.blocks.drop(name)
+}
+
+// retiredBlock consults the engine's epoch-drain overlay: blocks whose
+// storage objects were reclaimed while queries that could still hold
+// their RIDs are in flight.
+func (e *Engine) retiredBlock(name string) *columnar.Block {
+	e.retireMu.Lock()
+	blk := e.retiredBlks[name]
+	e.retireMu.Unlock()
+	return blk
 }
 
 // blockPKUnique reports whether every row of the block carries a
 // distinct full primary key — the per-block half of the executor's
 // fast-path eligibility check — memoizing the verdict on the block's
-// cache entry so repeated queries pay for the scan once.
+// cache entry so repeated queries pay for the scan once. An evicted
+// block just loses the memo and recomputes on its next decode.
 func (e *Engine) blockPKUnique(name string, blk *columnar.Block, pkIdx []int) bool {
-	e.blockMu.Lock()
-	if be, ok := e.blockCache[name]; ok && be.blk == blk && be.pkUnique != nil {
-		u := *be.pkUnique
-		e.blockMu.Unlock()
+	if u, ok := e.blocks.pkUnique(name, blk); ok {
 		return u
 	}
-	e.blockMu.Unlock()
 	u := pkAllDistinct(blk, pkIdx)
-	e.blockMu.Lock()
-	if be, ok := e.blockCache[name]; ok && be.blk == blk {
-		be.pkUnique = &u
-	}
-	e.blockMu.Unlock()
+	e.blocks.setPKUnique(name, blk, u)
 	return u
 }
 

@@ -2,10 +2,12 @@ package wildfire
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"umzi/internal/columnar"
 	"umzi/internal/core"
 	"umzi/internal/obs"
 	"umzi/internal/storage"
@@ -28,6 +30,18 @@ type Config struct {
 	Store storage.ObjectStore
 	// Cache is the local SSD cache shared by the index and data blocks.
 	Cache *storage.SSDCache
+	// BlockCache, when set, is a shared decoded-block cache (the sharded
+	// layer passes one cache to every shard so a table has one byte
+	// budget). Nil gives the engine a private cache of BlockCacheBytes.
+	BlockCache *BlockCache
+	// BlockCacheBytes budgets the private decoded-block cache when
+	// BlockCache is nil (<=0 selects DefaultBlockCacheBytes).
+	BlockCacheBytes int64
+	// ScanParallelism bounds the engine's intra-shard scan worker pool:
+	// an analytical scan partitions its candidate blocks across up to
+	// this many workers. <=0 derives it from GOMAXPROCS; 1 scans
+	// sequentially.
+	ScanParallelism int
 	// Replicas is the number of multi-master shard replicas (default 1).
 	Replicas int
 	// Partitions is the number of partition-key buckets the post-groomer
@@ -133,19 +147,23 @@ type Engine struct {
 	endTSMu sync.Mutex
 	endTS   map[types.RID]types.TS
 
-	// blockCache memoizes parsed columnar blocks (data access path).
-	// Deprecated groomed blocks stay cached until every query that could
-	// hold their RIDs has drained (epoch-based reclamation through gate),
-	// realizing "marked deprecated and eventually deleted" (§5.4) without
-	// blocking readers.
-	blockMu    sync.Mutex
-	blockCache map[string]*blockEntry
+	// blocks is the bounded decoded-block cache (data access path); it
+	// may be shared across shards. scanPool bounds the intra-shard
+	// parallel-scan workers (scanPar-wide).
+	blocks   *BlockCache
+	scanPool *gatherPool
+	scanPar  int
 
-	// gate tracks in-flight queries; retireQueue holds cache entries of
-	// deleted groomed blocks awaiting epoch drain.
+	// gate tracks in-flight queries; retireQueue holds names of deleted
+	// groomed blocks awaiting query-epoch drain, and retiredBlks pins
+	// their decodes outside the bounded cache until the drain — so a
+	// query that resolved RIDs into a block before its storage object
+	// was reclaimed can still read it, realizing "marked deprecated and
+	// eventually deleted" (§5.4) without blocking readers.
 	gate        queryGate
 	retireMu    sync.Mutex
 	retireQueue []retireItem
+	retiredBlks map[string]*columnar.Block
 
 	// deprecated holds groomed block IDs consumed by post-grooms whose
 	// data blocks cannot be deleted yet: reclamation is gated on the
@@ -193,19 +211,31 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		table:      cfg.Table,
-		ixSpec:     cfg.Index,
-		store:      cfg.Store,
-		cache:      cfg.Cache,
-		tuning:     cfg.IndexTuning,
-		durable:    cfg.Durability,
-		endTS:      make(map[types.RID]types.TS),
-		blockCache: make(map[string]*blockEntry),
-		deprecated: make(map[uint64]struct{}),
-		walDrained: make(map[uint64]struct{}),
-		stopCh:     make(chan struct{}),
+		table:       cfg.Table,
+		ixSpec:      cfg.Index,
+		store:       cfg.Store,
+		cache:       cfg.Cache,
+		tuning:      cfg.IndexTuning,
+		durable:     cfg.Durability,
+		endTS:       make(map[types.RID]types.TS),
+		retiredBlks: make(map[string]*columnar.Block),
+		deprecated:  make(map[uint64]struct{}),
+		walDrained:  make(map[uint64]struct{}),
+		stopCh:      make(chan struct{}),
 	}
 	e.mx = newEngineMetrics(cfg.Obs, cfg.Table.Name)
+	e.blocks = cfg.BlockCache
+	if e.blocks == nil {
+		// A private per-engine cache; a shard of a sharded table instead
+		// shares the one the sharded layer created and instrumented.
+		e.blocks = NewBlockCache(cfg.BlockCacheBytes)
+		e.blocks.instrument(cfg.Obs, cfg.Table.Name)
+	}
+	e.scanPar = cfg.ScanParallelism
+	if e.scanPar <= 0 {
+		e.scanPar = runtime.GOMAXPROCS(0)
+	}
+	e.scanPool = newGatherPool(e.scanPar)
 	e.partitions = cfg.Partitions
 	for i := 0; i < cfg.Replicas; i++ {
 		e.replicas = append(e.replicas, &replica{id: i})
@@ -312,6 +342,10 @@ func declaredSecondary(specs []SecondaryIndexSpec, name string) (IndexSpec, bool
 // Index exposes the underlying primary Umzi index (benchmarks tune and
 // inspect it directly).
 func (e *Engine) Index() *core.Index { return e.idx }
+
+// BlockCache returns the decoded-block cache the engine reads through
+// (possibly shared with other shards of its table).
+func (e *Engine) BlockCache() *BlockCache { return e.blocks }
 
 // Table returns the table definition.
 func (e *Engine) Table() TableDef { return e.table }

@@ -119,10 +119,13 @@ func (e *Engine) liveOverlay(ts types.TS, opts QueryOptions) map[string]liveBest
 
 // scanBlk is one visible zone block of a query, with its skip verdict
 // and object name (the block-cache key the fast path memoizes under).
+// drop marks a block with nothing visible at the query timestamp; it is
+// compacted away after the parallel classify.
 type scanBlk struct {
 	name string
 	blk  *columnar.Block
 	skip exec.SkipReason
+	drop bool
 }
 
 // executeBound evaluates a bound plan on this shard into a partial
@@ -149,6 +152,16 @@ type scanBlk struct {
 // under groom/post-groom migration overlap transiently and fall back to
 // the winner map. QueryOptions.ScalarExec forces the legacy
 // row-at-a-time path (the Figure S5 baseline).
+//
+// Both the block fetch/classify pass and the fast path run on the
+// engine's intra-shard scan pool (Config.ScanParallelism workers): the
+// candidate block list is partitioned into contiguous chunks, each
+// worker reduces its chunk into a private exec.Partial over its own
+// scratch buffers — BoundPlan and Block are read-only and shared — and
+// the shard merges the partials before the cross-shard merge. The
+// overlap fallback stays sequential: winner reconciliation is a global
+// per-key argmax that the transient migration states it serves do not
+// justify parallelizing.
 func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts QueryOptions) (*exec.Partial, error) {
 	if opts.ScalarExec {
 		return e.executeBoundScalar(ctx, bound, opts)
@@ -160,7 +173,6 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 	defer e.gate.exit(epoch)
 	ts := e.resolveTS(opts)
 	start := time.Now()
-	var blocksRead, blocksSkipped, blocksBloomSkipped int64
 
 	pkIdx := make([]int, len(e.table.PrimaryKey))
 	for i, k := range e.table.PrimaryKey {
@@ -168,20 +180,44 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 	}
 	nUser := len(e.table.Columns)
 
-	// Phase 1: fetch the zone snapshot and classify every block.
+	// Phase 1: fetch the zone snapshot and classify every block, in
+	// parallel across the scan pool (positional writes keep the zone
+	// order deterministic; overlapping storage reads is where a cold
+	// scan wins first).
 	groomedIDs, postIDs := e.zoneSnapshot()
-	blks := make([]scanBlk, 0, len(groomedIDs)+len(postIDs))
-	visit := func(name string) error {
-		blk, err := e.fetchBlock(ctx, name)
+	names := make([]string, 0, len(groomedIDs)+len(postIDs))
+	for _, id := range groomedIDs {
+		names = append(names, groomedBlockName(e.table.Name, id))
+	}
+	for _, id := range postIDs {
+		names = append(names, postBlockName(e.table.Name, id))
+	}
+	classified := make([]scanBlk, len(names))
+	err := e.scanPool.each(ctx, len(names), func(i int) error {
+		blk, err := e.fetchBlock(ctx, names[i])
 		if err != nil {
 			return err
 		}
+		sb := scanBlk{name: names[i], blk: blk}
 		if min, ok := blk.ColumnMin(nUser); !ok || types.TS(min.Uint()) > ts {
-			blocksSkipped++
-			return nil // empty, or nothing visible at this timestamp
+			sb.drop = true // empty, or nothing visible at this timestamp
+		} else {
+			sb.skip = bound.BlockSkip(blk)
 		}
-		skip := bound.BlockSkip(blk)
-		switch skip {
+		classified[i] = sb
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var blocksRead, blocksSkipped, blocksBloomSkipped int64
+	blks := classified[:0]
+	for _, sb := range classified {
+		if sb.drop {
+			blocksSkipped++
+			continue
+		}
+		switch sb.skip {
 		case exec.SkipNone:
 			blocksRead++
 		case exec.SkipBloom:
@@ -192,18 +228,7 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 			// qualify, so the scan counts as skipped for skip-ratio purposes.
 			blocksSkipped++
 		}
-		blks = append(blks, scanBlk{name: name, blk: blk, skip: skip})
-		return nil
-	}
-	for _, id := range groomedIDs {
-		if err := visit(groomedBlockName(e.table.Name, id)); err != nil {
-			return nil, err
-		}
-	}
-	for _, id := range postIDs {
-		if err := visit(postBlockName(e.table.Name, id)); err != nil {
-			return nil, err
-		}
+		blks = append(blks, sb)
 	}
 
 	live := e.liveOverlay(ts, opts)
@@ -233,33 +258,30 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 
 	// Phase 2: if no key can have two versions across the visible blocks,
 	// winner reconciliation is a no-op — emit selected visible rows
-	// directly, suppressing only live-superseded keys.
+	// directly, suppressing only live-superseded keys. Chunks of the
+	// block list reduce into per-worker partials merged at the shard.
 	if e.disjointUniqueBlocks(blks, pkIdx) {
-		for _, sb := range blks {
-			if sb.skip != exec.SkipNone {
-				continue // proved unmatchable; shadows nothing (unique keys)
-			}
-			sel := bound.FilterBlock(sb.blk)
-			if sel.None() {
-				continue
-			}
-			blk := sb.blk
-			tsBuf = blk.AppendNums(nUser, tsBuf[:0])
-			sel.ForEach(func(r int) {
-				if types.TS(tsBuf[r]) > ts {
-					return
-				}
-				if len(live) > 0 {
-					keyBuf = keyBuf[:0]
-					for _, c := range pkIdx {
-						keyBuf = keyenc.Append(keyBuf, blk.Value(r, c))
-					}
-					if _, shadowed := live[string(keyBuf)]; shadowed {
-						return
-					}
-				}
-				part.Add(func(c int) keyenc.Value { return blk.Value(r, c) })
+		nw := e.scanPar
+		if nw > len(blks) {
+			nw = len(blks)
+		}
+		if nw <= 1 {
+			e.scanChunk(bound, part, blks, ts, live, pkIdx, nUser)
+		} else {
+			parts := make([]*exec.Partial, nw)
+			err := e.scanPool.each(ctx, nw, func(w int) error {
+				lo, hi := w*len(blks)/nw, (w+1)*len(blks)/nw
+				p := bound.NewPartial()
+				e.scanChunk(bound, p, blks[lo:hi], ts, live, pkIdx, nUser)
+				parts[w] = p
+				return nil
 			})
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range parts {
+				part.Merge(p)
+			}
 		}
 		addLiveRows(part, bound, live)
 		return part, nil
@@ -314,6 +336,41 @@ func (e *Engine) executeBound(ctx context.Context, bound *exec.BoundPlan, opts Q
 		part.Add(func(c int) keyenc.Value { return blk.Value(r, c) })
 	}
 	return part, nil
+}
+
+// scanChunk is one fast-path worker: it reduces a contiguous run of the
+// candidate block list into a private partial. bound, the blocks and
+// the live map are shared read-only across workers; the partial and the
+// scratch buffers are worker-owned.
+func (e *Engine) scanChunk(bound *exec.BoundPlan, part *exec.Partial, blks []scanBlk, ts types.TS, live map[string]liveBest, pkIdx []int, nUser int) {
+	var keyBuf []byte
+	var tsBuf []uint64
+	for _, sb := range blks {
+		if sb.skip != exec.SkipNone {
+			continue // proved unmatchable; shadows nothing (unique keys)
+		}
+		sel := bound.FilterBlock(sb.blk)
+		if sel.None() {
+			continue
+		}
+		blk := sb.blk
+		tsBuf = blk.AppendNums(nUser, tsBuf[:0])
+		sel.ForEach(func(r int) {
+			if types.TS(tsBuf[r]) > ts {
+				return
+			}
+			if len(live) > 0 {
+				keyBuf = keyBuf[:0]
+				for _, c := range pkIdx {
+					keyBuf = keyenc.Append(keyBuf, blk.Value(r, c))
+				}
+				if _, shadowed := live[string(keyBuf)]; shadowed {
+					return
+				}
+			}
+			part.Add(func(c int) keyenc.Value { return blk.Value(r, c) })
+		})
+	}
 }
 
 // addLiveRows feeds the qualifying live-zone rows into the partial.

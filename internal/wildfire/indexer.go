@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"umzi/internal/columnar"
 	"umzi/internal/core"
 	"umzi/internal/run"
 	"umzi/internal/types"
@@ -115,23 +116,49 @@ func (e *Engine) reclaimDeprecated(lo, hi uint64) {
 	}
 
 	// The storage objects can go immediately: current and future queries
-	// reach retired blocks only through the cache (no index hands out
-	// their RIDs to queries starting after this point, and recovery
-	// cannot resurrect references to them thanks to the safe rule above).
+	// reach retired blocks only through the retired overlay (no index
+	// hands out their RIDs to queries starting after this point, and
+	// recovery cannot resurrect references to them thanks to the safe
+	// rule above). Each decode is pinned into the overlay before its
+	// object is deleted — the bounded cache may have evicted it, and an
+	// in-flight query must still be able to read it until its query
+	// epoch drains.
 	for _, name := range retire {
+		e.holdRetired(name)
 		_ = e.store.Delete(name)
+		e.blocks.drop(name)
 	}
 	e.retireCacheEntries(retire)
 }
 
-// retireItem is one cached block awaiting query-epoch drain.
+// holdRetired pins the named block's decode into the retired overlay,
+// reading it back from storage when the bounded cache no longer holds
+// it. A block that is gone from both (unreadable object) is skipped: no
+// in-flight query can have fetched it either.
+func (e *Engine) holdRetired(name string) {
+	blk, ok := e.blocks.get(name)
+	if !ok {
+		data, err := e.store.Get(name)
+		if err != nil {
+			return
+		}
+		if blk, err = columnar.Unmarshal(data); err != nil {
+			return
+		}
+	}
+	e.retireMu.Lock()
+	e.retiredBlks[name] = blk
+	e.retireMu.Unlock()
+}
+
+// retireItem is one retired block awaiting query-epoch drain.
 type retireItem struct {
 	name string
 	tag  uint64
 }
 
-// retireCacheEntries queues cache entries of deleted blocks and reclaims
-// every queued entry whose tag epoch has drained.
+// retireCacheEntries queues the deleted blocks and releases every
+// queued entry whose tag epoch has drained from the retired overlay.
 func (e *Engine) retireCacheEntries(names []string) {
 	e.retireMu.Lock()
 	now := e.gate.current()
@@ -141,22 +168,15 @@ func (e *Engine) retireCacheEntries(names []string) {
 	e.gate.tryAdvance()
 	cur := e.gate.current()
 	keep := e.retireQueue[:0]
-	var drop []string
 	for _, it := range e.retireQueue {
 		if it.tag+2 <= cur {
-			drop = append(drop, it.name)
+			delete(e.retiredBlks, it.name)
 		} else {
 			keep = append(keep, it)
 		}
 	}
 	e.retireQueue = keep
 	e.retireMu.Unlock()
-
-	e.blockMu.Lock()
-	for _, n := range drop {
-		delete(e.blockCache, n)
-	}
-	e.blockMu.Unlock()
 }
 
 // indexDefFor lowers an IndexSpec to the core index definition.

@@ -1,0 +1,382 @@
+package wildfire
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"umzi/internal/exec"
+	"umzi/internal/keyenc"
+	"umzi/internal/storage"
+	"umzi/internal/types"
+)
+
+// TestBlockCacheStampede checks the singleflight: N concurrent queries
+// against a cold cache cost exactly as many storage reads as one cold
+// query — every block is fetched and decoded once, and the other N-1
+// readers piggyback.
+func TestBlockCacheStampede(t *testing.T) {
+	store := storage.NewMemStore(storage.LatencyModel{})
+	e := newTestEngine(t, func(cfg *Config) { cfg.Store = store })
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 4; round++ {
+		rows := make([]Row, 24)
+		for i := range rows {
+			rows[i] = row(rng.Int63n(8), rng.Int63n(64), float64(rng.Int63n(1000)), 100+rng.Int63n(3))
+		}
+		if err := e.UpsertRows(0, rows...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.GroomCount(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := exec.Plan{Aggs: []exec.Agg{{Func: exec.Sum, Col: "reading"}}}
+
+	// One cold query establishes the block count (groom pre-populated the
+	// cache, so start from a fresh one).
+	e.blocks = NewBlockCache(0)
+	before := store.Stats().Snapshot().Reads
+	if _, err := e.Execute(plan, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	coldReads := store.Stats().Snapshot().Reads - before
+	if coldReads == 0 {
+		t.Fatal("cold query read no blocks; the stampede check would be vacuous")
+	}
+
+	// Fresh cold cache again: N concurrent identical queries must not
+	// read any object more than once.
+	e.blocks = NewBlockCache(0)
+	before = store.Stats().Snapshot().Reads
+	const n = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = e.Execute(plan, QueryOptions{})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delta := store.Stats().Snapshot().Reads - before; delta != coldReads {
+		t.Fatalf("%d concurrent cold queries cost %d storage reads; singleflight should hold them to %d", n, delta, coldReads)
+	}
+}
+
+// TestReadPathParallelEquivalence drives four engines — sequential
+// (ScanParallelism 1), parallel (8), parallel with a starved block-cache
+// budget (eviction churn mid-query), and a 4-shard parallel sharded
+// engine — through the same random workload, and checks random plans
+// agree across all of them, on the normal and the ScalarExec paths,
+// with and without the live zone, and at historical groom boundaries.
+func TestReadPathParallelEquivalence(t *testing.T) {
+	seeds := []int64{11, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			readPathEquivalence(t, seed)
+		})
+	}
+}
+
+func readPathEquivalence(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const devices, msgs = 6, 9
+
+	seq := newTestEngine(t, func(cfg *Config) { cfg.ScanParallelism = 1 })
+	par := newTestEngine(t, func(cfg *Config) { cfg.ScanParallelism = 8 })
+	starved := newTestEngine(t, func(cfg *Config) {
+		cfg.ScanParallelism = 8
+		cfg.BlockCacheBytes = 16 << 10
+	})
+	sharded := newTestShardedEngine(t, 4, func(cfg *ShardedConfig) { cfg.ScanParallelism = 4 })
+
+	singles := []*Engine{seq, par, starved}
+	var boundaries []types.TS
+
+	check := func(p exec.Plan, opts QueryOptions, label string) {
+		t.Helper()
+		want, err := seq.Execute(p, opts)
+		if err != nil {
+			t.Fatalf("%s seq: %v", label, err)
+		}
+		runs := []struct {
+			name string
+			run  func() (*exec.Result, error)
+		}{
+			{"par", func() (*exec.Result, error) { return par.Execute(p, opts) }},
+			{"starved", func() (*exec.Result, error) { return starved.Execute(p, opts) }},
+			{"sharded", func() (*exec.Result, error) { return sharded.Execute(p, opts) }},
+			{"par-scalar", func() (*exec.Result, error) {
+				o := opts
+				o.ScalarExec = true
+				return par.Execute(p, o)
+			}},
+			{"seq-scalar", func() (*exec.Result, error) {
+				o := opts
+				o.ScalarExec = true
+				return seq.Execute(p, o)
+			}},
+		}
+		for _, eng := range runs {
+			got, err := eng.run()
+			if err != nil {
+				t.Fatalf("%s %s: %v", label, eng.name, err)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%s %s: %d rows, sequential got %d\nplan: %+v\ngot:  %v\nwant: %v",
+					label, eng.name, len(got.Rows), len(want.Rows), p, got.Rows, want.Rows)
+			}
+			for i := range want.Rows {
+				if len(got.Rows[i]) != len(want.Rows[i]) {
+					t.Fatalf("%s %s row %d: arity %d vs %d", label, eng.name, i, len(got.Rows[i]), len(want.Rows[i]))
+				}
+				for c := range want.Rows[i] {
+					if got.Rows[i][c].Kind() == keyenc.KindInvalid && want.Rows[i][c].Kind() == keyenc.KindInvalid {
+						continue
+					}
+					if keyenc.Compare(got.Rows[i][c], want.Rows[i][c]) != 0 {
+						t.Fatalf("%s %s row %d col %d: %v, sequential %v\nplan: %+v\ngot:  %v\nwant: %v",
+							label, eng.name, i, c, got.Rows[i][c], want.Rows[i][c], p, got.Rows, want.Rows)
+					}
+				}
+			}
+		}
+	}
+
+	for round := 0; round < 16; round++ {
+		for _, e := range singles {
+			if _, err := e.GroomCount(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sharded.GroomCount(); err != nil {
+			t.Fatal(err)
+		}
+		if seq.LastGroomTS() != par.LastGroomTS() || seq.LastGroomTS() != sharded.SnapshotTS() {
+			t.Fatalf("round %d: groom boundaries diverged", round)
+		}
+		boundaries = append(boundaries, seq.LastGroomTS())
+
+		if rng.Intn(3) == 0 {
+			for _, e := range singles {
+				if _, err := e.PostGroom(); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.SyncIndex(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sharded.PostGroom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.SyncIndex(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		n := 1 + rng.Intn(12)
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = row(rng.Int63n(devices), rng.Int63n(msgs), float64(rng.Int63n(1000)), 100+rng.Int63n(3))
+		}
+		replica := rng.Intn(2)
+		for _, e := range singles {
+			if err := e.UpsertRows(replica, rows...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sharded.UpsertRows(replica, rows...); err != nil {
+			t.Fatal(err)
+		}
+
+		if round%3 != 2 {
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			p, _ := genPlan(rng, devices, msgs)
+			check(p, QueryOptions{}, fmt.Sprintf("round %d q%d groomed", round, q))
+			check(p, QueryOptions{IncludeLive: true}, fmt.Sprintf("round %d q%d live", round, q))
+			if len(boundaries) > 1 {
+				b := rng.Intn(len(boundaries))
+				check(p, QueryOptions{TS: boundaries[b]}, fmt.Sprintf("round %d q%d boundary %d", round, q, b))
+			}
+		}
+	}
+
+	// The starved engine must actually have churned; otherwise the
+	// eviction path went untested.
+	if st := starved.BlockCache().Stats(); st.Evictions == 0 {
+		t.Fatalf("starved engine saw no evictions; budget too generous for the test to bite: %+v", st)
+	}
+}
+
+// TestBlockCacheChurnInvariant runs parallel scans against a starved
+// cache while grooming retires and reclaims blocks underneath them:
+// a historical-boundary query must keep returning the same result
+// through eviction and reclaim churn, and occupancy must never exceed
+// the byte budget.
+func TestBlockCacheChurnInvariant(t *testing.T) {
+	const budget = 16 << 10
+	e := newTestEngine(t, func(cfg *Config) {
+		cfg.ScanParallelism = 4
+		cfg.BlockCacheBytes = budget
+	})
+	rng := rand.New(rand.NewSource(7))
+	seedRows := make([]Row, 48)
+	for i := range seedRows {
+		seedRows[i] = row(rng.Int63n(8), rng.Int63n(64), float64(rng.Int63n(1000)), 100+rng.Int63n(3))
+	}
+	if err := e.UpsertRows(0, seedRows...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GroomCount(); err != nil {
+		t.Fatal(err)
+	}
+	ts0 := e.LastGroomTS()
+	plan := exec.Plan{
+		GroupBy: []string{"day"},
+		Aggs:    []exec.Agg{{Func: exec.Count}, {Func: exec.Sum, Col: "reading"}},
+	}
+	want, err := e.Execute(plan, QueryOptions{TS: ts0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				got, err := e.Execute(plan, QueryOptions{TS: ts0})
+				if err != nil {
+					fail <- fmt.Sprintf("churn query: %v", err)
+					return
+				}
+				if len(got.Rows) != len(want.Rows) {
+					fail <- fmt.Sprintf("historical result drifted: %d rows, want %d", len(got.Rows), len(want.Rows))
+					return
+				}
+				for i := range want.Rows {
+					for c := range want.Rows[i] {
+						if keyenc.Compare(got.Rows[i][c], want.Rows[i][c]) != 0 {
+							fail <- fmt.Sprintf("historical result drifted at row %d col %d: %v want %v",
+								i, c, got.Rows[i][c], want.Rows[i][c])
+							return
+						}
+					}
+				}
+				if st := e.blocks.Stats(); st.Bytes > st.Budget {
+					fail <- fmt.Sprintf("cache occupancy %d exceeds budget %d", st.Bytes, st.Budget)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer: keep grooming and post-grooming so deprecated blocks are
+	// retired and reclaimed while the readers scan.
+	for round := 0; round < 12; round++ {
+		rows := make([]Row, 16)
+		for i := range rows {
+			rows[i] = row(rng.Int63n(8), rng.Int63n(64), float64(rng.Int63n(1000)), 100+rng.Int63n(3))
+		}
+		if err := e.UpsertRows(0, rows...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.GroomCount(); err != nil {
+			t.Fatal(err)
+		}
+		if round%3 == 2 {
+			if _, err := e.PostGroom(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SyncIndex(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	st := e.blocks.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget; churn test did not bite: %+v", budget, st)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("final occupancy %d exceeds budget %d", st.Bytes, st.Budget)
+	}
+}
+
+// BenchmarkParallelScan measures an aggregation scan over groomed blocks
+// at ScanParallelism 1 vs GOMAXPROCS — the Figure S6 shape, in
+// benchmark form for the CI smoke tier.
+func BenchmarkParallelScan(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{
+				Table:    iotTable(),
+				Index:    iotIndex(),
+				Store:    storage.NewMemStore(storage.LatencyModel{}),
+				Replicas: 2,
+			}
+			cfg.IndexTuning.K = 2
+			cfg.IndexTuning.GroomedLevels = 3
+			cfg.IndexTuning.PostGroomedLevels = 2
+			cfg.IndexTuning.BlockSize = 1024
+			cfg.ScanParallelism = workers
+			e, err := NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			rng := rand.New(rand.NewSource(3))
+			for round := 0; round < 8; round++ {
+				rows := make([]Row, 512)
+				for i := range rows {
+					rows[i] = row(rng.Int63n(64), rng.Int63n(1024), float64(rng.Int63n(1000)), 100+rng.Int63n(3))
+				}
+				if err := e.UpsertRows(0, rows...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.GroomCount(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			plan := exec.Plan{
+				GroupBy: []string{"day"},
+				Aggs:    []exec.Agg{{Func: exec.Count}, {Func: exec.Sum, Col: "reading"}, {Func: exec.Max, Col: "reading"}},
+			}
+			if _, err := e.Execute(plan, QueryOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Execute(plan, QueryOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

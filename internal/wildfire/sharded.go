@@ -3,6 +3,7 @@ package wildfire
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,18 @@ type ShardedConfig struct {
 	// Cache is the local SSD cache shared by all shards (one node's
 	// cache in front of shared storage); nil disables caching.
 	Cache *storage.SSDCache
+	// BlockCache, when set, is the decoded-block cache every shard reads
+	// through; nil creates one sized by BlockCacheBytes. Shard block
+	// names are globally disjoint, so one byte budget covers the table.
+	BlockCache *BlockCache
+	// BlockCacheBytes budgets the table's decoded-block cache when
+	// BlockCache is nil (<=0 selects DefaultBlockCacheBytes).
+	BlockCacheBytes int64
+	// ScanParallelism bounds each shard's intra-shard scan worker pool.
+	// <=0 derives a per-shard default from GOMAXPROCS divided by the
+	// shard count, so a fan-out query saturates the machine without
+	// oversubscribing it; 1 scans each shard sequentially.
+	ScanParallelism int
 	// Replicas is the number of multi-master replicas per shard.
 	Replicas int
 	// Partitions is the number of partition-key buckets per shard.
@@ -152,18 +165,37 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 	}
 	s.mx = newEngineMetrics(cfg.Obs, cfg.Table.Name)
 	s.primaryMeta = newTableIndex(cfg.Table, cfg.Index, "", cfg.Index, nil)
+	// One decoded-block cache for the whole table: shard object names
+	// are disjoint, so the shards share a single byte budget instead of
+	// each holding 1/Nth privately.
+	blocks := cfg.BlockCache
+	if blocks == nil {
+		blocks = NewBlockCache(cfg.BlockCacheBytes)
+		blocks.instrument(cfg.Obs, cfg.Table.Name)
+	}
+	scanPar := cfg.ScanParallelism
+	if scanPar <= 0 {
+		// A scatter-gather query already runs one goroutine per shard;
+		// splitting GOMAXPROCS across them keeps the default fan-out at
+		// roughly one worker per core.
+		if scanPar = runtime.GOMAXPROCS(0) / cfg.Shards; scanPar < 1 {
+			scanPar = 1
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		shardCfg := Config{
-			Table:       cfg.Table,
-			Index:       cfg.Index,
-			Secondaries: cfg.Secondaries,
-			Store:       cfg.Store,
-			Cache:       cfg.Cache,
-			Replicas:    cfg.Replicas,
-			Partitions:  cfg.Partitions,
-			IndexTuning: cfg.IndexTuning,
-			Durability:  cfg.Durability,
-			Obs:         cfg.Obs,
+			Table:           cfg.Table,
+			Index:           cfg.Index,
+			Secondaries:     cfg.Secondaries,
+			Store:           cfg.Store,
+			Cache:           cfg.Cache,
+			BlockCache:      blocks,
+			ScanParallelism: scanPar,
+			Replicas:        cfg.Replicas,
+			Partitions:      cfg.Partitions,
+			IndexTuning:     cfg.IndexTuning,
+			Durability:      cfg.Durability,
+			Obs:             cfg.Obs,
 		}
 		shardCfg.Table.Name = shardTableName(cfg.Table.Name, i)
 		if cfg.ShardStore != nil {
@@ -231,6 +263,9 @@ func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
 
 // NumShards returns the shard count.
 func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// BlockCache returns the decoded-block cache shared by every shard.
+func (s *ShardedEngine) BlockCache() *BlockCache { return s.shards[0].blocks }
 
 // Shard exposes one shard's engine (benchmarks and tests inspect shards
 // directly; production code should not bypass routing).

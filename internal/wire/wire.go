@@ -95,8 +95,19 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame, enforcing MaxFrame.
+// ReadFrame reads one frame, enforcing MaxFrame. The payload is freshly
+// allocated and owned by the caller.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var buf []byte
+	return ReadFrameInto(r, &buf)
+}
+
+// ReadFrameInto reads one frame like ReadFrame, but decodes the payload
+// into *buf — growing it as needed — so a streaming reader can recycle
+// one buffer across frames. The returned payload aliases *buf and is
+// valid only until the next call with the same buffer; Dec's
+// byte-string readers copy, so decoded values outlive it.
+func ReadFrameInto(r io.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -106,7 +117,10 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
 	}
 	if n > 1 {
-		payload = make([]byte, n-1)
+		if need := int(n - 1); cap(*buf) < need {
+			*buf = make([]byte, need)
+		}
+		payload = (*buf)[:n-1]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return 0, nil, fmt.Errorf("wire: short frame: %w", err)
 		}

@@ -30,6 +30,11 @@ type RunOptions struct {
 	RemoteAddr string
 	// RemoteToken authenticates State.OpenClient connections.
 	RemoteToken string
+	// BlockCacheBytes, when positive, caps every scenario DB's
+	// decoded-block cache at this byte budget (State.OpenDB applies it
+	// unless the scenario sets its own). Small values force eviction
+	// churn on the read path while the invariant checks run.
+	BlockCacheBytes int64
 }
 
 // Result is one scenario's outcome in the report.

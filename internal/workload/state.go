@@ -178,6 +178,11 @@ func (s *State) OpenDB(cfg umzi.DBConfig) *umzi.DB {
 	if cfg.Store == nil {
 		cfg.Store = s.Backend("db")
 	}
+	if cfg.BlockCacheBytes == 0 && s.opts.BlockCacheBytes > 0 {
+		// Harness-wide block-cache budget (-block-cache-bytes): starve
+		// the decoded-block cache so scenarios exercise eviction churn.
+		cfg.BlockCacheBytes = s.opts.BlockCacheBytes
+	}
 	db, err := umzi.OpenDB(cfg)
 	if err != nil {
 		s.Fatalf("OpenDB: %v", err)

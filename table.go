@@ -28,6 +28,7 @@ type topology interface {
 	SecondarySpecs() []wildfire.SecondaryIndexSpec
 	RunQuery(ctx context.Context, spec wildfire.QuerySpec) (*wildfire.QueryRows, error)
 	WALStatus() []wildfire.WALStatus
+	BlockCache() *wildfire.BlockCache
 	begin(replica int) (commitTxn, error)
 }
 
@@ -84,6 +85,14 @@ func (t *Table) NumShards() int { return t.topo.NumShards() }
 // PrimaryIndex returns the table's primary Umzi index layout as created
 // (or derived from the defaults) and persisted in the DB catalog.
 func (t *Table) PrimaryIndex() IndexSpec { return t.catalogEntry.Index }
+
+// BlockCacheStats snapshots the table's decoded-block cache: occupancy
+// versus the configured byte budget plus hit/miss/eviction/dedup
+// counters. Sharded tables share one cache across shards, so this is
+// the whole table's read-path picture.
+func (t *Table) BlockCacheStats() BlockCacheStats {
+	return t.topo.BlockCache().Stats()
+}
 
 // entry returns the table's catalog record for persisting the DB
 // catalog.

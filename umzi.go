@@ -243,6 +243,10 @@ type (
 	SyncPolicy = wildfire.SyncPolicy
 	// WALStatus is a snapshot of one shard's commit-log state.
 	WALStatus = wildfire.WALStatus
+	// BlockCacheStats is a point-in-time snapshot of a table's bounded
+	// decoded-block cache (Table.BlockCacheStats): occupancy vs budget
+	// and hit/miss/eviction/dedup traffic.
+	BlockCacheStats = wildfire.BlockCacheStats
 )
 
 // Commit-log sync policies.
